@@ -1,0 +1,116 @@
+// Ablation of the design choices called out in DESIGN.md:
+//  1. neighborhood radius of the reduced frequency search (0 / 1 / 2) --
+//     tuning cost vs attained energy,
+//  2. significance threshold (25 / 100 / 400 ms) -- instrumented regions vs
+//     switching overhead,
+//  3. scenario grouping on/off -- tuning-model size and switch counts.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "core/evaluation.hpp"
+
+using namespace ecotune;
+
+namespace {
+
+model::EnergyModel train_once() {
+  hwsim::NodeSimulator train_node(hwsim::haswell_ep_spec(), 0, Rng(0xAB20));
+  train_node.set_jitter(0.002);
+  return bench::train_final_model(train_node);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation -- plugin design choices",
+                "neighborhood radius, significance threshold, scenario "
+                "grouping");
+
+  const auto trained = train_once();
+  const auto app =
+      workload::BenchmarkSuite::by_name("Lulesh").with_iterations(12);
+
+  // --- 1. Neighborhood radius -------------------------------------------
+  {
+    TextTable table("Neighborhood radius vs tuning cost and outcome (Lulesh)");
+    table.header({"radius", "freq scenarios", "tuning time (s)",
+                  "dyn CPU savings", "dyn time"});
+    for (int radius : {0, 1, 2}) {
+      hwsim::NodeSimulator node(hwsim::haswell_ep_spec(), 0, Rng(0xAB21));
+      node.set_jitter(0.002);
+      core::SavingsOptions opts;
+      opts.repeats = 3;
+      opts.plugin.config.neighborhood_radius = radius;
+      opts.static_search.cf_stride = 2;
+      opts.static_search.ucf_stride = 2;
+      core::SavingsEvaluator evaluator(node, trained, opts);
+      const auto row = evaluator.evaluate(app);
+      table.row({std::to_string(radius),
+                 std::to_string(row.dta.frequency_scenarios),
+                 TextTable::num(row.dta.tuning_time.value(), 2),
+                 TextTable::pct(row.dynamic_cpu_energy_pct),
+                 TextTable::pct(row.dynamic_time_pct)});
+    }
+    table.print(std::cout);
+    std::cout << "Radius 1 (the paper's 3x3) buys region-level verification "
+                 "at 9 scenarios; radius 0\ntrusts the model blindly; "
+                 "radius 2 spends ~2.8x more scenarios for marginal gains.\n\n";
+  }
+
+  // --- 2. Significance threshold ----------------------------------------
+  {
+    TextTable table("Significance threshold vs regions and overhead (Lulesh)");
+    table.header({"threshold (ms)", "significant regions", "switches/run",
+                  "overhead", "dyn CPU savings"});
+    for (double threshold_ms : {25.0, 100.0, 150.0, 400.0}) {
+      hwsim::NodeSimulator node(hwsim::haswell_ep_spec(), 0, Rng(0xAB22));
+      node.set_jitter(0.002);
+      core::SavingsOptions opts;
+      opts.repeats = 3;
+      opts.plugin.config.significance_threshold =
+          Seconds(threshold_ms / 1e3);
+      opts.static_search.cf_stride = 2;
+      opts.static_search.ucf_stride = 2;
+      core::SavingsEvaluator evaluator(node, trained, opts);
+      try {
+        const auto row = evaluator.evaluate(app);
+        table.row({TextTable::num(threshold_ms, 0),
+                   std::to_string(row.dta.dyn_report.significant.size()),
+                   std::to_string(row.dynamic_switches),
+                   TextTable::pct(row.overhead_pct),
+                   TextTable::pct(row.dynamic_cpu_energy_pct)});
+      } catch (const Error& e) {
+        // Thresholds above every region's mean time leave nothing to tune.
+        table.row({TextTable::num(threshold_ms, 0), "0", "-", "-",
+                   "DTA infeasible"});
+      }
+    }
+    table.print(std::cout);
+    std::cout << "The 100 ms paper threshold keeps the five main regions; "
+                 "raising it collapses regions\n(losing per-region "
+                 "opportunity), lowering it admits more switch points.\n\n";
+  }
+
+  // --- 3. Scenario grouping ---------------------------------------------
+  {
+    hwsim::NodeSimulator node(hwsim::haswell_ep_spec(), 0, Rng(0xAB23));
+    node.set_jitter(0.002);
+    core::DvfsUfsPlugin plugin(trained);
+    const auto dta = plugin.run_dta(app, node);
+    std::size_t grouped = dta.tuning_model.scenarios().size();
+    std::size_t ungrouped = dta.tuning_model.region_count();
+    std::cout << "Scenario grouping (System-Scenario methodology, Sec. "
+                 "III-D):\n  regions in tuning model : "
+              << ungrouped << "\n  scenarios after grouping: " << grouped
+              << "\n  lookup table shrinkage  : "
+              << TextTable::num(
+                     100.0 * (1.0 - static_cast<double>(grouped) /
+                                        static_cast<double>(ungrouped)),
+                     0)
+              << "%\nRegions sharing a configuration never trigger "
+                 "back-to-back switches, which is\nexactly why grouping "
+                 "reduces the dynamic-switching overhead.\n";
+  }
+  return 0;
+}

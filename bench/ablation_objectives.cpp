@@ -1,0 +1,59 @@
+// Extension (paper Sec. VI future work): tuning under the alternative
+// energy-based objectives EDP, ED2P and TCO. For each objective the static
+// optimum of every evaluation benchmark is computed, showing how the
+// optimum shifts toward higher frequencies as the objective weights time
+// more heavily.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "baseline/static_tuner.hpp"
+#include "common/table.hpp"
+#include "ptf/objectives.hpp"
+
+using namespace ecotune;
+
+int main() {
+  bench::banner("Ablation -- tuning objectives (energy / EDP / ED2P / TCO)",
+                "Sec. VI outlook: support for other energy-based tuning "
+                "objectives");
+
+  hwsim::NodeSimulator node(hwsim::haswell_ep_spec(), 0, Rng(0xAB10));
+  node.set_jitter(0.0);
+
+  const std::vector<std::string> objectives{"energy", "edp", "ed2p", "tco",
+                                            "time"};
+  baseline::StaticTunerOptions opts;
+  opts.cf_stride = 1;
+  opts.ucf_stride = 1;
+  baseline::StaticTuner tuner(node, opts);
+
+  for (const auto& name : workload::BenchmarkSuite::evaluation_names()) {
+    TextTable table("Optimal static configuration of " + name +
+                    " per objective");
+    table.header({"objective", "thr", "CF", "UCF", "E vs energy-best",
+                  "T vs energy-best"});
+    const auto& app = workload::BenchmarkSuite::by_name(name);
+
+    // Reference: the energy-optimal point.
+    const auto energy_best = tuner.tune(app, ptf::EnergyObjective{});
+    for (const auto& obj_name : objectives) {
+      const auto obj = ptf::make_objective(obj_name);
+      const auto result = tuner.tune(app, *obj);
+      table.row(
+          {std::string(obj_name), std::to_string(result.best.threads),
+           TextTable::num(result.best.core.as_ghz(), 2),
+           TextTable::num(result.best.uncore.as_ghz(), 2),
+           TextTable::pct(100.0 * (result.best_point.node_energy /
+                                       energy_best.best_point.node_energy -
+                                   1.0)),
+           TextTable::pct(100.0 * (result.best_point.time /
+                                       energy_best.best_point.time -
+                                   1.0))});
+    }
+    table.print(std::cout);
+  }
+  std::cout << "Expected monotonicity: energy -> EDP -> ED2P -> time "
+               "raises core frequency\n(and for memory-bound codes the "
+               "uncore frequency) toward the performance corner.\n";
+  return 0;
+}

@@ -1,0 +1,41 @@
+#include "bench_common.hpp"
+
+namespace ecotune::bench {
+
+void banner(const std::string& title, const std::string& paper_reference) {
+  std::cout << "\n================================================================\n"
+            << title << '\n'
+            << "Reproduces: " << paper_reference << '\n'
+            << "Paper: Chadha & Gerndt, \"Modelling DVFS and UFS for "
+               "Region-Based\n       Energy Aware Tuning of HPC "
+               "Applications\", IPDPS(W) 2019\n"
+            << "================================================================\n\n";
+}
+
+model::AcquisitionOptions paper_acquisition_options() {
+  model::AcquisitionOptions opts;
+  opts.thread_counts = {12, 16, 20, 24};
+  opts.cf_stride = 1;
+  opts.ucf_stride = 1;
+  opts.phase_iterations = 2;
+  return opts;
+}
+
+model::EnergyDataset acquire_dataset(
+    hwsim::NodeSimulator& node,
+    const std::vector<workload::Benchmark>& benchmarks,
+    model::AcquisitionOptions options) {
+  model::DataAcquisition acq(node, options);
+  return acq.acquire(benchmarks);
+}
+
+model::EnergyModel train_final_model(hwsim::NodeSimulator& node) {
+  const auto dataset = acquire_dataset(
+      node, workload::BenchmarkSuite::training_set(),
+      paper_acquisition_options());
+  model::EnergyModel model;
+  model.train(dataset, 10);
+  return model;
+}
+
+}  // namespace ecotune::bench

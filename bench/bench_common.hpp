@@ -1,0 +1,31 @@
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "hwsim/cluster.hpp"
+#include "model/dataset.hpp"
+#include "model/energy_model.hpp"
+#include "workload/suite.hpp"
+
+namespace ecotune::bench {
+
+/// Prints a banner identifying the reproduced paper artifact.
+void banner(const std::string& title, const std::string& paper_reference);
+
+/// Paper-faithful acquisition options: threads 12..24 step 4, full CF x UCF
+/// grid, two phase iterations per acquisition run.
+[[nodiscard]] model::AcquisitionOptions paper_acquisition_options();
+
+/// Acquires the full training dataset over `benchmarks` on `node`.
+[[nodiscard]] model::EnergyDataset acquire_dataset(
+    hwsim::NodeSimulator& node,
+    const std::vector<workload::Benchmark>& benchmarks,
+    model::AcquisitionOptions options);
+
+/// Trains the paper's final energy model: fit on the 14 training benchmarks
+/// for 10 epochs (Sec. V-B).
+[[nodiscard]] model::EnergyModel train_final_model(
+    hwsim::NodeSimulator& node);
+
+}  // namespace ecotune::bench

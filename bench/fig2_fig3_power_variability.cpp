@@ -1,0 +1,114 @@
+// Reproduces paper Figs. 2 and 3: node energy for Lulesh across several
+// compute nodes while sweeping core frequency (uncore fixed at 1.5 GHz) and
+// uncore frequency (core fixed at 2.0 GHz), raw and normalized at the
+// calibration point. Demonstrates the power-variability pitfall and why the
+// model is trained on normalized energy.
+#include <iomanip>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "instr/scorep_runtime.hpp"
+
+using namespace ecotune;
+
+namespace {
+
+constexpr int kNodes = 4;
+
+double run_energy(hwsim::NodeSimulator& node, const workload::Benchmark& app,
+                  int cf_mhz, int ucf_mhz) {
+  return instr::run_uninstrumented(
+             app, node,
+             SystemConfig{24, CoreFreq::mhz(cf_mhz),
+                          UncoreFreq::mhz(ucf_mhz)})
+      .node_energy.value();
+}
+
+void sweep(hwsim::Cluster& cluster, const workload::Benchmark& app,
+           bool sweep_core) {
+  const auto& spec = cluster.spec();
+  const char* what = sweep_core ? "core frequency (UCF = 1.5 GHz)"
+                                : "uncore frequency (CF = 2.0 GHz)";
+  std::cout << (sweep_core ? "--- Fig. 2: " : "--- Fig. 3: ")
+            << "node energy vs " << what << " ---\n";
+
+  std::vector<int> freqs;
+  if (sweep_core) {
+    for (auto f : spec.core_grid.values()) freqs.push_back(f.as_mhz());
+  } else {
+    for (auto f : spec.uncore_grid.values()) freqs.push_back(f.as_mhz());
+  }
+
+  // Raw energies per node (Figs. 2a / 3a).
+  std::vector<std::vector<double>> raw(kNodes);
+  for (int n = 0; n < kNodes; ++n) {
+    auto& node = cluster.node(n);
+    for (int f : freqs) {
+      raw[n].push_back(sweep_core ? run_energy(node, app, f, 1500)
+                                  : run_energy(node, app, 2000, f));
+    }
+  }
+  // Normalization reference: E at 2.0|1.5 GHz per node (Sec. IV-B).
+  std::vector<double> reference(kNodes);
+  for (int n = 0; n < kNodes; ++n)
+    reference[n] = run_energy(cluster.node(n), app, 2000, 1500);
+
+  TextTable ta(sweep_core ? "Fig. 2a: node energy (J), per compute node"
+                          : "Fig. 3a: node energy (J), per compute node");
+  TextTable tb(sweep_core
+                   ? "Fig. 2b: normalized node energy, per compute node"
+                   : "Fig. 3b: normalized node energy, per compute node");
+  std::vector<std::string> header{"freq"};
+  for (int n = 0; n < kNodes; ++n) header.push_back("run " + std::to_string(n + 1));
+  ta.header(header);
+  tb.header(header);
+  for (std::size_t i = 0; i < freqs.size(); ++i) {
+    std::vector<std::string> ra{TextTable::num(freqs[i] / 1000.0, 1) + "GHz"};
+    std::vector<std::string> rb = ra;
+    for (int n = 0; n < kNodes; ++n) {
+      ra.push_back(TextTable::num(raw[n][i], 1));
+      rb.push_back(TextTable::num(raw[n][i] / reference[n], 4));
+    }
+    ta.row(ra);
+    tb.row(rb);
+  }
+  ta.print(std::cout);
+  tb.print(std::cout);
+
+  // Spread statistics: normalization must shrink the node-to-node spread.
+  double raw_spread = 0.0, norm_spread = 0.0;
+  for (std::size_t i = 0; i < freqs.size(); ++i) {
+    double rlo = 1e300, rhi = 0, nlo = 1e300, nhi = 0;
+    for (int n = 0; n < kNodes; ++n) {
+      rlo = std::min(rlo, raw[n][i]);
+      rhi = std::max(rhi, raw[n][i]);
+      const double nv = raw[n][i] / reference[n];
+      nlo = std::min(nlo, nv);
+      nhi = std::max(nhi, nv);
+    }
+    raw_spread = std::max(raw_spread, (rhi - rlo) / rlo);
+    norm_spread = std::max(norm_spread, (nhi - nlo) / nlo);
+  }
+  std::cout << "max node-to-node spread: raw "
+            << TextTable::pct(100 * raw_spread, 2) << "  ->  normalized "
+            << TextTable::pct(100 * norm_spread, 2)
+            << "   (normalization cancels per-node power variability)\n\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Figs. 2 and 3 -- Power variability across compute nodes",
+                "Lulesh, 1 MPI process x 24 OpenMP threads, 4 distinct "
+                "nodes (Sec. IV-B)");
+
+  hwsim::Cluster cluster(hwsim::haswell_ep_spec(), 0x7A07);
+  for (int n = 0; n < kNodes; ++n) cluster.node(n).set_jitter(0.002);
+  const auto app =
+      workload::BenchmarkSuite::by_name("Lulesh").with_iterations(3);
+
+  sweep(cluster, app, /*sweep_core=*/true);
+  sweep(cluster, app, /*sweep_core=*/false);
+  return 0;
+}

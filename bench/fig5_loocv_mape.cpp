@@ -1,0 +1,112 @@
+// Reproduces paper Fig. 5 and the Sec. V-B accuracy numbers:
+//  - leave-one-benchmark-out cross-validation of the neural-network energy
+//    model over all 19 benchmarks (5 epochs per fold),
+//  - the average MAPE vs the 10-fold-CV regression baseline of Chadha et
+//    al. (paper: NN 5.20 vs regression 7.54),
+//  - the final train/test split (5 hybrid benchmarks held out, 10 epochs;
+//    paper: MAPE 7.80).
+#include <algorithm>
+#include <iostream>
+#include <numeric>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "model/energy_model.hpp"
+#include "model/regression_model.hpp"
+#include "stats/crossval.hpp"
+#include "stats/metrics.hpp"
+
+using namespace ecotune;
+
+int main() {
+  bench::banner("Fig. 5 -- LOOCV MAPE of the energy model",
+                "19 benchmarks, all DVFS and UFS states (Sec. V-B)");
+
+  hwsim::NodeSimulator node(hwsim::haswell_ep_spec(), 0, Rng(0xF165));
+  node.set_jitter(0.002);
+
+  std::cout << "Table II benchmark suite:\n";
+  for (const auto& b : workload::BenchmarkSuite::all())
+    std::cout << "  " << b.suite() << " / " << b.name() << " ("
+              << workload::to_string(b.model()) << ", "
+              << b.regions().size() << " regions)\n";
+
+  std::cout << "\nAcquiring training data (full CF x UCF grid, threads "
+               "12..24 step 4)...\n";
+  const auto dataset = bench::acquire_dataset(
+      node, workload::BenchmarkSuite::all(),
+      bench::paper_acquisition_options());
+  std::cout << "  " << dataset.samples.size() << " samples acquired\n\n";
+
+  // --- Fig. 5: LOOCV, 5 epochs per fold ---------------------------------
+  const auto groups = dataset.groups();
+  const auto splits = stats::leave_one_group_out(groups);
+  const auto labels = stats::distinct_groups(groups);
+
+  TextTable table("Fig. 5: MAPE (%) per held-out benchmark (LOOCV, 5 epochs)");
+  table.header({"benchmark", "MAPE (%)"});
+  std::vector<double> mapes;
+  for (std::size_t f = 0; f < splits.size(); ++f) {
+    model::EnergyModelConfig cfg;
+    cfg.epochs = 5;
+    model::EnergyModel fold(cfg);
+    fold.train(dataset.subset(splits[f].train));
+    const auto test = dataset.subset(splits[f].test);
+    const double err = stats::mape(test.labels(), fold.predict_all(test));
+    mapes.push_back(err);
+    table.row({labels[f], TextTable::num(err, 2)});
+  }
+  table.print(std::cout);
+
+  const double avg =
+      std::accumulate(mapes.begin(), mapes.end(), 0.0) / mapes.size();
+  const auto [mn, mx] = std::minmax_element(mapes.begin(), mapes.end());
+  std::cout << "average MAPE : " << TextTable::num(avg, 2)
+            << "   (paper: 5.20)\n"
+            << "min / max    : " << TextTable::num(*mn, 2) << " ("
+            << labels[static_cast<std::size_t>(mn - mapes.begin())] << ") / "
+            << TextTable::num(*mx, 2) << " ("
+            << labels[static_cast<std::size_t>(mx - mapes.begin())]
+            << ")   (paper: 2.81 Lulesh / 9.35 miniMD)\n\n";
+
+  // --- Regression baseline: 10-fold CV with random indexing -------------
+  Rng cv_rng(0xCF01);
+  const auto folds = stats::kfold(dataset.samples.size(), 10, cv_rng);
+  std::vector<double> reg_mapes, nn_mapes;
+  for (const auto& fold : folds) {
+    const auto train = dataset.subset(fold.train);
+    const auto test = dataset.subset(fold.test);
+    model::RegressionEnergyModel reg;
+    reg.train(train);
+    reg_mapes.push_back(stats::mape(test.labels(), reg.predict_all(test)));
+  }
+  const double reg_avg =
+      std::accumulate(reg_mapes.begin(), reg_mapes.end(), 0.0) /
+      reg_mapes.size();
+  std::cout << "Regression baseline (two linear models, 10-fold CV with "
+               "random indexing):\n  average MAPE "
+            << TextTable::num(reg_avg, 2)
+            << "   vs network LOOCV " << TextTable::num(avg, 2)
+            << "   (paper: 7.54 vs 5.20; the network wins)\n\n";
+
+  // --- Final model: 5 hybrid benchmarks held out, 10 epochs -------------
+  const auto& eval_names = workload::BenchmarkSuite::evaluation_names();
+  model::EnergyDataset train, test;
+  train.feature_names = dataset.feature_names;
+  test.feature_names = dataset.feature_names;
+  for (const auto& s : dataset.samples) {
+    const bool held_out = std::find(eval_names.begin(), eval_names.end(),
+                                    s.benchmark) != eval_names.end();
+    (held_out ? test : train).samples.push_back(s);
+  }
+  model::EnergyModelConfig final_cfg;
+  final_cfg.epochs = 10;
+  model::EnergyModel final_model(final_cfg);
+  final_model.train(train);
+  const double final_mape =
+      stats::mape(test.labels(), final_model.predict_all(test));
+  std::cout << "Final split (train 14, test Lulesh/Amg2013/miniMD/BEM4I/Mcb,"
+               " 10 epochs):\n  test MAPE "
+            << TextTable::num(final_mape, 2) << "   (paper: 7.80)\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Reproduces paper Table I: the PAPI counters selected by the stepwise
+// regression algorithm (Chadha et al., IPDPSW'17) with the VIF
+// multicollinearity guard, over all 19 benchmarks at the calibration
+// configuration.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "model/dataset.hpp"
+#include "pmc/counter_sampler.hpp"
+#include "stats/feature_selection.hpp"
+
+using namespace ecotune;
+
+int main() {
+  bench::banner("Table I -- Selected performance counters",
+                "counter-selection algorithm of Sec. IV-B over all "
+                "workloads");
+
+  hwsim::NodeSimulator node(hwsim::haswell_ep_spec(), 0, Rng(0xBEEF));
+  node.set_jitter(0.002);
+
+  model::AcquisitionOptions opts = bench::paper_acquisition_options();
+  model::DataAcquisition acq(node, opts);
+  std::cout << "Collecting all 56 preset counters for 19 benchmarks x 4 "
+               "thread counts\n(4 hardware counters per run -> "
+            << pmc::CounterSampler::runs_required(56)
+            << " multiplexed runs per configuration)...\n";
+  const auto survey = acq.survey_counters(workload::BenchmarkSuite::all());
+  std::cout << "  " << acq.runs_performed() << " application runs, "
+            << survey.rates.rows() << " samples x " << survey.rates.cols()
+            << " counters\n\n";
+
+  stats::SelectionOptions sel;
+  sel.max_features = 7;  // the paper selects seven counters
+  sel.vif_limit = 10.0;
+  sel.min_improvement = 1e-4;
+  const auto result =
+      stats::select_features(survey.rates, survey.mean_node_power, sel);
+
+  TextTable table(
+      "Table I: Selected performance counters based on all workloads");
+  table.header({"Counter", "mean VIF"});
+  for (std::size_t i = 0; i < result.selected.size(); ++i) {
+    const auto event = hwsim::all_pmu_events()[result.selected[i]];
+    std::string name(hwsim::pmu_event_name(event));
+    // The paper lists counters without the PAPI_ prefix.
+    if (name.rfind("PAPI_", 0) == 0) name = name.substr(5);
+    table.row({name, i == 0 ? "n/a" : TextTable::num(result.vifs[i], 3)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nmean VIF of the selected set : "
+            << TextTable::num(result.mean_vif, 3)
+            << "  (paper: low, well below the harmful threshold of 10)\n"
+            << "adjusted R^2 of power fit    : "
+            << TextTable::num(result.adjusted_r_squared, 4) << '\n'
+            << "\nPaper Table I selects: BR_NTK, LD_INS, L2_ICR, BR_MSP, "
+               "RES_STL, SR_INS, L2_DCR\n"
+            << "(exact membership depends on the counter noise realization; "
+               "the reproduced\nproperty is: ~7 counters, mutually "
+               "independent (VIF << 10), spanning branch,\nload/store, "
+               "cache and stall behaviour).\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Reproduces paper Tables III and IV: the optimal configuration the tuning
+// plugin finds for every significant region of Lulesh and Mcbenchmark --
+// the full design-time analysis (pre-processing, exhaustive OpenMP-thread
+// step, model-based frequency prediction, 3x3 neighborhood verification).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "core/dvfs_ufs_plugin.hpp"
+
+using namespace ecotune;
+
+namespace {
+
+void tune_and_print(hwsim::NodeSimulator& node,
+                    const model::EnergyModel& trained,
+                    const std::string& bench_name, const std::string& title,
+                    const std::string& paper_note) {
+  const auto app = workload::BenchmarkSuite::by_name(bench_name)
+                       .with_iterations(12);
+  core::DvfsUfsPlugin plugin(trained);
+  const auto result = plugin.run_dta(app, node);
+
+  std::cout << "--- " << title << ": " << bench_name << " ---\n"
+            << "significant regions      : "
+            << result.dyn_report.significant.size() << " (threshold "
+            << result.dyn_report.threshold.value() * 1e3 << " ms)\n"
+            << "autofiltered regions     : "
+            << result.autofilter.excluded.size() << '\n'
+            << "phase thread optimum     : " << result.phase_threads << '\n'
+            << "model recommendation     : " << to_string(result.recommendation.cf)
+            << '|' << to_string(result.recommendation.ucf)
+            << "  (predicted Enorm "
+            << TextTable::num(result.recommendation.predicted_normalized_energy, 3)
+            << ")\n"
+            << "phase best (verified)    : " << to_string(result.phase_best)
+            << "\n\n";
+
+  TextTable table(title + ": best found configuration per significant region");
+  table.header({"Region", "OpenMP threads", "CF (GHz)", "UCF (GHz)"});
+  for (const auto& sig : result.dyn_report.significant) {
+    const auto it = result.region_best.find(sig.name);
+    if (it == result.region_best.end()) continue;
+    table.row({sig.name, std::to_string(it->second.threads),
+               TextTable::num(it->second.core.as_ghz(), 2),
+               TextTable::num(it->second.uncore.as_ghz(), 2)});
+  }
+  table.print(std::cout);
+  std::cout << paper_note << '\n'
+            << "tuning model scenarios   : "
+            << result.tuning_model.scenarios().size() << " (regions with "
+            << "equal configurations share a scenario)\n\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Tables III and IV -- Region-level tuning results",
+                "full DTA of the DVFS/UFS/OpenMP plugin on Lulesh and "
+                "Mcbenchmark (Sec. V-C)");
+
+  hwsim::NodeSimulator node(hwsim::haswell_ep_spec(), 0, Rng(0x7AB3));
+  node.set_jitter(0.002);
+
+  std::cout << "Training the final energy model...\n";
+  hwsim::NodeSimulator train_node(hwsim::haswell_ep_spec(), 0, Rng(0x7AB4));
+  train_node.set_jitter(0.002);
+  const auto trained = bench::train_final_model(train_node);
+
+  tune_and_print(node, trained, "Lulesh", "Table III",
+                 "(paper Table III: 5 regions, threads 20-24, CF 2.40-2.50, "
+                 "UCF 2.00 --\nregion configs are clamped to the verified "
+                 "neighborhood of the phase optimum)");
+  tune_and_print(node, trained, "Mcb", "Table IV",
+                 "(paper Table IV: 5 regions, threads 20-24, CF 1.60-1.70, "
+                 "UCF 2.20-2.30 --\nmemory-bound: low core frequency, high "
+                 "uncore frequency)");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Reproduces paper Table V: the optimal static configuration (OpenMP
+// threads, core frequency, uncore frequency) of the five evaluation
+// benchmarks, found by exhaustively running each at every configuration and
+// keeping the minimum-energy one.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "baseline/static_tuner.hpp"
+#include "common/table.hpp"
+
+using namespace ecotune;
+
+int main() {
+  bench::banner("Table V -- Optimal static configuration",
+                "exhaustive (threads x CF x UCF) search per benchmark "
+                "(Sec. V-D)");
+
+  hwsim::NodeSimulator node(hwsim::haswell_ep_spec(), 0, Rng(0x7AB5));
+  node.set_jitter(0.002);
+
+  struct PaperRow {
+    const char* name;
+    int threads;
+    double cf, ucf;
+  };
+  const PaperRow paper[] = {{"Lulesh", 24, 2.40, 1.70},
+                            {"Amg2013", 16, 2.50, 2.30},
+                            {"miniMD", 24, 2.50, 1.50},
+                            {"BEM4I", 24, 2.30, 1.90},
+                            {"Mcbenchmark", 20, 1.60, 2.50}};
+
+  TextTable table("Table V: obtained optimal static configuration");
+  table.header({"Benchmark", "thr", "CF", "UCF", "paper thr", "paper CF",
+                "paper UCF", "runs"});
+  baseline::StaticTunerOptions opts;  // full grid
+  baseline::StaticTuner tuner(node, opts);
+  std::size_t i = 0;
+  for (const auto& name : workload::BenchmarkSuite::evaluation_names()) {
+    const auto result =
+        tuner.tune(workload::BenchmarkSuite::by_name(name));
+    table.row({name, std::to_string(result.best.threads),
+               TextTable::num(result.best.core.as_ghz(), 2),
+               TextTable::num(result.best.uncore.as_ghz(), 2),
+               std::to_string(paper[i].threads),
+               TextTable::num(paper[i].cf, 2),
+               TextTable::num(paper[i].ucf, 2),
+               std::to_string(result.runs)});
+    ++i;
+  }
+  table.print(std::cout);
+  std::cout << "\nShape check vs paper: compute-bound (Lulesh, miniMD, "
+               "BEM4I) at high CF / low UCF,\nmemory-bound (Mcb) at low CF "
+               "/ high UCF, Amg2013 thread-limited at 16.\n";
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Reproduces paper Table VI: static vs dynamic tuning savings for the five
+// evaluation benchmarks -- job energy (sacct), CPU energy (measure-rapl)
+// and time, relative to the default configuration (24 threads, 2.5|3.0
+// GHz), plus the decomposition of the dynamic slowdown into the
+// configuration effect and the DVFS/UFS/Score-P overhead.
+#include <iostream>
+#include <numeric>
+
+#include "bench_common.hpp"
+#include "common/table.hpp"
+#include "core/evaluation.hpp"
+
+using namespace ecotune;
+
+int main() {
+  bench::banner("Table VI -- Static and dynamic tuning results",
+                "savings relative to the 24 thr / 2.5|3.0 GHz default, "
+                "averaged over 5 runs (Sec. V-D/E)");
+
+  std::cout << "Training the final energy model...\n";
+  hwsim::NodeSimulator train_node(hwsim::haswell_ep_spec(), 0, Rng(0x7AB6));
+  train_node.set_jitter(0.002);
+  const auto trained = bench::train_final_model(train_node);
+
+  hwsim::NodeSimulator node(hwsim::haswell_ep_spec(), 0, Rng(0x7AB7));
+  node.set_jitter(0.002);
+
+  core::SavingsOptions opts;
+  opts.repeats = 5;
+  core::SavingsEvaluator evaluator(node, trained, opts);
+
+  TextTable table("Table VI: static and dynamic tuning savings (%)");
+  table.header({"Benchmark", "static job E", "static CPU E", "static time",
+                "dyn job E", "dyn CPU E", "dyn time", "perf red. (cfg)",
+                "overhead"});
+
+  double s_job = 0, s_cpu = 0, d_job = 0, d_cpu = 0;
+  std::vector<core::SavingsRow> rows;
+  for (const auto& name : workload::BenchmarkSuite::evaluation_names()) {
+    const auto app =
+        workload::BenchmarkSuite::by_name(name).with_iterations(12);
+    const auto row = evaluator.evaluate(app);
+    rows.push_back(row);
+    table.row({name, TextTable::pct(row.static_job_energy_pct),
+               TextTable::pct(row.static_cpu_energy_pct),
+               TextTable::pct(row.static_time_pct),
+               TextTable::pct(row.dynamic_job_energy_pct),
+               TextTable::pct(row.dynamic_cpu_energy_pct),
+               TextTable::pct(row.dynamic_time_pct),
+               TextTable::pct(row.perf_reduction_config_pct),
+               TextTable::pct(row.overhead_pct)});
+    s_job += row.static_job_energy_pct;
+    s_cpu += row.static_cpu_energy_pct;
+    d_job += row.dynamic_job_energy_pct;
+    d_cpu += row.dynamic_cpu_energy_pct;
+  }
+  const double n = static_cast<double>(rows.size());
+  table.separator();
+  table.row({"average", TextTable::pct(s_job / n), TextTable::pct(s_cpu / n),
+             "", TextTable::pct(d_job / n), TextTable::pct(d_cpu / n), "",
+             "", ""});
+  table.print(std::cout);
+
+  std::cout << "\nPaper Table VI averages: static 3.5% job / 7.8% CPU; "
+               "dynamic 7.53% job / 16.1% CPU.\n"
+            << "Reproduced shape requirements:\n"
+            << "  dynamic CPU savings at parity or better    : "
+            << (d_cpu >= s_cpu - 1.0 * n ? "yes" : "NO") << '\n'
+            << "  CPU savings > job savings (node baseline)  : "
+            << (d_cpu / n > d_job / n && s_cpu / n > s_job / n ? "yes" : "NO")
+            << '\n';
+  bool dyn_slower = true, overhead_negative = true;
+  for (const auto& r : rows) {
+    dyn_slower &= r.dynamic_time_pct < 0.0;  // slower than the default run
+    overhead_negative &= r.overhead_pct < 0.0;
+  }
+  std::cout << "  dynamic tuning costs run time              : "
+            << (dyn_slower ? "yes" : "NO") << '\n'
+            << "  switching+Score-P overhead is negative     : "
+            << (overhead_negative ? "yes" : "NO") << '\n';
+
+  std::cout << "\nReproduction note: the paper reports dynamic tuning saving ~2x the CPU energy\n"
+               "of static tuning even where its own Table III assigns nearly all regions one\n"
+               "shared configuration (so per-region gains are structurally small). Under this\n"
+               "simulator's controlled protocol -- same node, an oracle exhaustive static\n"
+               "baseline, and instrumentation overhead charged to the dynamic run -- dynamic\n"
+               "tuning reaches parity on homogeneous applications and wins where regions\n"
+               "genuinely differ (thread-scaling heterogeneity). The paper's larger margin is\n"
+               "consistent with run-to-run / session variability in its bare-metal protocol.\n";
+
+  std::cout << "\nPer-benchmark tuning-model statistics:\n";
+  for (const auto& r : rows) {
+    std::cout << "  " << r.benchmark << ": "
+              << r.dta.tuning_model.region_count() << " regions in "
+              << r.dta.tuning_model.scenarios().size()
+              << " scenarios, " << r.dynamic_switches
+              << " switches per production run, static config "
+              << to_string(r.static_config) << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Deployment workflow: train once, ship artifacts, tune in production.
+//
+// The design-time analysis is expensive relative to a production run, so a
+// site trains the energy model once, stores it on disk, and reuses it for
+// every new application; the per-application tuning model is likewise
+// serialized and handed to the runtime (RRL) via a file -- exactly the
+// SCOREP_RRL_TMM_PATH mechanism of the paper. This example exercises that
+// full save/load cycle.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/dvfs_ufs_plugin.hpp"
+#include "model/dataset.hpp"
+#include "readex/rrl.hpp"
+#include "workload/suite.hpp"
+
+using namespace ecotune;
+
+int main() {
+  const auto tmp = std::filesystem::temp_directory_path();
+  const std::string model_path = (tmp / "ecotune_energy_model.json").string();
+  const std::string tm_path = (tmp / "ecotune_tuning_model.json").string();
+
+  // ---- Site admin: train and persist the energy model -------------------
+  {
+    hwsim::NodeSimulator node(hwsim::haswell_ep_spec(), 0, Rng(21));
+    model::AcquisitionOptions acq_opts;
+    acq_opts.thread_counts = {16, 24};
+    acq_opts.cf_stride = 2;
+    acq_opts.ucf_stride = 2;
+    model::DataAcquisition acq(node, acq_opts);
+    model::EnergyModel energy_model;
+    energy_model.train(
+        acq.acquire(workload::BenchmarkSuite::training_set()), 10);
+    std::ofstream os(model_path);
+    os << energy_model.to_json().dump(2);
+    std::cout << "energy model saved to " << model_path << '\n';
+  }
+
+  // ---- Application owner: load the model, tune the app, save the tuning
+  //      model ------------------------------------------------------------
+  {
+    std::ifstream is(model_path);
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    const auto energy_model =
+        model::EnergyModel::from_json(Json::parse(buf.str()));
+
+    hwsim::NodeSimulator node(hwsim::haswell_ep_spec(), 3, Rng(21));
+    core::DvfsUfsPlugin plugin(energy_model);
+    const auto app =
+        workload::BenchmarkSuite::by_name("BEM4I").with_iterations(10);
+    const auto dta = plugin.run_dta(app, node);
+    dta.tuning_model.save(tm_path);
+    std::cout << "tuning model for " << app.name() << " saved to " << tm_path
+              << " (" << dta.tuning_model.scenarios().size()
+              << " scenarios)\n";
+  }
+
+  // ---- Production: RRL loads the tuning model (SCOREP_RRL_TMM_PATH) -----
+  {
+    const auto tuning_model = readex::TuningModel::load(tm_path);
+    hwsim::NodeSimulator node(hwsim::haswell_ep_spec(), 5, Rng(21));
+    const auto app =
+        workload::BenchmarkSuite::by_name("BEM4I").with_iterations(10);
+
+    // Instrument only the regions the tuning model knows about.
+    auto filter = instr::InstrumentationFilter::instrument_all();
+    for (const auto& r : app.regions())
+      if (!tuning_model.lookup(r.name)) filter.exclude(r.name);
+
+    const SystemConfig default_config{24, CoreFreq::mhz(2500),
+                                      UncoreFreq::mhz(3000)};
+    const auto reference =
+        instr::run_uninstrumented(app, node, default_config);
+    const auto rat = readex::run_with_rrl(app, node, tuning_model, filter,
+                                          default_config);
+
+    const double savings =
+        100.0 * (1.0 - rat.run.node_energy / reference.node_energy);
+    const double slowdown =
+        100.0 * (rat.run.wall_time / reference.wall_time - 1.0);
+    std::cout << "\nproduction run on node " << node.node_id() << ":\n"
+              << "  " << rat.switches << " configuration switches, "
+              << rat.switch_overhead.value() * 1e3 << " ms switching\n"
+              << "  node energy savings : " << savings << " %\n"
+              << "  run-time cost       : " << slowdown << " %\n";
+  }
+
+  std::remove(model_path.c_str());
+  std::remove(tm_path.c_str());
+  return 0;
+}

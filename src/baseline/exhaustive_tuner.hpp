@@ -1,0 +1,52 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "hwsim/node.hpp"
+#include "ptf/objectives.hpp"
+#include "workload/benchmark.hpp"
+
+namespace ecotune::baseline {
+
+/// Options of the exhaustive per-region search.
+struct ExhaustiveTunerOptions {
+  std::vector<int> thread_counts{12, 16, 20, 24};
+  int cf_stride = 1;
+  int ucf_stride = 1;
+};
+
+/// Search result with both the actual simulated cost and the paper's cost
+/// formula for the approach of Sourouri et al. [7] (n x k x l x m full
+/// application runs, Sec. V-C).
+struct ExhaustiveTuningResult {
+  std::map<std::string, SystemConfig> region_best;
+  SystemConfig app_best;
+  long runs = 0;                 ///< full application runs performed
+  Seconds search_time{0};        ///< simulated wall time of the search
+  double formula_runs = 0;       ///< n * k * l * m (paper's accounting)
+  Seconds formula_time{0};       ///< formula_runs * t(one run)
+};
+
+/// The exhaustive dynamic-tuning baseline (Sourouri et al., SC'17): every
+/// region is manually instrumented and the full (threads x CF x UCF) space
+/// is searched with whole-application runs -- no significant-region
+/// filtering, no model-based search-space reduction. Used for the
+/// tuning-time comparison of paper Sec. V-C.
+class ExhaustiveTuner {
+ public:
+  ExhaustiveTuner(hwsim::NodeSimulator& node,
+                  ExhaustiveTunerOptions options = {});
+
+  [[nodiscard]] ExhaustiveTuningResult tune(
+      const workload::Benchmark& app,
+      const ptf::TuningObjective& objective = ptf::EnergyObjective{});
+
+ private:
+  hwsim::NodeSimulator& node_;
+  ExhaustiveTunerOptions options_;
+};
+
+}  // namespace ecotune::baseline

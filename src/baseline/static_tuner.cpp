@@ -1,0 +1,59 @@
+#include "baseline/static_tuner.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+#include "instr/scorep_runtime.hpp"
+
+namespace ecotune::baseline {
+
+StaticTuner::StaticTuner(hwsim::NodeSimulator& node,
+                         StaticTunerOptions options)
+    : node_(node), options_(options) {}
+
+StaticTuningResult StaticTuner::tune(const workload::Benchmark& app,
+                                     const ptf::TuningObjective& objective) {
+  const auto& spec = node_.spec();
+  const workload::Benchmark short_app =
+      app.with_iterations(options_.phase_iterations);
+
+  StaticTuningResult result;
+  double best_score = std::numeric_limits<double>::max();
+  const Seconds t0 = node_.now();
+
+  for (int threads : options_.thread_counts) {
+    for (std::size_t ci = 0; ci < spec.core_grid.size();
+         ci += static_cast<std::size_t>(options_.cf_stride)) {
+      for (std::size_t ui = 0; ui < spec.uncore_grid.size();
+           ui += static_cast<std::size_t>(options_.ucf_stride)) {
+        StaticPoint p;
+        p.config = SystemConfig{threads, spec.core_grid.at(ci),
+                                spec.uncore_grid.at(ui)};
+        const auto run =
+            instr::run_uninstrumented(short_app, node_, p.config);
+        p.node_energy = run.node_energy;
+        p.cpu_energy = run.cpu_energy;
+        p.time = run.wall_time;
+        ++result.runs;
+
+        ptf::Measurement m;
+        m.node_energy = p.node_energy;
+        m.cpu_energy = p.cpu_energy;
+        m.time = p.time;
+        m.count = 1;
+        const double score = objective.evaluate(m);
+        if (score < best_score) {
+          best_score = score;
+          result.best = p.config;
+          result.best_point = p;
+        }
+        result.evaluated.push_back(std::move(p));
+      }
+    }
+  }
+  result.search_time = node_.now() - t0;
+  ensure(result.runs > 0, "StaticTuner::tune: empty search space");
+  return result;
+}
+
+}  // namespace ecotune::baseline

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <vector>
+
+#include "common/config.hpp"
+#include "hwsim/node.hpp"
+#include "ptf/objectives.hpp"
+#include "workload/benchmark.hpp"
+
+namespace ecotune::baseline {
+
+/// Options of the whole-application (static) configuration search.
+struct StaticTunerOptions {
+  std::vector<int> thread_counts{12, 16, 20, 24};
+  /// Stride over the frequency grids (1 = exhaustive, paper Table V).
+  int cf_stride = 1;
+  int ucf_stride = 1;
+  /// Search runs use shortened phase loops.
+  int phase_iterations = 2;
+};
+
+/// One evaluated configuration.
+struct StaticPoint {
+  SystemConfig config;
+  Joules node_energy{0};
+  Joules cpu_energy{0};
+  Seconds time{0};
+};
+
+/// Search result.
+struct StaticTuningResult {
+  SystemConfig best;
+  StaticPoint best_point;
+  long runs = 0;
+  Seconds search_time{0};
+  std::vector<StaticPoint> evaluated;  ///< every point, search order
+};
+
+/// The static-tuning baseline of paper Sec. V-D / Table V: run the whole
+/// (uninstrumented) application at every (threads, CF, UCF) combination and
+/// keep the configuration minimizing the objective. The best static
+/// configuration equals the best phase-region configuration.
+class StaticTuner {
+ public:
+  StaticTuner(hwsim::NodeSimulator& node, StaticTunerOptions options = {});
+
+  [[nodiscard]] StaticTuningResult tune(
+      const workload::Benchmark& app,
+      const ptf::TuningObjective& objective = ptf::EnergyObjective{});
+
+ private:
+  hwsim::NodeSimulator& node_;
+  StaticTunerOptions options_;
+};
+
+}  // namespace ecotune::baseline

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "common/units.hpp"
+
+namespace ecotune {
+
+/// One complete hardware/runtime operating point -- the triple the paper
+/// tunes per region: OpenMP threads, core frequency (DVFS), uncore frequency
+/// (UFS).
+struct SystemConfig {
+  int threads = 24;
+  CoreFreq core = CoreFreq::mhz(2500);
+  UncoreFreq uncore = UncoreFreq::mhz(3000);
+
+  friend bool operator==(const SystemConfig&, const SystemConfig&) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, const SystemConfig& c) {
+    return os << c.threads << " thr, " << c.core << '|' << c.uncore;
+  }
+};
+
+/// "24 thr, 2.5GHz|3.0GHz"-style display string.
+[[nodiscard]] inline std::string to_string(const SystemConfig& c) {
+  std::ostringstream os;
+  os << c;
+  return os.str();
+}
+
+}  // namespace ecotune

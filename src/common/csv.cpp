@@ -1,0 +1,39 @@
+#include "common/csv.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace ecotune {
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) os_ << ',';
+    os_ << escape(cells[i]);
+  }
+  os_ << '\n';
+}
+
+void CsvWriter::row_numeric(const std::vector<double>& values) {
+  std::ostringstream tmp;
+  tmp << std::setprecision(17);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) tmp << ',';
+    tmp << values[i];
+  }
+  os_ << tmp.str() << '\n';
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  const bool needs_quote =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace ecotune

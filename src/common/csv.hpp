@@ -1,0 +1,27 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ecotune {
+
+/// Minimal CSV writer with RFC-4180 quoting; benches dump series with it so
+/// figures can be re-plotted outside the harness.
+class CsvWriter {
+ public:
+  /// Writes to `os`; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  /// Writes one row, quoting cells when needed.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience: writes a row of doubles with full precision.
+  void row_numeric(const std::vector<double>& values);
+
+ private:
+  static std::string escape(const std::string& cell);
+  std::ostream& os_;
+};
+
+}  // namespace ecotune

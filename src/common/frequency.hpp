@@ -1,0 +1,94 @@
+#pragma once
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace ecotune {
+
+/// Uniform grid of selectable frequencies [min, max] with fixed step, as
+/// exposed by cpufreq / the UFS MSR on the simulated machine. All values in
+/// MHz so that grid arithmetic is exact.
+template <class Tag>
+class FrequencyGrid {
+ public:
+  using Freq = FreqT<Tag>;
+
+  /// Builds the grid; `min`/`max` must be step-aligned and min <= max.
+  FrequencyGrid(Freq min, Freq max, int step_mhz)
+      : min_(min), max_(max), step_(step_mhz) {
+    ensure(step_mhz > 0, "FrequencyGrid: step must be positive");
+    ensure(min.as_mhz() <= max.as_mhz(), "FrequencyGrid: min > max");
+    ensure((max.as_mhz() - min.as_mhz()) % step_mhz == 0,
+           "FrequencyGrid: range not a multiple of step");
+  }
+
+  [[nodiscard]] Freq min() const { return min_; }
+  [[nodiscard]] Freq max() const { return max_; }
+  [[nodiscard]] int step_mhz() const { return step_; }
+
+  /// Number of grid points.
+  [[nodiscard]] std::size_t size() const {
+    return static_cast<std::size_t>((max_.as_mhz() - min_.as_mhz()) / step_) +
+           1;
+  }
+
+  /// i-th grid point, ascending.
+  [[nodiscard]] Freq at(std::size_t i) const {
+    ensure(i < size(), "FrequencyGrid::at: index out of range");
+    return Freq::mhz(min_.as_mhz() + static_cast<int>(i) * step_);
+  }
+
+  /// True iff `f` lies exactly on the grid.
+  [[nodiscard]] bool contains(Freq f) const {
+    return f.as_mhz() >= min_.as_mhz() && f.as_mhz() <= max_.as_mhz() &&
+           (f.as_mhz() - min_.as_mhz()) % step_ == 0;
+  }
+
+  /// Index of grid point `f`; throws if not on the grid.
+  [[nodiscard]] std::size_t index_of(Freq f) const {
+    ensure(contains(f), "FrequencyGrid::index_of: frequency not on grid");
+    return static_cast<std::size_t>((f.as_mhz() - min_.as_mhz()) / step_);
+  }
+
+  /// Nearest grid point to `f` (clamped to [min, max]).
+  [[nodiscard]] Freq clamp(Freq f) const {
+    int m = f.as_mhz();
+    if (m <= min_.as_mhz()) return min_;
+    if (m >= max_.as_mhz()) return max_;
+    const int offset = m - min_.as_mhz();
+    const int snapped = (offset + step_ / 2) / step_ * step_;
+    return Freq::mhz(min_.as_mhz() + snapped);
+  }
+
+  /// All grid points, ascending.
+  [[nodiscard]] std::vector<Freq> values() const {
+    std::vector<Freq> out;
+    out.reserve(size());
+    for (std::size_t i = 0; i < size(); ++i) out.push_back(at(i));
+    return out;
+  }
+
+  /// The immediate neighborhood {f - r*step .. f + r*step} clamped to the
+  /// grid; used for the plugin's reduced search space (paper Sec. III-C).
+  [[nodiscard]] std::vector<Freq> neighborhood(Freq f, int radius = 1) const {
+    ensure(contains(f), "FrequencyGrid::neighborhood: frequency not on grid");
+    std::vector<Freq> out;
+    for (int k = -radius; k <= radius; ++k) {
+      const int m = f.as_mhz() + k * step_;
+      if (m >= min_.as_mhz() && m <= max_.as_mhz()) out.push_back(Freq::mhz(m));
+    }
+    return out;
+  }
+
+ private:
+  Freq min_;
+  Freq max_;
+  int step_;
+};
+
+using CoreFreqGrid = FrequencyGrid<struct CoreFreqTag>;
+using UncoreFreqGrid = FrequencyGrid<struct UncoreFreqTag>;
+
+}  // namespace ecotune

@@ -1,0 +1,389 @@
+#include "common/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace ecotune {
+
+bool Json::as_bool() const {
+  ensure(is_bool(), "Json: not a bool");
+  return std::get<bool>(value_);
+}
+
+double Json::as_number() const {
+  ensure(is_number(), "Json: not a number");
+  return std::get<double>(value_);
+}
+
+int Json::as_int() const {
+  const double d = as_number();
+  return static_cast<int>(std::llround(d));
+}
+
+const std::string& Json::as_string() const {
+  ensure(is_string(), "Json: not a string");
+  return std::get<std::string>(value_);
+}
+
+const Json::Array& Json::as_array() const {
+  ensure(is_array(), "Json: not an array");
+  return std::get<Array>(value_);
+}
+
+Json::Array& Json::as_array() {
+  ensure(is_array(), "Json: not an array");
+  return std::get<Array>(value_);
+}
+
+const Json::Object& Json::as_object() const {
+  ensure(is_object(), "Json: not an object");
+  return std::get<Object>(value_);
+}
+
+Json::Object& Json::as_object() {
+  ensure(is_object(), "Json: not an object");
+  return std::get<Object>(value_);
+}
+
+Json& Json::operator[](const std::string& key) {
+  if (is_null()) value_ = Object{};
+  ensure(is_object(), "Json::operator[]: not an object");
+  return std::get<Object>(value_)[key];
+}
+
+const Json& Json::at(const std::string& key) const {
+  const auto& obj = as_object();
+  auto it = obj.find(key);
+  ensure(it != obj.end(), "Json::at: missing key '" + key + "'");
+  return it->second;
+}
+
+bool Json::contains(const std::string& key) const {
+  return is_object() && as_object().count(key) > 0;
+}
+
+void Json::push_back(Json v) {
+  if (is_null()) value_ = Array{};
+  ensure(is_array(), "Json::push_back: not an array");
+  std::get<Array>(value_).push_back(std::move(v));
+}
+
+namespace {
+
+void dump_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void dump_number(std::string& out, double d) {
+  if (d == std::llround(d) && std::fabs(d) < 1e15) {
+    out += std::to_string(std::llround(d));
+  } else {
+    std::ostringstream os;
+    os.precision(17);
+    os << d;
+    out += os.str();
+  }
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const std::string pad =
+      indent >= 0 ? std::string(static_cast<std::size_t>(indent) * (depth + 1), ' ')
+                  : std::string();
+  const std::string closepad =
+      indent >= 0 ? std::string(static_cast<std::size_t>(indent) * depth, ' ')
+                  : std::string();
+  const char* nl = indent >= 0 ? "\n" : "";
+
+  if (is_null()) {
+    out += "null";
+  } else if (is_bool()) {
+    out += as_bool() ? "true" : "false";
+  } else if (is_number()) {
+    dump_number(out, std::get<double>(value_));
+  } else if (is_string()) {
+    dump_string(out, std::get<std::string>(value_));
+  } else if (is_array()) {
+    const auto& arr = std::get<Array>(value_);
+    if (arr.empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    out += nl;
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+      out += pad;
+      arr[i].dump_to(out, indent, depth + 1);
+      if (i + 1 < arr.size()) out += ',';
+      out += nl;
+    }
+    out += closepad;
+    out += ']';
+  } else {
+    const auto& obj = std::get<Object>(value_);
+    if (obj.empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    out += nl;
+    std::size_t i = 0;
+    for (const auto& [k, v] : obj) {
+      out += pad;
+      dump_string(out, k);
+      out += indent >= 0 ? ": " : ":";
+      v.dump_to(out, indent, depth + 1);
+      if (++i < obj.size()) out += ',';
+      out += nl;
+    }
+    out += closepad;
+    out += '}';
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent JSON parser.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Json parse() {
+    skip_ws();
+    Json v = value();
+    skip_ws();
+    ensure(pos_ == text_.size(), "Json::parse: trailing garbage");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  char peek() {
+    ensure(pos_ < text_.size(), "Json::parse: unexpected end of input");
+    return text_[pos_];
+  }
+
+  char next() {
+    char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    ensure(next() == c, std::string("Json::parse: expected '") + c + "'");
+  }
+
+  bool consume_literal(const char* lit) {
+    std::size_t n = 0;
+    while (lit[n]) ++n;
+    if (text_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  Json value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return Json(string());
+      case 't':
+        ensure(consume_literal("true"), "Json::parse: bad literal");
+        return Json(true);
+      case 'f':
+        ensure(consume_literal("false"), "Json::parse: bad literal");
+        return Json(false);
+      case 'n':
+        ensure(consume_literal("null"), "Json::parse: bad literal");
+        return Json(nullptr);
+      default:
+        return number();
+    }
+  }
+
+  Json object() {
+    expect('{');
+    Json::Object obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Json(std::move(obj));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      obj[std::move(key)] = value();
+      skip_ws();
+      const char c = next();
+      if (c == '}') break;
+      ensure(c == ',', "Json::parse: expected ',' or '}' in object");
+    }
+    return Json(std::move(obj));
+  }
+
+  Json array() {
+    expect('[');
+    Json::Array arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Json(std::move(arr));
+    }
+    while (true) {
+      arr.push_back(value());
+      skip_ws();
+      const char c = next();
+      if (c == ']') break;
+      ensure(c == ',', "Json::parse: expected ',' or ']' in array");
+    }
+    return Json(std::move(arr));
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      char c = next();
+      if (c == '"') break;
+      if (c == '\\') {
+        char e = next();
+        switch (e) {
+          case '"':
+            out += '"';
+            break;
+          case '\\':
+            out += '\\';
+            break;
+          case '/':
+            out += '/';
+            break;
+          case 'n':
+            out += '\n';
+            break;
+          case 't':
+            out += '\t';
+            break;
+          case 'r':
+            out += '\r';
+            break;
+          case 'b':
+            out += '\b';
+            break;
+          case 'f':
+            out += '\f';
+            break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = next();
+              code <<= 4;
+              if (h >= '0' && h <= '9')
+                code += static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                code += static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                code += static_cast<unsigned>(h - 'A' + 10);
+              else
+                ensure(false, "Json::parse: bad \\u escape");
+            }
+            // UTF-8 encode (BMP only; surrogate pairs not needed here).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            ensure(false, "Json::parse: bad escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  Json number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    ensure(pos_ > start, "Json::parse: bad number");
+    try {
+      return Json(std::stod(text_.substr(start, pos_ - start)));
+    } catch (const std::exception&) {
+      throw Error("Json::parse: bad number '" +
+                  text_.substr(start, pos_ - start) + "'");
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(const std::string& text) { return Parser(text).parse(); }
+
+}  // namespace ecotune

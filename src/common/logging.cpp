@@ -1,0 +1,45 @@
+#include "common/logging.hpp"
+
+#include <iostream>
+#include <mutex>
+
+namespace ecotune::log {
+namespace {
+
+Level g_level = Level::kWarn;
+std::ostream* g_sink = nullptr;
+std::mutex g_mutex;
+
+constexpr std::string_view name_of(Level l) {
+  switch (l) {
+    case Level::kTrace:
+      return "TRACE";
+    case Level::kDebug:
+      return "DEBUG";
+    case Level::kInfo:
+      return "INFO";
+    case Level::kWarn:
+      return "WARN";
+    case Level::kError:
+      return "ERROR";
+    case Level::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_level(Level level) { g_level = level; }
+Level level() { return g_level; }
+void set_sink(std::ostream* sink) { g_sink = sink; }
+
+namespace detail {
+void emit(Level level, std::string_view component, const std::string& message) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  std::ostream& os = g_sink ? *g_sink : std::clog;
+  os << '[' << name_of(level) << "] [" << component << "] " << message << '\n';
+}
+}  // namespace detail
+
+}  // namespace ecotune::log

@@ -1,0 +1,76 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace ecotune {
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+constexpr std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+}
+
+Rng::Rng(const std::uint64_t (&state)[4]) {
+  for (int i = 0; i < 4; ++i) s_[i] = state[i];
+}
+
+Rng Rng::fork(std::string_view name) const {
+  std::uint64_t x = s_[0] ^ rotl(s_[2], 17) ^ fnv1a(name);
+  std::uint64_t st[4];
+  for (auto& s : st) s = splitmix64(x);
+  return Rng(st);
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform(double lo, double hi) {
+  const double u = static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  return lo + u * (hi - lo);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>((*this)() % span);
+}
+
+double Rng::normal(double mean, double stddev) {
+  if (has_spare_) {
+    has_spare_ = false;
+    return mean + stddev * spare_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 1e-300);
+  const double u2 = uniform();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  spare_ = mag * std::sin(2.0 * M_PI * u2);
+  has_spare_ = true;
+  return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+}  // namespace ecotune

@@ -1,0 +1,266 @@
+#include "core/dvfs_ufs_plugin.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "instr/scorep_runtime.hpp"
+#include "model/dataset.hpp"
+#include "model/features.hpp"
+#include "ptf/search_space.hpp"
+
+namespace ecotune::core {
+
+DvfsUfsPlugin::DvfsUfsPlugin(const model::EnergyModel& energy_model,
+                             Options options)
+    : energy_model_(energy_model),
+      options_(std::move(options)),
+      objective_(ptf::make_objective(options_.config.objective)) {
+  ensure(energy_model_.trained(),
+         "DvfsUfsPlugin: energy model must be trained");
+  ensure(options_.config.neighborhood_radius >= 0,
+         "DvfsUfsPlugin: negative neighborhood radius");
+}
+
+void DvfsUfsPlugin::initialize(ptf::PluginContext& ctx) {
+  node_ = &ctx.node();
+  app_ = &ctx.app();
+  result_ = DtaResult{};
+  step_ = Step::kThreads;
+
+  const auto& spec = node_->spec();
+  const Seconds t0 = node_->now();
+
+  // --- Pre-processing (paper Sec. III-A) --------------------------------
+  // 1. Compiler-instrumented profiling run at the default configuration.
+  instr::ExecutionContext profile_ctx(*node_);
+  profile_ctx.apply(SystemConfig{spec.total_cores(), spec.default_core,
+                                 spec.default_uncore});
+  instr::ScorepOptions profile_opts;
+  profile_opts.profiling = true;
+  instr::ScorepRuntime profiling_run(
+      *app_, instr::InstrumentationFilter::instrument_all(), profile_opts);
+  const auto profiled = profiling_run.execute(profile_ctx);
+  ensure(profiled.profile.has_value(),
+         "DvfsUfsPlugin: profiling run produced no profile");
+  ++result_.app_runs;
+
+  // 2. scorep-autofilter: drop fine-granular regions.
+  result_.autofilter = instr::scorep_autofilter(
+      *profiled.profile, options_.config.autofilter_granularity);
+
+  // 3. readex-dyn-detect: significant regions (mean time > threshold).
+  result_.dyn_report = readex::readex_dyn_detect(
+      *profiled.profile, options_.config.significance_threshold);
+  ensure(!result_.dyn_report.significant.empty(),
+         "DvfsUfsPlugin: no significant regions detected");
+
+  // 4. Experiment instrumentation: significant regions + phase only.
+  filter_ = instr::InstrumentationFilter::instrument_all();
+  for (const auto& r : app_->regions()) {
+    if (!result_.dyn_report.is_significant(r.name)) filter_.exclude(r.name);
+  }
+
+  result_.tuning_time += node_->now() - t0;
+  log::info("core") << "pre-processing done: "
+                    << result_.dyn_report.significant.size()
+                    << " significant regions";
+}
+
+instr::InstrumentationFilter DvfsUfsPlugin::instrumentation_filter() const {
+  return filter_;
+}
+
+SystemConfig DvfsUfsPlugin::scenario_base() const {
+  ensure(node_ != nullptr, "DvfsUfsPlugin: not initialized");
+  const auto& spec = node_->spec();
+  return SystemConfig{spec.total_cores(), spec.calibration_core,
+                      spec.calibration_uncore};
+}
+
+bool DvfsUfsPlugin::has_next_tuning_step() const {
+  return step_ != Step::kDone;
+}
+
+std::vector<ptf::Scenario> DvfsUfsPlugin::create_scenarios() {
+  ensure(node_ != nullptr && app_ != nullptr,
+         "DvfsUfsPlugin: not initialized");
+  const auto& spec = node_->spec();
+
+  if (step_ == Step::kThreads) {
+    // --- Tuning step 1: exhaustive OpenMP-thread search (Sec. III-B) ----
+    ptf::SearchSpace space;
+    space.add_parameter(ptf::omp_threads_parameter(
+        options_.config.omp_lower, spec.total_cores(),
+        options_.config.omp_step));
+    auto scenarios = space.exhaustive();
+    result_.thread_scenarios = static_cast<int>(scenarios.size());
+    return scenarios;
+  }
+
+  // --- Analysis + tuning step 2 (Sec. III-C) ----------------------------
+  // Analysis run(s): collect the model's PAPI counters for the phase region
+  // at the calibration frequencies and the step-1 thread optimum.
+  const Seconds t0 = node_->now();
+  model::AcquisitionOptions acq;
+  acq.phase_iterations = std::min(app_->phase_iterations(), 3);
+  model::DataAcquisition acquisition(*node_, acq);
+  result_.counter_rates = acquisition.collect_counter_rates(
+      *app_, result_.phase_threads, model::paper_feature_events());
+  result_.analysis_runs = static_cast<int>(acquisition.runs_performed());
+  result_.app_runs += result_.analysis_runs;
+  result_.tuning_time += node_->now() - t0;
+
+  // Model prediction: energy-minimal global core/uncore frequency in one
+  // shot -- this is the search-space reduction.
+  result_.recommendation = energy_model_.recommend(result_.counter_rates,
+                                                   spec);
+  log::info("core") << "model recommends "
+                    << to_string(result_.recommendation.cf) << '|'
+                    << to_string(result_.recommendation.ucf);
+
+  if (options_.config.per_region_prediction) {
+    // Sec. VI extension: predict for every significant region individually.
+    const Seconds t1 = node_->now();
+    model::AcquisitionOptions region_acq;
+    region_acq.phase_iterations = std::min(app_->phase_iterations(), 3);
+    model::DataAcquisition acquisition(*node_, region_acq);
+    const auto per_region = acquisition.collect_region_counter_rates(
+        *app_, result_.phase_threads, model::paper_feature_events());
+    result_.analysis_runs +=
+        static_cast<int>(acquisition.runs_performed());
+    result_.app_runs += acquisition.runs_performed();
+    result_.tuning_time += node_->now() - t1;
+    for (const auto& sig : result_.dyn_report.significant) {
+      auto it = per_region.find(sig.name);
+      if (it == per_region.end()) continue;
+      result_.region_recommendations[sig.name] =
+          energy_model_.recommend(it->second, spec);
+    }
+    // Verification space: union of every region's neighborhood (plus the
+    // phase recommendation's), deduplicated.
+    std::map<std::pair<int, int>, ptf::Scenario> unique;
+    auto add_neighborhood = [&](const model::FrequencyRecommendation& rec) {
+      for (auto cf : spec.core_grid.neighborhood(
+               rec.cf, options_.config.neighborhood_radius)) {
+        for (auto ucf : spec.uncore_grid.neighborhood(
+                 rec.ucf, options_.config.neighborhood_radius)) {
+          unique.emplace(
+              std::pair{cf.as_mhz(), ucf.as_mhz()},
+              ptf::config_to_scenario(
+                  0, SystemConfig{result_.phase_threads, cf, ucf}));
+        }
+      }
+    };
+    add_neighborhood(result_.recommendation);
+    for (const auto& [region, rec] : result_.region_recommendations)
+      add_neighborhood(rec);
+    std::vector<ptf::Scenario> scenarios;
+    int id = 0;
+    for (auto& [key, s] : unique) {
+      s.id = id++;
+      scenarios.push_back(s);
+    }
+    result_.frequency_scenarios = static_cast<int>(scenarios.size());
+    return scenarios;
+  }
+
+  // Reduced search space: immediate neighbors of the recommendation.
+  ptf::SearchSpace space;
+  space.add_parameter(ptf::core_freq_parameter(spec.core_grid.neighborhood(
+      result_.recommendation.cf, options_.config.neighborhood_radius)));
+  space.add_parameter(
+      ptf::uncore_freq_parameter(spec.uncore_grid.neighborhood(
+          result_.recommendation.ucf, options_.config.neighborhood_radius)));
+  auto scenarios = space.exhaustive();
+  // Threads fixed to the phase optimum during frequency verification.
+  for (auto& s : scenarios)
+    s.values[std::string(ptf::kOmpThreadsParam)] = result_.phase_threads;
+  result_.frequency_scenarios = static_cast<int>(scenarios.size());
+  return scenarios;
+}
+
+void DvfsUfsPlugin::process_results(
+    const std::vector<ptf::ScenarioResult>& results) {
+  ensure(!results.empty(), "DvfsUfsPlugin: empty scenario results");
+
+  if (step_ == Step::kThreads) {
+    const auto& best =
+        ptf::ExperimentsEngine::best_phase(results, *objective_);
+    result_.phase_threads = best.config.threads;
+    for (const auto& [region, sr] :
+         ptf::ExperimentsEngine::best_per_region(results, *objective_)) {
+      result_.region_threads[region] = sr->config.threads;
+    }
+    log::info("core") << "step 1: " << result_.phase_threads
+                      << " OpenMP threads optimal for the phase region";
+    step_ = Step::kFrequencies;
+    return;
+  }
+
+  // Step 2: per-region best frequency pair within the verified
+  // neighborhood; thread counts from step 1.
+  const auto& best_phase =
+      ptf::ExperimentsEngine::best_phase(results, *objective_);
+  result_.phase_best = best_phase.config;
+  const auto& spec = node_->spec();
+  auto in_neighborhood = [&](const SystemConfig& c,
+                             const model::FrequencyRecommendation& rec) {
+    const int r = options_.config.neighborhood_radius;
+    return std::abs(c.core.as_mhz() - rec.cf.as_mhz()) <=
+               r * spec.core_grid.step_mhz() &&
+           std::abs(c.uncore.as_mhz() - rec.ucf.as_mhz()) <=
+               r * spec.uncore_grid.step_mhz();
+  };
+  for (const auto& [region, sr] :
+       ptf::ExperimentsEngine::best_per_region(results, *objective_)) {
+    SystemConfig c = sr->config;
+    // Per-region mode: restrict each region to its own recommendation's
+    // neighborhood (the scenario union contains other regions' candidates).
+    auto rec_it = result_.region_recommendations.find(region);
+    if (rec_it != result_.region_recommendations.end()) {
+      const ptf::ScenarioResult* best = nullptr;
+      for (const auto& r : results) {
+        if (!in_neighborhood(r.config, rec_it->second)) continue;
+        auto m = r.regions.find(region);
+        if (m == r.regions.end()) continue;
+        if (best == nullptr || objective_->evaluate(m->second) <
+                                   objective_->evaluate(
+                                       best->regions.at(region)))
+          best = &r;
+      }
+      if (best != nullptr) c = best->config;
+    }
+    auto it = result_.region_threads.find(region);
+    if (it != result_.region_threads.end()) c.threads = it->second;
+    result_.region_best[region] = c;
+  }
+  step_ = Step::kDone;
+}
+
+void DvfsUfsPlugin::finalize() {
+  // --- Tuning model generation (Sec. III-D): group regions with equal
+  // best-found configurations into scenarios via the classifier.
+  result_.tuning_model = readex::TuningModel{};
+  for (const auto& sig : result_.dyn_report.significant) {
+    auto it = result_.region_best.find(sig.name);
+    if (it != result_.region_best.end())
+      result_.tuning_model.add_region(sig.name, it->second);
+  }
+  log::info("core") << "tuning model: " << result_.tuning_model.region_count()
+                    << " regions in "
+                    << result_.tuning_model.scenarios().size()
+                    << " scenarios";
+}
+
+DtaResult DvfsUfsPlugin::run_dta(const workload::Benchmark& app,
+                                 hwsim::NodeSimulator& node) {
+  const Seconds t0 = node.now();
+  ptf::Frontend frontend(options_.engine);
+  frontend.run(*this, app, node);
+  result_.app_runs += frontend.app_runs();
+  result_.tuning_time = node.now() - t0;
+  return result_;
+}
+
+}  // namespace ecotune::core

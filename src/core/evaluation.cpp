@@ -1,0 +1,104 @@
+#include "core/evaluation.hpp"
+
+#include "energymon/rapl.hpp"
+#include "energymon/sacct.hpp"
+#include "instr/scorep_runtime.hpp"
+#include "readex/rrl.hpp"
+
+namespace ecotune::core {
+
+SavingsEvaluator::SavingsEvaluator(hwsim::NodeSimulator& node,
+                                   const model::EnergyModel& energy_model,
+                                   SavingsOptions options)
+    : node_(node), energy_model_(energy_model), options_(options) {}
+
+SavingsEvaluator::Measured SavingsEvaluator::measure_static(
+    const workload::Benchmark& app, const SystemConfig& config) {
+  energymon::Sacct sacct(node_);
+  energymon::Rapl rapl(node_);
+  energymon::MeasureRapl rapl_tool(rapl);
+  Measured avg;
+  for (int r = 0; r < options_.repeats; ++r) {
+    sacct.job_start(app.name());
+    rapl_tool.start();
+    instr::run_uninstrumented(app, node_, config);
+    avg.cpu_energy += rapl_tool.stop().value();
+    const auto rec = sacct.job_end();
+    avg.job_energy += rec.consumed_energy.value();
+    avg.time += rec.elapsed.value();
+  }
+  avg.job_energy /= options_.repeats;
+  avg.cpu_energy /= options_.repeats;
+  avg.time /= options_.repeats;
+  return avg;
+}
+
+SavingsRow SavingsEvaluator::evaluate(const workload::Benchmark& app) {
+  SavingsRow row;
+  row.benchmark = app.name();
+  const auto& spec = node_.spec();
+  const SystemConfig default_config{spec.total_cores(), spec.default_core,
+                                    spec.default_uncore};
+
+  // 1. Default reference.
+  const Measured def = measure_static(app, default_config);
+
+  // 2. Static tuning: exhaustive search, then re-measure at the optimum on
+  //    the same node (paper Sec. V-D).
+  baseline::StaticTuner static_tuner(node_, options_.static_search);
+  row.static_config = static_tuner.tune(app).best;
+  const Measured stat = measure_static(app, row.static_config);
+  row.static_job_energy_pct = 100.0 * (1.0 - stat.job_energy / def.job_energy);
+  row.static_cpu_energy_pct = 100.0 * (1.0 - stat.cpu_energy / def.cpu_energy);
+  row.static_time_pct = 100.0 * (1.0 - stat.time / def.time);
+
+  // 3. Dynamic tuning: DTA, then RRL production runs.
+  DvfsUfsPlugin plugin(energy_model_, options_.plugin);
+  row.dta = plugin.run_dta(app, node_);
+
+  // Instrumentation for production: significant regions + phase only.
+  auto filter = instr::InstrumentationFilter::instrument_all();
+  for (const auto& r : app.regions()) {
+    if (!row.dta.dyn_report.is_significant(r.name)) filter.exclude(r.name);
+  }
+
+  energymon::Sacct sacct(node_);
+  energymon::Rapl rapl(node_);
+  energymon::MeasureRapl rapl_tool(rapl);
+  Measured dyn;
+  double overhead_time = 0.0;
+  long switches = 0;
+  for (int r = 0; r < options_.repeats; ++r) {
+    sacct.job_start(app.name() + "-rrl");
+    rapl_tool.start();
+    const auto rat = readex::run_with_rrl(app, node_, row.dta.tuning_model,
+                                          filter, default_config);
+    dyn.cpu_energy += rapl_tool.stop().value();
+    const auto rec = sacct.job_end();
+    dyn.job_energy += rec.consumed_energy.value();
+    dyn.time += rec.elapsed.value();
+    overhead_time += rat.switch_overhead.value() +
+                     rat.run.instrumentation_overhead.value();
+    switches += rat.switches;
+  }
+  dyn.job_energy /= options_.repeats;
+  dyn.cpu_energy /= options_.repeats;
+  dyn.time /= options_.repeats;
+  overhead_time /= options_.repeats;
+  row.dynamic_switches = switches / options_.repeats;
+
+  row.dynamic_job_energy_pct =
+      100.0 * (1.0 - dyn.job_energy / def.job_energy);
+  row.dynamic_cpu_energy_pct =
+      100.0 * (1.0 - dyn.cpu_energy / def.cpu_energy);
+  row.dynamic_time_pct = 100.0 * (1.0 - dyn.time / def.time);
+  // Decomposition: the configuration effect is the dynamic time change with
+  // switching and instrumentation overhead removed.
+  const double config_only_time = dyn.time - overhead_time;
+  row.perf_reduction_config_pct =
+      100.0 * (1.0 - config_only_time / def.time);
+  row.overhead_pct = -100.0 * overhead_time / def.time;
+  return row;
+}
+
+}  // namespace ecotune::core

@@ -1,0 +1,63 @@
+#include "energymon/hdeem.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace ecotune::energymon {
+
+Hdeem::Hdeem(hwsim::NodeSimulator& node, Params params)
+    : node_(node),
+      params_(params),
+      rng_(Rng(0x48444545ULL)
+               .fork("hdeem-node-" + std::to_string(node.node_id()))) {
+  node_.add_listener(this);
+}
+
+Hdeem::~Hdeem() { node_.remove_listener(this); }
+
+void Hdeem::start() {
+  ensure(!armed_, "Hdeem::start: measurement already running");
+  armed_ = true;
+  const double delay = std::max(
+      0.0, rng_.normal(params_.start_delay.value(),
+                       params_.start_delay_jitter.value()));
+  window_open_ = node_.now() + Seconds(delay);
+  window_started_ = node_.now();
+  acc_ = Joules(0);
+  acc_time_ = Seconds(0);
+}
+
+Joules Hdeem::stop() {
+  ensure(armed_, "Hdeem::stop: no measurement running");
+  armed_ = false;
+  // Quantize the acquisition window to whole samples: the FPGA only reports
+  // complete sample periods.
+  const double period = 1.0 / params_.sample_rate_hz;
+  const double t = acc_time_.value();
+  const long samples = static_cast<long>(std::floor(t / period));
+  const double covered = samples * period;
+  const double fraction = t > 0 ? covered / t : 0.0;
+  double e = acc_.value() * fraction;
+  if (params_.relative_noise > 0)
+    e *= std::max(0.0, rng_.normal(1.0, params_.relative_noise));
+  return Joules(e);
+}
+
+void Hdeem::on_segment(Seconds duration, Watts node_power, Watts /*cpu*/) {
+  total_ += node_power * duration;
+  observed_ += duration;
+  if (!armed_) return;
+  // The node clock was already advanced; reconstruct the segment interval.
+  const Seconds end = node_.now();
+  const Seconds begin = end - duration;
+  const double from = std::max(begin.value(), window_open_.value());
+  const double to = end.value();
+  if (to <= from) return;
+  acc_ += node_power * Seconds(to - from);
+  acc_time_ += Seconds(to - from);
+}
+
+}  // namespace ecotune::energymon

@@ -1,0 +1,49 @@
+#include "energymon/rapl.hpp"
+
+#include <cmath>
+
+namespace ecotune::energymon {
+
+Rapl::Rapl(hwsim::NodeSimulator& node, Params params)
+    : node_(node), params_(params) {
+  node_.add_listener(this);
+}
+
+Rapl::~Rapl() { node_.remove_listener(this); }
+
+void Rapl::on_segment(Seconds duration, Watts /*node*/, Watts cpu_power) {
+  // Commit the accumulator at the last PCU refresh boundary this segment
+  // crosses (O(1) per segment; power is constant within a segment, so the
+  // boundary value interpolates exactly).
+  const double period = params_.update_period.value();
+  const double p = cpu_power.value();
+  const double t1 = clock_.value() + duration.value();
+  exact_ += Joules(p * duration.value());
+  const auto boundary = static_cast<long long>(std::floor(t1 / period));
+  if (boundary > last_boundary_) {
+    const double past_boundary = t1 - static_cast<double>(boundary) * period;
+    at_last_update_ = exact_ - Joules(p * std::max(0.0, past_boundary));
+    last_boundary_ = boundary;
+  }
+  clock_ = Seconds(t1);
+}
+
+std::uint64_t Rapl::read_counter() const {
+  const auto units = static_cast<std::uint64_t>(
+      at_last_update_.value() / params_.energy_unit_j);
+  return params_.wraparound ? (units & 0xFFFFFFFFULL) : units;
+}
+
+Joules Rapl::delta_energy(std::uint64_t before, std::uint64_t after) const {
+  std::uint64_t delta = 0;
+  if (after >= before) {
+    delta = after - before;
+  } else {
+    // One 32-bit wrap (a Haswell package at ~150 W wraps every ~12 h, so a
+    // single wrap is the realistic case).
+    delta = (0x100000000ULL - before) + after;
+  }
+  return Joules(static_cast<double>(delta) * params_.energy_unit_j);
+}
+
+}  // namespace ecotune::energymon

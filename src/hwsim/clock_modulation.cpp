@@ -1,0 +1,58 @@
+#include "hwsim/clock_modulation.hpp"
+
+#include "common/error.hpp"
+
+namespace ecotune::hwsim {
+
+Seconds ClockModulation::set_duty_level(int level) {
+  ensure(level >= 1 && level <= kSteps,
+         "ClockModulation::set_duty_level: level must be in 1..16");
+  if (level == level_) return Seconds(0);
+  level_ = level;
+  const Seconds latency = node_.spec().core_switch_latency;
+  node_.idle(latency);
+  return latency;
+}
+
+KernelRunResult ClockModulation::run_kernel(const KernelTraits& k,
+                                            int threads) {
+  if (level_ == kSteps) return node_.run_kernel(k, threads);
+
+  // Unmodulated reference at the node's current DVFS/UFS state.
+  KernelRunResult r = node_.run_kernel(k, threads);
+  const double d = duty();
+  // Compute progress only happens during the duty window; memory/uncore
+  // phases continue during halt (outstanding requests drain), so only the
+  // compute component stretches. Pipeline refill after every halt window
+  // adds a further penalty growing with the halted share.
+  const double stretch = 1.0 / d * (1.0 + kDrainPenalty * (1.0 - d) * 2.0);
+  const double t_comp = r.perf.compute_time.value() * stretch;
+  const double t_rest = r.perf.time.value() - r.perf.compute_time.value();
+  const double new_time = t_comp + t_rest;
+  const double time_ratio = new_time / r.perf.time.value();
+
+  // Power: core dynamic scales with duty (clock gated during halt); core
+  // static, uncore, DRAM-idle and node base are untouched -- this is what
+  // makes modulation inferior to DVFS, which also lowers the voltage.
+  PowerBreakdown p = r.power;
+  p.core_dynamic *= d;
+  const double dram_dynamic =
+      p.dram.value() - node_.spec().sockets *
+                           node_.power_model().params().dram_idle_per_socket;
+  p.dram = Watts(p.dram.value() - dram_dynamic * (1.0 - 1.0 / time_ratio));
+
+  // Replace the emitted segment's accounting: the node already advanced by
+  // the unmodulated run; extend by the residual time at modulated power.
+  const Seconds extra(new_time - r.perf.time.value());
+  node_.idle(extra);  // clock advance; listeners see idle power for it
+
+  r.time = Seconds(new_time);
+  r.power = p;
+  r.node_energy = p.node() * r.time;
+  r.cpu_energy = p.cpu() * r.time;
+  r.perf.time = Seconds(new_time);
+  r.perf.compute_time = Seconds(t_comp);
+  return r;
+}
+
+}  // namespace ecotune::hwsim

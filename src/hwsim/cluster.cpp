@@ -1,0 +1,39 @@
+#include "hwsim/cluster.hpp"
+
+#include "common/error.hpp"
+
+namespace ecotune::hwsim {
+
+Cluster::Cluster(CpuSpec spec, std::uint64_t seed, PerfParams perf,
+                 PowerParams power)
+    : spec_(std::move(spec)),
+      seed_(seed),
+      perf_(perf),
+      power_(power),
+      rng_(seed) {}
+
+NodeSimulator& Cluster::node(int id) {
+  ensure(id >= 0, "Cluster::node: id must be non-negative");
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) {
+    it = nodes_
+             .emplace(id, std::make_unique<NodeSimulator>(spec_, id, rng_,
+                                                          perf_, power_))
+             .first;
+  }
+  return *it->second;
+}
+
+NodeSimulator& Cluster::allocate() {
+  NodeSimulator& n = node(next_alloc_);
+  next_alloc_ = (next_alloc_ + 1) % pool_size_;
+  return n;
+}
+
+void Cluster::set_pool_size(int n) {
+  ensure(n > 0, "Cluster::set_pool_size: need at least one node");
+  pool_size_ = n;
+  next_alloc_ = next_alloc_ % n;
+}
+
+}  // namespace ecotune::hwsim

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <string>
+
+#include "common/frequency.hpp"
+#include "common/units.hpp"
+
+namespace ecotune::hwsim {
+
+/// Static description of the simulated compute node. Defaults model one
+/// Taurus `haswell` node: 2x Intel Xeon E5-2680 v3 (12 cores each, no HT, no
+/// Turbo), per-core DVFS 1.2-2.5 GHz, per-socket UFS 1.3-3.0 GHz (paper
+/// Sec. V-A).
+struct CpuSpec {
+  std::string name = "Intel Xeon E5-2680 v3 (simulated Haswell-EP)";
+  int sockets = 2;
+  int cores_per_socket = 12;
+
+  CoreFreqGrid core_grid{CoreFreq::mhz(1200), CoreFreq::mhz(2500), 100};
+  UncoreFreqGrid uncore_grid{UncoreFreq::mhz(1300), UncoreFreq::mhz(3000),
+                             100};
+
+  /// Cluster default operating point for any job (paper Sec. V-D).
+  CoreFreq default_core = CoreFreq::mhz(2500);
+  UncoreFreq default_uncore = UncoreFreq::mhz(3000);
+
+  /// Calibration point used for counter measurement and energy normalization
+  /// (paper Sec. IV-A).
+  CoreFreq calibration_core = CoreFreq::mhz(2000);
+  UncoreFreq calibration_uncore = UncoreFreq::mhz(1500);
+
+  /// DVFS transition latency per individual core (paper Sec. V-E: 21 us).
+  Seconds core_switch_latency{21e-6};
+  /// UFS transition latency per socket (paper Sec. V-E: 20 us).
+  Seconds uncore_switch_latency{20e-6};
+
+  /// Nominal TSC / reference clock used by REF_CYC.
+  CoreFreq reference_clock = CoreFreq::mhz(2500);
+
+  [[nodiscard]] int total_cores() const { return sockets * cores_per_socket; }
+};
+
+/// The default simulated platform (factory for readability at call sites).
+[[nodiscard]] inline CpuSpec haswell_ep_spec() { return CpuSpec{}; }
+
+}  // namespace ecotune::hwsim

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <string>
+
+namespace ecotune::hwsim {
+
+/// Architecture-independent description of one code region's work per phase
+/// iteration. These are the latent "application characteristics" the paper's
+/// PAPI counters observe; the simulator derives execution time, power and all
+/// 56 preset counters from them.
+///
+/// Instruction-mix fields are fractions of `total_instructions`; cache miss
+/// rates are per access of the previous level. Work is expressed as a
+/// serial-equivalent total across all threads (the performance model divides
+/// by the achieved speedup).
+struct KernelTraits {
+  /// Total retired instructions per phase iteration (all threads combined).
+  double total_instructions = 1e9;
+  /// Peak sustainable IPC per core when nothing stalls.
+  double ipc_peak = 2.0;
+
+  double load_fraction = 0.25;    ///< loads / instructions
+  double store_fraction = 0.10;   ///< stores / instructions
+  double branch_fraction = 0.12;  ///< branches / instructions
+  double branch_conditional_fraction = 0.80;  ///< conditional / branches
+  double branch_taken_rate = 0.55;   ///< taken / conditional branches
+  double branch_miss_rate = 0.02;    ///< mispredicted / conditional branches
+
+  double l1d_miss_rate = 0.04;  ///< L1D misses / (loads+stores)
+  double l1i_miss_rate = 0.002; ///< L1I misses / instructions
+  double l2_miss_rate = 0.30;   ///< L2 misses / L2 accesses
+  double l3_miss_rate = 0.35;   ///< L3 misses / L3 accesses
+  double tlb_d_rate = 5e-4;     ///< data TLB misses / (loads+stores)
+  double tlb_i_rate = 2e-5;     ///< instruction TLB misses / instructions
+
+  double fp_fraction = 0.30;      ///< FP arithmetic / instructions
+  double fp_double_fraction = 0.9;///< double-precision share of FP
+  double vector_fraction = 0.25;  ///< SIMD share of FP instructions
+  double fp_div_fraction = 0.01;  ///< divides / FP instructions
+
+  /// DRAM traffic per phase iteration in bytes (all threads).
+  double dram_bytes = 0.5e9;
+  /// Uncore (L3 + ring) transfer cycles per phase iteration; scales the
+  /// latency component that makes UFS matter even for compute-bound codes.
+  double uncore_cycles = 0.2e9;
+
+  /// Amdahl parallel fraction of the region.
+  double parallel_fraction = 0.99;
+  /// Per-thread scaling penalty (shared-resource contention); speedup is
+  /// multiplied by (1 - contention * (threads - 1)).
+  double contention = 0.004;
+  /// Synchronization (barrier/fork-join) cost added per thread, seconds.
+  double sync_seconds_per_thread = 2e-5;
+  /// Fraction of memory time that overlaps compute (0 = serialized,
+  /// 1 = perfectly overlapped).
+  double overlap = 0.7;
+
+  /// Core switching-activity factor for dynamic power (0.5 idle-ish
+  /// integer code, ~1.2 AVX-heavy).
+  double activity = 1.0;
+};
+
+}  // namespace ecotune::hwsim

@@ -1,0 +1,136 @@
+#include "hwsim/node.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace ecotune::hwsim {
+
+NodeVariability draw_node_variability(const Rng& rng, int node_id) {
+  Rng r = rng.fork("node-variability-" + std::to_string(node_id));
+  NodeVariability v;
+  v.leakage_factor = std::clamp(r.normal(1.0, 0.06), 0.85, 1.15);
+  v.dynamic_factor = std::clamp(r.normal(1.0, 0.02), 0.94, 1.06);
+  v.base_offset_w = std::clamp(r.normal(0.0, 4.0), -10.0, 10.0);
+  return v;
+}
+
+NodeSimulator::NodeSimulator(CpuSpec spec, int node_id, const Rng& rng,
+                             PerfParams perf_params, PowerParams power_params)
+    : spec_(std::move(spec)),
+      node_id_(node_id),
+      var_(draw_node_variability(rng, node_id)),
+      perf_(perf_params),
+      power_(power_params),
+      noise_(rng.fork("node-noise-" + std::to_string(node_id))),
+      core_freq_(static_cast<std::size_t>(spec_.total_cores()),
+                 spec_.default_core),
+      uncore_freq_(static_cast<std::size_t>(spec_.sockets),
+                   spec_.default_uncore) {}
+
+void NodeSimulator::set_core_freq(int core, CoreFreq f) {
+  ensure(core >= 0 && core < spec_.total_cores(),
+         "NodeSimulator::set_core_freq: bad core index");
+  ensure(spec_.core_grid.contains(f),
+         "NodeSimulator::set_core_freq: frequency not supported");
+  core_freq_[static_cast<std::size_t>(core)] = f;
+}
+
+void NodeSimulator::set_all_core_freqs(CoreFreq f) {
+  for (int c = 0; c < spec_.total_cores(); ++c) set_core_freq(c, f);
+}
+
+CoreFreq NodeSimulator::core_freq(int core) const {
+  ensure(core >= 0 && core < spec_.total_cores(),
+         "NodeSimulator::core_freq: bad core index");
+  return core_freq_[static_cast<std::size_t>(core)];
+}
+
+void NodeSimulator::set_uncore_freq(int socket, UncoreFreq f) {
+  ensure(socket >= 0 && socket < spec_.sockets,
+         "NodeSimulator::set_uncore_freq: bad socket index");
+  ensure(spec_.uncore_grid.contains(f),
+         "NodeSimulator::set_uncore_freq: frequency not supported");
+  uncore_freq_[static_cast<std::size_t>(socket)] = f;
+}
+
+void NodeSimulator::set_all_uncore_freqs(UncoreFreq f) {
+  for (int s = 0; s < spec_.sockets; ++s) set_uncore_freq(s, f);
+}
+
+UncoreFreq NodeSimulator::uncore_freq(int socket) const {
+  ensure(socket >= 0 && socket < spec_.sockets,
+         "NodeSimulator::uncore_freq: bad socket index");
+  return uncore_freq_[static_cast<std::size_t>(socket)];
+}
+
+CoreFreq NodeSimulator::effective_core_freq(int threads) const {
+  ensure(threads >= 1 && threads <= spec_.total_cores(),
+         "NodeSimulator::effective_core_freq: bad thread count");
+  CoreFreq f = core_freq_[0];
+  for (int c = 1; c < threads; ++c)
+    f = std::min(f, core_freq_[static_cast<std::size_t>(c)]);
+  return f;
+}
+
+KernelRunResult NodeSimulator::run_kernel(const KernelTraits& k, int threads) {
+  ensure(threads >= 1 && threads <= spec_.total_cores(),
+         "NodeSimulator::run_kernel: bad thread count");
+  const CoreFreq fc = effective_core_freq(threads);
+  // Uncore domains are switched in lockstep by the UFS parameter plugin; a
+  // parallel kernel spanning both sockets sees the slower one.
+  const UncoreFreq fu = *std::min_element(uncore_freq_.begin(),
+                                          uncore_freq_.end());
+
+  KernelRunResult r;
+  r.perf = perf_.evaluate(k, threads, fc, fu);
+  r.power = power_.evaluate(spec_, var_, k, threads, fc, fu,
+                            r.perf.achieved_bandwidth);
+  r.counters = CounterModel::evaluate(spec_, k, threads, fc, fu, r.perf);
+
+  // Run-to-run OS jitter on time; power jitter is applied independently so
+  // energy noise does not cancel.
+  const double tj = jitter_ > 0 ? std::max(0.5, noise_.normal(1.0, jitter_))
+                                : 1.0;
+  const double pj = jitter_ > 0 ? std::max(0.5, noise_.normal(1.0, jitter_))
+                                : 1.0;
+  r.time = r.perf.time * tj;
+
+  PowerBreakdown jittered = r.power;
+  jittered.core_dynamic *= pj;
+  jittered.uncore *= pj;
+  r.node_energy = jittered.node() * r.time;
+  r.cpu_energy = jittered.cpu() * r.time;
+
+  emit(r.time, jittered);
+  return r;
+}
+
+void NodeSimulator::idle(Seconds duration) {
+  if (duration.value() <= 0) return;
+  emit(duration, idle_power());
+}
+
+PowerBreakdown NodeSimulator::idle_power() const {
+  const UncoreFreq fu =
+      *std::min_element(uncore_freq_.begin(), uncore_freq_.end());
+  return power_.idle(spec_, var_, core_freq_[0], fu);
+}
+
+void NodeSimulator::add_listener(PowerListener* l) {
+  ensure(l != nullptr, "NodeSimulator::add_listener: null listener");
+  listeners_.push_back(l);
+}
+
+void NodeSimulator::remove_listener(PowerListener* l) {
+  listeners_.erase(std::remove(listeners_.begin(), listeners_.end(), l),
+                   listeners_.end());
+}
+
+void NodeSimulator::emit(Seconds duration, const PowerBreakdown& p) {
+  now_ += duration;
+  for (auto* l : listeners_) l->on_segment(duration, p.node(), p.cpu());
+}
+
+}  // namespace ecotune::hwsim

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "hwsim/counter_model.hpp"
+#include "hwsim/cpu_spec.hpp"
+#include "hwsim/kernel_traits.hpp"
+#include "hwsim/perf_model.hpp"
+#include "hwsim/power_model.hpp"
+
+namespace ecotune::hwsim {
+
+/// Observer of the node's simulated power timeline. Energy monitors (HDEEM,
+/// RAPL) subscribe to receive constant-power segments as simulated wall time
+/// advances, and reconstruct measured energy with their own sampling
+/// artifacts.
+class PowerListener {
+ public:
+  virtual ~PowerListener() = default;
+  /// Called for every segment of simulated time with (approximately)
+  /// constant power draw.
+  virtual void on_segment(Seconds duration, Watts node_power,
+                          Watts cpu_power) = 0;
+};
+
+/// Result of executing one kernel (one region execution) on the node.
+struct KernelRunResult {
+  Seconds time{0};        ///< wall time including run-to-run jitter
+  Joules node_energy{0};  ///< ground-truth node (HDEEM-domain) energy
+  Joules cpu_energy{0};   ///< ground-truth CPU+DRAM (RAPL-domain) energy
+  PerfResult perf;        ///< execution-time model breakdown
+  PowerBreakdown power;   ///< power model breakdown
+  PmuCounts counters;     ///< noise-free preset counter values
+};
+
+/// One simulated compute node: per-core DVFS state, per-socket UFS state,
+/// per-node manufacturing variability, a simulated wall clock, and a power
+/// timeline that energy monitors can observe.
+///
+/// The node is the single source of ground truth; everything the tuning
+/// plugin "measures" flows through it.
+class NodeSimulator {
+ public:
+  /// Creates node `node_id` with variability drawn from `rng` (typically the
+  /// cluster seed forked by node id).
+  NodeSimulator(CpuSpec spec, int node_id, const Rng& rng,
+                PerfParams perf_params = {}, PowerParams power_params = {});
+
+  [[nodiscard]] const CpuSpec& spec() const { return spec_; }
+  [[nodiscard]] int node_id() const { return node_id_; }
+  [[nodiscard]] const NodeVariability& variability() const { return var_; }
+  [[nodiscard]] const PerfModel& perf_model() const { return perf_; }
+  [[nodiscard]] const PowerModel& power_model() const { return power_; }
+
+  /// Raw frequency state changes (no transition latency; use X86Adapt for
+  /// latency-accounted switching).
+  void set_core_freq(int core, CoreFreq f);
+  void set_all_core_freqs(CoreFreq f);
+  [[nodiscard]] CoreFreq core_freq(int core) const;
+  void set_uncore_freq(int socket, UncoreFreq f);
+  void set_all_uncore_freqs(UncoreFreq f);
+  [[nodiscard]] UncoreFreq uncore_freq(int socket) const;
+  /// Lowest core frequency among the first `threads` cores -- the effective
+  /// clock of a gang-scheduled parallel region.
+  [[nodiscard]] CoreFreq effective_core_freq(int threads) const;
+
+  /// Executes a kernel with `threads` OpenMP threads at the current
+  /// frequency state; advances the simulated clock and notifies listeners.
+  KernelRunResult run_kernel(const KernelTraits& k, int threads);
+
+  /// Advances the clock with the node idle (used for switching latencies and
+  /// instrumentation overhead).
+  void idle(Seconds duration);
+
+  /// Simulated wall clock since node creation.
+  [[nodiscard]] Seconds now() const { return now_; }
+
+  /// Ground-truth idle node power at current frequencies.
+  [[nodiscard]] PowerBreakdown idle_power() const;
+
+  void add_listener(PowerListener* l);
+  void remove_listener(PowerListener* l);
+
+  /// Relative stddev of run-to-run time/power jitter (OS noise). Tests can
+  /// set it to zero for exact determinism.
+  void set_jitter(double relative_stddev) { jitter_ = relative_stddev; }
+  [[nodiscard]] double jitter() const { return jitter_; }
+
+ private:
+  void emit(Seconds duration, const PowerBreakdown& p);
+
+  CpuSpec spec_;
+  int node_id_;
+  NodeVariability var_;
+  PerfModel perf_;
+  PowerModel power_;
+  Rng noise_;
+  double jitter_ = 0.003;
+  Seconds now_{0};
+  std::vector<CoreFreq> core_freq_;
+  std::vector<UncoreFreq> uncore_freq_;
+  std::vector<PowerListener*> listeners_;
+};
+
+/// Draws NodeVariability for `node_id` from `rng` (exposed for tests).
+[[nodiscard]] NodeVariability draw_node_variability(const Rng& rng,
+                                                    int node_id);
+
+}  // namespace ecotune::hwsim

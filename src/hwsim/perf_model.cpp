@@ -1,0 +1,67 @@
+#include "hwsim/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ecotune::hwsim {
+
+double PerfModel::speedup(const KernelTraits& k, int threads) const {
+  ensure(threads >= 1, "PerfModel::speedup: threads must be >= 1");
+  const double p = std::clamp(k.parallel_fraction, 0.0, 1.0);
+  const double amdahl = 1.0 / ((1.0 - p) + p / threads);
+  const double contention =
+      std::max(0.05, 1.0 - k.contention * (threads - 1));
+  return std::max(1.0, amdahl * contention);
+}
+
+double PerfModel::bandwidth(UncoreFreq uncore, int threads) const {
+  const double fu = uncore.as_ghz();
+  // Normalize the saturation curves so that (max UFS, 24 threads) hits peak.
+  const double fu_max = 3.0;
+  const double t_max = 24.0;
+  const double s_f = (fu / (fu + params_.bw_freq_half)) /
+                     (fu_max / (fu_max + params_.bw_freq_half));
+  const double s_t =
+      (threads / (threads + params_.bw_threads_half)) /
+      (t_max / (t_max + params_.bw_threads_half));
+  return params_.peak_bandwidth * s_f * s_t;
+}
+
+PerfResult PerfModel::evaluate(const KernelTraits& k, int threads,
+                               CoreFreq core, UncoreFreq uncore) const {
+  ensure(core.valid() && uncore.valid(),
+         "PerfModel::evaluate: frequencies must be set");
+  PerfResult r;
+  r.speedup = speedup(k, threads);
+
+  const double fc_hz = core.as_hz();
+  const double fu_hz = uncore.as_hz();
+
+  r.work_cycles = k.total_instructions / k.ipc_peak;
+  const double t_comp = r.work_cycles / (r.speedup * fc_hz);
+  // L3/ring transfers proceed concurrently across the cores that issue
+  // them, so the uncore latency component parallelizes like the compute.
+  const double t_unc = k.uncore_cycles / (r.speedup * fu_hz);
+  const double bw = bandwidth(uncore, threads);
+  const double t_mem = k.dram_bytes / bw;
+
+  const double a = std::clamp(k.overlap, 0.0, 1.0);
+  const double serialized = t_comp + t_unc + t_mem;
+  const double overlapped = std::max(t_comp, t_unc + t_mem);
+  const double t_sync = k.sync_seconds_per_thread * threads;
+  const double total = (1.0 - a) * serialized + a * overlapped + t_sync;
+
+  r.compute_time = Seconds(t_comp);
+  r.uncore_time = Seconds(t_unc);
+  r.memory_time = Seconds(t_mem);
+  r.sync_time = Seconds(t_sync);
+  r.time = Seconds(total);
+  r.achieved_bandwidth = k.dram_bytes / total;
+  r.total_cycles = total * fc_hz * threads;
+  r.stall_cycles = std::max(0.0, r.total_cycles - r.work_cycles);
+  return r;
+}
+
+}  // namespace ecotune::hwsim

@@ -1,0 +1,64 @@
+#pragma once
+
+#include "common/units.hpp"
+#include "hwsim/cpu_spec.hpp"
+#include "hwsim/kernel_traits.hpp"
+
+namespace ecotune::hwsim {
+
+/// Tunable constants of the analytic execution-time model.
+struct PerfParams {
+  /// Peak DRAM bandwidth of the node with all threads and max uncore
+  /// frequency, bytes/second (2-socket Haswell-EP STREAM-like).
+  double peak_bandwidth = 110e9;
+  /// Uncore-frequency half-saturation constant (GHz) of the bandwidth curve
+  /// BW ~ f_u / (f_u + bw_freq_half), normalized to 1 at the max UFS point.
+  double bw_freq_half = 1.0;
+  /// Thread-concurrency half-saturation constant of the bandwidth curve.
+  double bw_threads_half = 3.0;
+};
+
+/// Output of the execution-time model for one region execution (one phase
+/// iteration's worth of work).
+struct PerfResult {
+  Seconds time{0};            ///< wall time of the region execution
+  Seconds compute_time{0};    ///< core-bound component
+  Seconds memory_time{0};     ///< DRAM-bound component
+  Seconds uncore_time{0};     ///< L3/ring transfer component
+  Seconds sync_time{0};       ///< barrier / fork-join component
+  double achieved_bandwidth = 0.0;  ///< bytes/s actually drawn from DRAM
+  double total_cycles = 0.0;        ///< core cycles summed over used cores
+  double work_cycles = 0.0;         ///< cycles retiring instructions
+  double stall_cycles = 0.0;        ///< cycles stalled on any resource
+  double speedup = 1.0;             ///< achieved thread speedup
+};
+
+/// Roofline-with-overlap execution-time model (DESIGN.md Sec. 4):
+///
+///   T = (1-a)(Tc + Tu + Tm) + a * max(Tc, Tu + Tm) + t * sync
+///
+/// where Tc scales with core frequency and thread speedup, Tu with uncore
+/// frequency, Tm with the uncore- and concurrency-dependent DRAM bandwidth,
+/// and `a` is the kernel's compute/memory overlap factor. This reproduces the
+/// qualitative DVFS/UFS response surfaces of the paper's Figs. 6 and 7.
+class PerfModel {
+ public:
+  explicit PerfModel(PerfParams params = {}) : params_(params) {}
+
+  [[nodiscard]] const PerfParams& params() const { return params_; }
+
+  /// Thread speedup: Amdahl with a linear contention penalty.
+  [[nodiscard]] double speedup(const KernelTraits& k, int threads) const;
+
+  /// Achieved DRAM bandwidth at the given uncore frequency / concurrency.
+  [[nodiscard]] double bandwidth(UncoreFreq uncore, int threads) const;
+
+  /// Evaluates the model for one region execution.
+  [[nodiscard]] PerfResult evaluate(const KernelTraits& k, int threads,
+                                    CoreFreq core, UncoreFreq uncore) const;
+
+ private:
+  PerfParams params_;
+};
+
+}  // namespace ecotune::hwsim

@@ -1,0 +1,46 @@
+#include "hwsim/power_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ecotune::hwsim {
+
+PowerBreakdown PowerModel::evaluate(const CpuSpec& spec,
+                                    const NodeVariability& node,
+                                    const KernelTraits& k, int threads,
+                                    CoreFreq core, UncoreFreq uncore,
+                                    double achieved_bandwidth) const {
+  ensure(threads >= 0 && threads <= spec.total_cores(),
+         "PowerModel::evaluate: thread count exceeds core count");
+  const double v = core_voltage(core);
+  const double vu = uncore_voltage(uncore);
+  const double fc = core.as_ghz();
+  const double fu = uncore.as_ghz();
+
+  PowerBreakdown p;
+  const double active = threads * k.activity;
+  const double idle_cores = spec.total_cores() - threads;
+  const double idle = idle_cores * params_.idle_activity;
+  p.core_dynamic = Watts(node.dynamic_factor * params_.cdyn * (active + idle) *
+                         v * v * fc);
+  p.core_static =
+      Watts(node.leakage_factor * spec.total_cores() * params_.core_leak * v);
+  p.uncore = Watts(spec.sockets *
+                   (node.dynamic_factor * params_.cunc * vu * vu * fu +
+                    node.leakage_factor * params_.uncore_leak * vu));
+  p.dram = Watts(spec.sockets * params_.dram_idle_per_socket +
+                 params_.dram_per_gbs * achieved_bandwidth / 1e9);
+  p.node_base = Watts(params_.node_base + node.base_offset_w);
+  return p;
+}
+
+PowerBreakdown PowerModel::idle(const CpuSpec& spec,
+                                const NodeVariability& node, CoreFreq core,
+                                UncoreFreq uncore) const {
+  KernelTraits idle_kernel;
+  idle_kernel.activity = 0.0;  // active-thread term vanishes
+  return evaluate(spec, node, idle_kernel, 0, core, uncore, 0.0);
+}
+
+}  // namespace ecotune::hwsim

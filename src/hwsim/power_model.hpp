@@ -1,0 +1,88 @@
+#pragma once
+
+#include "common/units.hpp"
+#include "hwsim/cpu_spec.hpp"
+#include "hwsim/kernel_traits.hpp"
+#include "hwsim/perf_model.hpp"
+
+namespace ecotune::hwsim {
+
+/// Per-node manufacturing variability; the reason the paper normalizes
+/// energies before training (Sec. IV-B, Figs. 2-3). Sampled once per node.
+struct NodeVariability {
+  double leakage_factor = 1.0;  ///< chip-to-chip static power spread
+  double dynamic_factor = 1.0;  ///< effective-capacitance spread
+  double base_offset_w = 0.0;   ///< board/fan/VR baseline spread (W)
+};
+
+/// Tunable constants of the analytic power model. Defaults are calibrated so
+/// a fully loaded node draws ~330 W (node) / ~240 W (CPU+DRAM), matching the
+/// Haswell-EP class of the paper's testbed.
+struct PowerParams {
+  double v0 = 0.65;   ///< core voltage intercept (V)
+  double kv = 0.22;   ///< core voltage slope (V per GHz)
+  double cdyn = 1.5;  ///< per-core dynamic power coefficient (W/(GHz*V^2))
+  double core_leak = 1.0;     ///< per-core static power (W/V)
+  double idle_activity = 0.06;///< activity factor of idle (unused) cores
+
+  double vu0 = 0.70;  ///< uncore voltage intercept (V)
+  double kvu = 0.22;  ///< uncore voltage slope (V per GHz)
+  double cunc = 4.5;  ///< per-socket uncore dynamic coefficient (W/(GHz*V^2))
+  double uncore_leak = 2.0;   ///< per-socket uncore static power (W/V)
+
+  double dram_idle_per_socket = 8.0;  ///< W
+  double dram_per_gbs = 0.35;         ///< W per GB/s of achieved bandwidth
+
+  double node_base = 100.0;  ///< W, board + fans + NIC + SSD (HDEEM-visible)
+};
+
+/// Decomposed node power draw at one operating point.
+struct PowerBreakdown {
+  Watts core_dynamic{0};
+  Watts core_static{0};
+  Watts uncore{0};
+  Watts dram{0};
+  Watts node_base{0};
+
+  /// RAPL-visible power (both packages + DRAM domain).
+  [[nodiscard]] Watts cpu() const {
+    return core_dynamic + core_static + uncore + dram;
+  }
+  /// HDEEM-visible node power.
+  [[nodiscard]] Watts node() const { return cpu() + node_base; }
+};
+
+/// Analytic CMOS-style power model: affine V(f), dynamic ~ C V^2 f, static ~
+/// leakage * V, uncore and DRAM domains, constant node baseline, all scaled
+/// by per-node variability.
+class PowerModel {
+ public:
+  explicit PowerModel(PowerParams params = {}) : params_(params) {}
+
+  [[nodiscard]] const PowerParams& params() const { return params_; }
+
+  [[nodiscard]] double core_voltage(CoreFreq f) const {
+    return params_.v0 + params_.kv * f.as_ghz();
+  }
+  [[nodiscard]] double uncore_voltage(UncoreFreq f) const {
+    return params_.vu0 + params_.kvu * f.as_ghz();
+  }
+
+  /// Power while `threads` cores execute a kernel with the given activity
+  /// and achieved DRAM bandwidth (bytes/s).
+  [[nodiscard]] PowerBreakdown evaluate(const CpuSpec& spec,
+                                        const NodeVariability& node,
+                                        const KernelTraits& k, int threads,
+                                        CoreFreq core, UncoreFreq uncore,
+                                        double achieved_bandwidth) const;
+
+  /// Power of an idle node at the given frequencies.
+  [[nodiscard]] PowerBreakdown idle(const CpuSpec& spec,
+                                    const NodeVariability& node,
+                                    CoreFreq core, UncoreFreq uncore) const;
+
+ private:
+  PowerParams params_;
+};
+
+}  // namespace ecotune::hwsim

@@ -1,0 +1,53 @@
+#include "instr/filter.hpp"
+
+#include <sstream>
+
+namespace ecotune::instr {
+
+std::string InstrumentationFilter::to_filter_file() const {
+  std::ostringstream os;
+  os << "SCOREP_REGION_NAMES_BEGIN\n";
+  for (const auto& r : excluded_) os << "  EXCLUDE " << r << '\n';
+  os << "SCOREP_REGION_NAMES_END\n";
+  return os.str();
+}
+
+InstrumentationFilter InstrumentationFilter::from_filter_file(
+    const std::string& text) {
+  InstrumentationFilter f;
+  std::istringstream is(text);
+  std::string token;
+  bool in_block = false;
+  std::string line;
+  while (std::getline(is, line)) {
+    std::istringstream ls(line);
+    ls >> token;
+    if (token == "SCOREP_REGION_NAMES_BEGIN") {
+      in_block = true;
+    } else if (token == "SCOREP_REGION_NAMES_END") {
+      in_block = false;
+    } else if (in_block && token == "EXCLUDE") {
+      // Region names may contain spaces (e.g. "omp parallel:423").
+      std::string rest;
+      std::getline(ls, rest);
+      const auto start = rest.find_first_not_of(' ');
+      if (start != std::string::npos) f.exclude(rest.substr(start));
+    }
+  }
+  return f;
+}
+
+AutoFilterResult scorep_autofilter(const CallTreeProfile& profile,
+                                   Seconds granularity) {
+  AutoFilterResult result;
+  for (const auto& s : profile.all()) {
+    if (s.type == RegionType::kPhase || s.type == RegionType::kUser) continue;
+    if (s.mean_time() < granularity) {
+      result.filter.exclude(s.name);
+      result.excluded.push_back(s.name);
+    }
+  }
+  return result;
+}
+
+}  // namespace ecotune::instr

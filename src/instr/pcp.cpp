@@ -1,0 +1,13 @@
+#include "instr/pcp.hpp"
+
+namespace ecotune::instr {
+
+std::vector<std::unique_ptr<Pcp>> default_pcps() {
+  std::vector<std::unique_ptr<Pcp>> v;
+  v.push_back(std::make_unique<OmpThreadsPcp>());
+  v.push_back(std::make_unique<CpuFreqPcp>());
+  v.push_back(std::make_unique<UncoreFreqPcp>());
+  return v;
+}
+
+}  // namespace ecotune::instr

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "instr/execution_context.hpp"
+
+namespace ecotune::instr {
+
+/// Score-P Parameter Control Plugin interface (READEX PCPs): a named,
+/// integer-valued runtime-tunable parameter. The three concrete plugins
+/// mirror the paper's: OpenMPTP (thread count), cpu_freq (MHz) and
+/// uncore_freq (MHz).
+class Pcp {
+ public:
+  virtual ~Pcp() = default;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  /// Applies a new value; returns the switching overhead charged.
+  virtual Seconds set(ExecutionContext& ctx, int value) = 0;
+  /// Reads the current value.
+  [[nodiscard]] virtual int get(const ExecutionContext& ctx) const = 0;
+};
+
+/// OpenMPTP PCP: number of OpenMP threads.
+class OmpThreadsPcp final : public Pcp {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "OpenMPTP"; }
+  Seconds set(ExecutionContext& ctx, int value) override {
+    return ctx.set_omp_threads(value);
+  }
+  [[nodiscard]] int get(const ExecutionContext& ctx) const override {
+    return ctx.omp_threads();
+  }
+};
+
+/// cpu_freq PCP: core frequency in MHz (applied to all cores).
+class CpuFreqPcp final : public Pcp {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "cpu_freq"; }
+  Seconds set(ExecutionContext& ctx, int value) override {
+    return ctx.adapt().set_all_core_freqs(CoreFreq::mhz(value));
+  }
+  [[nodiscard]] int get(const ExecutionContext& ctx) const override {
+    return ctx.node().core_freq(0).as_mhz();
+  }
+};
+
+/// uncore_freq PCP: uncore frequency in MHz (applied to all sockets).
+class UncoreFreqPcp final : public Pcp {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "uncore_freq";
+  }
+  Seconds set(ExecutionContext& ctx, int value) override {
+    return ctx.adapt().set_all_uncore_freqs(UncoreFreq::mhz(value));
+  }
+  [[nodiscard]] int get(const ExecutionContext& ctx) const override {
+    return ctx.node().uncore_freq(0).as_mhz();
+  }
+};
+
+/// The standard plugin stack used by RRL and the experiments engine.
+[[nodiscard]] std::vector<std::unique_ptr<Pcp>> default_pcps();
+
+}  // namespace ecotune::instr

@@ -1,0 +1,75 @@
+#include "instr/profile.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ecotune::instr {
+
+std::string_view to_string(RegionType t) {
+  switch (t) {
+    case RegionType::kFunction:
+      return "function";
+    case RegionType::kOmpParallel:
+      return "omp_parallel";
+    case RegionType::kMpi:
+      return "mpi";
+    case RegionType::kPhase:
+      return "phase";
+    case RegionType::kUser:
+      return "user";
+  }
+  return "?";
+}
+
+void CallTreeProfile::add_sample(const RegionExit& e) {
+  const std::string key(e.region);
+  auto it = stats_.find(key);
+  if (it == stats_.end()) {
+    RegionStats s;
+    s.name = key;
+    s.type = e.type;
+    s.min_time = e.duration();
+    s.max_time = e.duration();
+    it = stats_.emplace(key, std::move(s)).first;
+    order_.push_back(key);
+  }
+  RegionStats& s = it->second;
+  ++s.count;
+  s.total_time += e.duration();
+  s.total_node_energy += e.node_energy;
+  s.min_time = std::min(s.min_time, e.duration());
+  s.max_time = std::max(s.max_time, e.duration());
+}
+
+bool CallTreeProfile::contains(const std::string& region) const {
+  return stats_.count(region) > 0;
+}
+
+const RegionStats& CallTreeProfile::stats(const std::string& region) const {
+  auto it = stats_.find(region);
+  ensure(it != stats_.end(),
+         "CallTreeProfile::stats: unknown region '" + region + "'");
+  return it->second;
+}
+
+std::vector<RegionStats> CallTreeProfile::all() const {
+  std::vector<RegionStats> out;
+  out.reserve(order_.size());
+  for (const auto& name : order_) out.push_back(stats_.at(name));
+  return out;
+}
+
+Seconds CallTreeProfile::phase_time() const {
+  for (const auto& [name, s] : stats_)
+    if (s.type == RegionType::kPhase) return s.total_time;
+  return Seconds(0);
+}
+
+long CallTreeProfile::phase_count() const {
+  for (const auto& [name, s] : stats_)
+    if (s.type == RegionType::kPhase) return s.count;
+  return 0;
+}
+
+}  // namespace ecotune::instr

@@ -1,0 +1,162 @@
+#include "instr/scorep_runtime.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ecotune::instr {
+namespace {
+
+/// Captures exact node/CPU energy over a scope by listening to the node's
+/// power timeline.
+class EnergyAccumulator final : public hwsim::PowerListener {
+ public:
+  explicit EnergyAccumulator(hwsim::NodeSimulator& node) : node_(node) {
+    node_.add_listener(this);
+  }
+  ~EnergyAccumulator() override { node_.remove_listener(this); }
+  EnergyAccumulator(const EnergyAccumulator&) = delete;
+  EnergyAccumulator& operator=(const EnergyAccumulator&) = delete;
+
+  void on_segment(Seconds duration, Watts node_power,
+                  Watts cpu_power) override {
+    node_energy_ += node_power * duration;
+    cpu_energy_ += cpu_power * duration;
+  }
+
+  [[nodiscard]] Joules node_energy() const { return node_energy_; }
+  [[nodiscard]] Joules cpu_energy() const { return cpu_energy_; }
+
+ private:
+  hwsim::NodeSimulator& node_;
+  Joules node_energy_{0};
+  Joules cpu_energy_{0};
+};
+
+void add_counts(hwsim::PmuCounts& into, const hwsim::PmuCounts& from) {
+  for (std::size_t i = 0; i < into.size(); ++i) into[i] += from[i];
+}
+
+}  // namespace
+
+ScorepRuntime::ScorepRuntime(workload::Benchmark app,
+                             InstrumentationFilter filter,
+                             ScorepOptions options)
+    : app_(std::move(app)), filter_(std::move(filter)), options_(options) {}
+
+void ScorepRuntime::add_listener(RegionListener* l) {
+  ensure(l != nullptr, "ScorepRuntime::add_listener: null listener");
+  listeners_.push_back(l);
+}
+
+AppRunResult ScorepRuntime::execute(ExecutionContext& ctx) {
+  hwsim::NodeSimulator& node = ctx.node();
+  AppRunResult result;
+  CallTreeProfile profile;
+
+  EnergyAccumulator total(node);
+  const Seconds t_begin = node.now();
+  const std::string phase_name(kPhaseRegionName);
+  const bool phase_instrumented = filter_.is_instrumented(phase_name);
+
+  auto charge_event = [&] {
+    node.idle(options_.per_event_overhead);
+    result.instrumentation_overhead += options_.per_event_overhead;
+    ++result.instrumentation_events;
+  };
+
+  for (int iter = 0; iter < app_.phase_iterations(); ++iter) {
+    const Seconds phase_enter_time = node.now();
+    Joules phase_node_e0 = total.node_energy();
+    Joules phase_cpu_e0 = total.cpu_energy();
+    hwsim::PmuCounts phase_counters{};
+
+    if (phase_instrumented) {
+      RegionEnter ev{kPhaseRegionName, RegionType::kPhase, iter, node.now()};
+      for (auto* l : listeners_) l->on_enter(ev);
+      charge_event();
+    }
+
+    for (const auto& region : app_.regions()) {
+      const bool instrumented = filter_.is_instrumented(region.name);
+      const RegionType type =
+          region.name.rfind("omp ", 0) == 0 ? RegionType::kOmpParallel
+                                            : RegionType::kFunction;
+      for (int call = 0; call < region.calls_per_iteration; ++call) {
+        Seconds enter_time = node.now();
+        Joules node_e0 = total.node_energy();
+        Joules cpu_e0 = total.cpu_energy();
+
+        if (instrumented) {
+          RegionEnter ev{region.name, type, iter, enter_time};
+          for (auto* l : listeners_) l->on_enter(ev);
+          charge_event();
+          // Listener switches (RRL) and the probe happen before the work;
+          // re-stamp so duration covers the kernel + residual overhead.
+          enter_time = node.now();
+          node_e0 = total.node_energy();
+          cpu_e0 = total.cpu_energy();
+        }
+
+        const auto run = node.run_kernel(region.traits, ctx.omp_threads());
+        add_counts(phase_counters, run.counters);
+
+        if (instrumented) {
+          if (options_.charge_region_overhead &&
+              app_.instr_overhead_fraction() > 0) {
+            const Seconds extra =
+                run.time * app_.instr_overhead_fraction();
+            node.idle(extra);
+            result.instrumentation_overhead += extra;
+          }
+          charge_event();
+          RegionExit ev;
+          ev.region = region.name;
+          ev.type = type;
+          ev.iteration = iter;
+          ev.enter_time = enter_time;
+          ev.exit_time = node.now();
+          ev.node_energy = total.node_energy() - node_e0;
+          ev.cpu_energy = total.cpu_energy() - cpu_e0;
+          ev.counters = run.counters;
+          ev.config = ctx.current();
+          for (auto* l : listeners_) l->on_exit(ev);
+          if (options_.profiling) profile.add_sample(ev);
+        }
+      }
+    }
+
+    if (phase_instrumented) {
+      charge_event();
+      RegionExit ev;
+      ev.region = kPhaseRegionName;
+      ev.type = RegionType::kPhase;
+      ev.iteration = iter;
+      ev.enter_time = phase_enter_time;
+      ev.exit_time = node.now();
+      ev.node_energy = total.node_energy() - phase_node_e0;
+      ev.cpu_energy = total.cpu_energy() - phase_cpu_e0;
+      ev.counters = phase_counters;
+      ev.config = ctx.current();
+      for (auto* l : listeners_) l->on_exit(ev);
+      if (options_.profiling) profile.add_sample(ev);
+    }
+  }
+
+  result.wall_time = node.now() - t_begin;
+  result.node_energy = total.node_energy();
+  result.cpu_energy = total.cpu_energy();
+  if (options_.profiling) result.profile = std::move(profile);
+  return result;
+}
+
+AppRunResult run_uninstrumented(const workload::Benchmark& app,
+                                hwsim::NodeSimulator& node,
+                                const SystemConfig& config) {
+  ExecutionContext ctx(node);
+  ctx.apply(config);
+  ScorepRuntime runtime(app, InstrumentationFilter::instrument_none());
+  return runtime.execute(ctx);
+}
+
+}  // namespace ecotune::instr

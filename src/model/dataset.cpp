@@ -1,0 +1,269 @@
+#include "model/dataset.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "instr/scorep_runtime.hpp"
+#include "model/features.hpp"
+#include "pmc/counter_sampler.hpp"
+#include "pmc/event_set.hpp"
+#include "trace/otf2.hpp"
+#include "trace/post_processor.hpp"
+#include "trace/trace_listener.hpp"
+
+namespace ecotune::model {
+
+stats::Matrix EnergyDataset::feature_matrix() const {
+  ensure(!samples.empty(), "EnergyDataset::feature_matrix: empty dataset");
+  stats::Matrix m(samples.size(), samples.front().features.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    ensure(samples[i].features.size() == m.cols(),
+           "EnergyDataset: inconsistent feature sizes");
+    for (std::size_t j = 0; j < m.cols(); ++j)
+      m(i, j) = samples[i].features[j];
+  }
+  return m;
+}
+
+std::vector<double> EnergyDataset::labels() const {
+  std::vector<double> out;
+  out.reserve(samples.size());
+  for (const auto& s : samples) out.push_back(s.normalized_energy);
+  return out;
+}
+
+std::vector<std::string> EnergyDataset::groups() const {
+  std::vector<std::string> out;
+  out.reserve(samples.size());
+  for (const auto& s : samples) out.push_back(s.benchmark);
+  return out;
+}
+
+EnergyDataset EnergyDataset::subset(
+    const std::vector<std::size_t>& idx) const {
+  EnergyDataset out;
+  out.feature_names = feature_names;
+  out.samples.reserve(idx.size());
+  for (auto i : idx) {
+    ensure(i < samples.size(), "EnergyDataset::subset: index out of range");
+    out.samples.push_back(samples[i]);
+  }
+  return out;
+}
+
+EnergyDataset EnergyDataset::subset_benchmark(
+    const std::string& benchmark) const {
+  EnergyDataset out;
+  out.feature_names = feature_names;
+  for (const auto& s : samples)
+    if (s.benchmark == benchmark) out.samples.push_back(s);
+  return out;
+}
+
+DataAcquisition::DataAcquisition(hwsim::NodeSimulator& node,
+                                 AcquisitionOptions options)
+    : node_(node), options_(options), rng_(options.seed) {}
+
+DataAcquisition::SweepPoint DataAcquisition::traced_run(
+    const workload::Benchmark& benchmark, const SystemConfig& config) {
+  trace::Otf2Archive archive;
+  // Energy-only trace (empty event set) -- the metric plugin records the
+  // HDEEM accumulator at region enter/exit.
+  trace::TraceListener listener(
+      archive, pmc::EventSet{},
+      pmc::CounterSampler(rng_.fork("trace"), options_.counter_noise));
+
+  instr::ExecutionContext ctx(node_);
+  ctx.apply(config);
+  instr::ScorepRuntime runtime(benchmark,
+                               instr::InstrumentationFilter::instrument_all());
+  runtime.add_listener(&listener);
+  runtime.execute(ctx);
+  ++runs_;
+
+  const trace::Otf2PostProcessor post(archive,
+                                      std::string(instr::kPhaseRegionName));
+  SweepPoint p;
+  p.energy = post.total_energy();
+  p.time = post.total_time();
+  return p;
+}
+
+std::map<std::string, double> DataAcquisition::collect_counter_rates(
+    const workload::Benchmark& benchmark, int threads,
+    const std::vector<hwsim::PmuEvent>& events) {
+  const auto& spec = node_.spec();
+  SystemConfig calib{threads, spec.calibration_core,
+                     spec.calibration_uncore};
+  const workload::Benchmark short_app =
+      benchmark.with_iterations(options_.phase_iterations);
+
+  std::map<std::string, double> merged;
+  for (const auto& set : pmc::multiplex_schedule(events)) {
+    trace::Otf2Archive archive;
+    trace::TraceListener listener(
+        archive, set,
+        pmc::CounterSampler(rng_.fork("counters"), options_.counter_noise));
+    instr::ExecutionContext ctx(node_);
+    ctx.apply(calib);
+    instr::ScorepRuntime runtime(
+        short_app, instr::InstrumentationFilter::instrument_all());
+    runtime.add_listener(&listener);
+    runtime.execute(ctx);
+    ++runs_;
+    const trace::Otf2PostProcessor post(archive,
+                                        std::string(instr::kPhaseRegionName));
+    for (const auto& [name, rate] : post.mean_counter_rates()) {
+      if (name != std::string(trace::kEnergyMetricName)) merged[name] = rate;
+    }
+  }
+  return merged;
+}
+
+namespace {
+
+/// Accumulates per-region counter sums and durations from region exits.
+class RegionCounterCollector final : public instr::RegionListener {
+ public:
+  RegionCounterCollector(const pmc::EventSet& set,
+                         pmc::CounterSampler& sampler)
+      : set_(set), sampler_(sampler) {}
+
+  void on_exit(const instr::RegionExit& e) override {
+    if (e.type == instr::RegionType::kPhase) return;
+    auto& acc = per_region_[std::string(e.region)];
+    acc.time += e.duration().value();
+    for (const auto& [event, value] : sampler_.sample(set_, e.counters))
+      acc.counts[event] += value;
+  }
+
+  struct Accumulator {
+    double time = 0.0;
+    std::map<hwsim::PmuEvent, double> counts;
+  };
+  [[nodiscard]] const std::map<std::string, Accumulator>& per_region() const {
+    return per_region_;
+  }
+
+ private:
+  const pmc::EventSet& set_;
+  pmc::CounterSampler& sampler_;
+  std::map<std::string, Accumulator> per_region_;
+};
+
+}  // namespace
+
+std::map<std::string, std::map<std::string, double>>
+DataAcquisition::collect_region_counter_rates(
+    const workload::Benchmark& benchmark, int threads,
+    const std::vector<hwsim::PmuEvent>& events) {
+  const auto& spec = node_.spec();
+  const SystemConfig calib{threads, spec.calibration_core,
+                           spec.calibration_uncore};
+  const workload::Benchmark short_app =
+      benchmark.with_iterations(options_.phase_iterations);
+
+  std::map<std::string, std::map<std::string, double>> rates;
+  pmc::CounterSampler sampler(rng_.fork("region-counters"),
+                              options_.counter_noise);
+  for (const auto& set : pmc::multiplex_schedule(events)) {
+    RegionCounterCollector collector(set, sampler);
+    instr::ExecutionContext ctx(node_);
+    ctx.apply(calib);
+    instr::ScorepRuntime runtime(
+        short_app, instr::InstrumentationFilter::instrument_all());
+    runtime.add_listener(&collector);
+    runtime.execute(ctx);
+    ++runs_;
+    for (const auto& [region, acc] : collector.per_region()) {
+      ensure(acc.time > 0, "collect_region_counter_rates: zero region time");
+      for (const auto& [event, count] : acc.counts) {
+        rates[region][std::string(hwsim::pmu_event_name(event))] =
+            count / acc.time;
+      }
+    }
+  }
+  return rates;
+}
+
+EnergyDataset DataAcquisition::acquire(
+    const std::vector<workload::Benchmark>& benchmarks) {
+  const auto& spec = node_.spec();
+  EnergyDataset ds;
+  ds.feature_names = model::feature_names(paper_feature_events());
+
+  for (const auto& benchmark : benchmarks) {
+    const workload::Benchmark short_app =
+        benchmark.with_iterations(options_.phase_iterations);
+    for (int threads : options_.thread_counts) {
+      const auto rates =
+          collect_counter_rates(benchmark, threads, paper_feature_events());
+
+      // Reference (calibration) energy for normalization.
+      const SweepPoint calib = traced_run(
+          short_app, SystemConfig{threads, spec.calibration_core,
+                                  spec.calibration_uncore});
+      ensure(calib.energy.value() > 0,
+             "DataAcquisition: zero calibration energy");
+
+      for (std::size_t ci = 0; ci < spec.core_grid.size();
+           ci += static_cast<std::size_t>(options_.cf_stride)) {
+        const CoreFreq cf = spec.core_grid.at(ci);
+        for (std::size_t ui = 0; ui < spec.uncore_grid.size();
+             ui += static_cast<std::size_t>(options_.ucf_stride)) {
+          const UncoreFreq ucf = spec.uncore_grid.at(ui);
+          const SweepPoint p =
+              traced_run(short_app, SystemConfig{threads, cf, ucf});
+          EnergySample s;
+          s.benchmark = benchmark.name();
+          s.threads = threads;
+          s.cf = cf;
+          s.ucf = ucf;
+          s.features = build_features(rates, paper_feature_events(), cf, ucf);
+          s.normalized_energy = p.energy / calib.energy;
+          s.normalized_time = p.time / calib.time;
+          s.normalized_power =
+              s.normalized_energy / std::max(1e-12, s.normalized_time);
+          ds.samples.push_back(std::move(s));
+        }
+      }
+    }
+  }
+  return ds;
+}
+
+CounterSurvey DataAcquisition::survey_counters(
+    const std::vector<workload::Benchmark>& benchmarks) {
+  const auto& spec = node_.spec();
+  CounterSurvey survey;
+  std::vector<std::map<std::string, double>> rows;
+
+  std::vector<hwsim::PmuEvent> all_events(hwsim::all_pmu_events().begin(),
+                                          hwsim::all_pmu_events().end());
+  for (const auto& benchmark : benchmarks) {
+    for (int threads : options_.thread_counts) {
+      auto rates = collect_counter_rates(benchmark, threads, all_events);
+      // Dependent variable: mean node power at the calibration point.
+      const SweepPoint p = traced_run(
+          benchmark.with_iterations(options_.phase_iterations),
+          SystemConfig{threads, spec.calibration_core,
+                       spec.calibration_uncore});
+      survey.benchmark.push_back(benchmark.name());
+      survey.mean_node_power.push_back(p.energy.value() /
+                                       std::max(1e-12, p.time.value()));
+      rows.push_back(std::move(rates));
+    }
+  }
+
+  survey.rates = stats::Matrix(rows.size(), all_events.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t j = 0; j < all_events.size(); ++j) {
+      const std::string name(hwsim::pmu_event_name(all_events[j]));
+      auto it = rows[i].find(name);
+      survey.rates(i, j) = it != rows[i].end() ? it->second : 0.0;
+    }
+  }
+  return survey;
+}
+
+}  // namespace ecotune::model

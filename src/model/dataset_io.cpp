@@ -1,0 +1,96 @@
+#include "model/dataset_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+
+namespace ecotune::model {
+
+void save_dataset_csv(const EnergyDataset& dataset, const std::string& path) {
+  std::ofstream os(path);
+  ensure(os.good(), "save_dataset_csv: cannot open '" + path + "'");
+  CsvWriter csv(os);
+
+  std::vector<std::string> header{"benchmark", "threads", "cf_mhz",
+                                  "ucf_mhz"};
+  for (const auto& f : dataset.feature_names) header.push_back(f);
+  header.insert(header.end(), {"normalized_energy", "normalized_power",
+                               "normalized_time"});
+  csv.row(header);
+
+  std::ostringstream num;
+  num.precision(17);
+  for (const auto& s : dataset.samples) {
+    std::vector<std::string> row{s.benchmark, std::to_string(s.threads),
+                                 std::to_string(s.cf.as_mhz()),
+                                 std::to_string(s.ucf.as_mhz())};
+    auto fmt = [&](double v) {
+      num.str("");
+      num << v;
+      return num.str();
+    };
+    for (double v : s.features) row.push_back(fmt(v));
+    row.push_back(fmt(s.normalized_energy));
+    row.push_back(fmt(s.normalized_power));
+    row.push_back(fmt(s.normalized_time));
+    csv.row(row);
+  }
+  ensure(os.good(), "save_dataset_csv: write failed");
+}
+
+namespace {
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  // The dataset writer never emits quoted cells (names are alphanumeric),
+  // so a plain comma split suffices; reject quotes defensively.
+  ensure(line.find('"') == std::string::npos,
+         "load_dataset_csv: quoted cells are not supported");
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream is(line);
+  while (std::getline(is, cell, ',')) cells.push_back(cell);
+  if (!line.empty() && line.back() == ',') cells.emplace_back();
+  return cells;
+}
+
+}  // namespace
+
+EnergyDataset load_dataset_csv(const std::string& path) {
+  std::ifstream is(path);
+  ensure(is.good(), "load_dataset_csv: cannot open '" + path + "'");
+  std::string line;
+  ensure(static_cast<bool>(std::getline(is, line)),
+         "load_dataset_csv: empty file");
+  const auto header = split_csv_line(line);
+  ensure(header.size() > 7, "load_dataset_csv: malformed header");
+  ensure(header[0] == "benchmark" &&
+             header[header.size() - 3] == "normalized_energy",
+         "load_dataset_csv: unexpected header layout");
+
+  EnergyDataset ds;
+  ds.feature_names.assign(header.begin() + 4, header.end() - 3);
+
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto cells = split_csv_line(line);
+    ensure(cells.size() == header.size(),
+           "load_dataset_csv: row width mismatch");
+    EnergySample s;
+    std::size_t i = 0;
+    s.benchmark = cells[i++];
+    s.threads = std::stoi(cells[i++]);
+    s.cf = CoreFreq::mhz(std::stoi(cells[i++]));
+    s.ucf = UncoreFreq::mhz(std::stoi(cells[i++]));
+    for (std::size_t f = 0; f < ds.feature_names.size(); ++f)
+      s.features.push_back(std::stod(cells[i++]));
+    s.normalized_energy = std::stod(cells[i++]);
+    s.normalized_power = std::stod(cells[i++]);
+    s.normalized_time = std::stod(cells[i++]);
+    ds.samples.push_back(std::move(s));
+  }
+  return ds;
+}
+
+}  // namespace ecotune::model

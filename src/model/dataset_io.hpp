@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string>
+
+#include "model/dataset.hpp"
+
+namespace ecotune::model {
+
+/// Writes the dataset as CSV: benchmark, threads, cf_mhz, ucf_mhz, one
+/// column per feature, then the three normalized labels. Enables offline
+/// analysis (plotting, alternative estimators) outside the harness.
+void save_dataset_csv(const EnergyDataset& dataset, const std::string& path);
+
+/// Reads a CSV written by save_dataset_csv(); throws Error on malformed
+/// input or a feature-column mismatch.
+[[nodiscard]] EnergyDataset load_dataset_csv(const std::string& path);
+
+}  // namespace ecotune::model

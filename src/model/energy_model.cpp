@@ -1,0 +1,144 @@
+#include "model/energy_model.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+#include "model/features.hpp"
+
+namespace ecotune::model {
+
+EnergyModel::EnergyModel(EnergyModelConfig config) : config_(config) {
+  ensure(config_.ensemble >= 1, "EnergyModel: ensemble must be >= 1");
+}
+
+void EnergyModel::train(const EnergyDataset& train) {
+  this->train(train, config_.epochs);
+}
+
+void EnergyModel::train(const EnergyDataset& train, int epochs) {
+  ensure(!train.samples.empty(), "EnergyModel::train: empty training set");
+  const stats::Matrix raw = train.feature_matrix();
+  ensure(raw.cols() == config_.mlp.layer_sizes.front(),
+         "EnergyModel::train: feature width does not match network input");
+  scaler_.fit(raw);
+  const stats::Matrix x = scaler_.transform(raw);
+  const std::vector<double> y = train.labels();
+
+  // Train a pool of candidates from distinct seeds and keep the best
+  // `ensemble` of them by training loss. This serves two purposes: a small
+  // ReLU-output network can die on an unlucky initialization (all-zero
+  // output, zero gradient), and averaging a few healthy members stabilizes
+  // the argmin over the nearly flat energy surface.
+  const int pool_size = config_.ensemble + 3;
+  std::vector<std::pair<double, nn::Mlp>> pool;
+  pool.reserve(static_cast<std::size_t>(pool_size));
+  for (int attempt = 0; attempt < pool_size; ++attempt) {
+    Rng init_rng(config_.seed + 0x9E3779B9ULL * attempt);
+    nn::Mlp candidate(config_.mlp, init_rng);
+    Rng shuffle_rng((config_.seed ^ 0x5A5A5A5AULL) + attempt);
+    double loss = 0.0;
+    for (int e = 0; e < epochs; ++e)
+      loss = candidate.train_epoch(x, y, shuffle_rng);
+    pool.emplace_back(loss, std::move(candidate));
+  }
+  std::sort(pool.begin(), pool.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  // Reject members that failed to fit (dead networks, divergence): anything
+  // clearly worse than the best candidate.
+  const double best_loss = pool.front().first;
+  const double cutoff = std::max(2.0 * best_loss, best_loss + 0.005);
+  nets_.clear();
+  for (auto& [loss, net] : pool) {
+    if (static_cast<int>(nets_.size()) >= config_.ensemble) break;
+    if (loss > cutoff && !nets_.empty()) break;
+    nets_.push_back(std::move(net));
+  }
+  ensure(!nets_.empty(), "EnergyModel::train: no candidate converged");
+  trained_ = true;
+}
+
+double EnergyModel::predict(const std::vector<double>& features) const {
+  ensure(trained_, "EnergyModel::predict: model not trained");
+  std::vector<double> scaled = features;
+  scaler_.transform_row(scaled);
+  double sum = 0.0;
+  for (const auto& net : nets_) sum += net.predict(scaled);
+  return sum / static_cast<double>(nets_.size());
+}
+
+std::vector<double> EnergyModel::predict_all(const EnergyDataset& ds) const {
+  std::vector<double> out;
+  out.reserve(ds.samples.size());
+  for (const auto& s : ds.samples) out.push_back(predict(s.features));
+  return out;
+}
+
+FrequencyRecommendation EnergyModel::recommend(
+    const std::map<std::string, double>& counter_rates,
+    const hwsim::CpuSpec& spec) const {
+  ensure(trained_, "EnergyModel::recommend: model not trained");
+  FrequencyRecommendation best;
+  best.predicted_normalized_energy = std::numeric_limits<double>::max();
+  for (auto cf : spec.core_grid.values()) {
+    for (auto ucf : spec.uncore_grid.values()) {
+      const auto f =
+          build_features(counter_rates, paper_feature_events(), cf, ucf);
+      const double e = predict(f);
+      if (e < best.predicted_normalized_energy) {
+        best = {cf, ucf, e};
+      }
+    }
+  }
+  return best;
+}
+
+std::vector<std::vector<double>> EnergyModel::predict_surface(
+    const std::map<std::string, double>& counter_rates,
+    const hwsim::CpuSpec& spec) const {
+  ensure(trained_, "EnergyModel::predict_surface: model not trained");
+  std::vector<std::vector<double>> surface;
+  surface.reserve(spec.core_grid.size());
+  for (auto cf : spec.core_grid.values()) {
+    std::vector<double> row;
+    row.reserve(spec.uncore_grid.size());
+    for (auto ucf : spec.uncore_grid.values()) {
+      row.push_back(
+          predict(build_features(counter_rates, paper_feature_events(), cf,
+                                 ucf)));
+    }
+    surface.push_back(std::move(row));
+  }
+  return surface;
+}
+
+Json EnergyModel::to_json() const {
+  ensure(trained_, "EnergyModel::to_json: model not trained");
+  Json j = Json::object();
+  j["scaler"] = scaler_.to_json();
+  Json networks = Json::array();
+  for (const auto& net : nets_) networks.push_back(net.to_json());
+  j["networks"] = std::move(networks);
+  j["epochs"] = config_.epochs;
+  return j;
+}
+
+EnergyModel EnergyModel::from_json(const Json& j) {
+  EnergyModel m;
+  m.scaler_ = stats::StandardScaler::from_json(j.at("scaler"));
+  if (j.contains("networks")) {
+    for (const auto& nj : j.at("networks").as_array())
+      m.nets_.push_back(nn::Mlp::from_json(nj));
+  } else {
+    // Backwards compatibility with single-network files.
+    m.nets_.push_back(nn::Mlp::from_json(j.at("network")));
+  }
+  ensure(!m.nets_.empty(), "EnergyModel::from_json: no networks");
+  m.config_.epochs = j.at("epochs").as_int();
+  m.config_.ensemble = static_cast<int>(m.nets_.size());
+  m.trained_ = true;
+  return m;
+}
+
+}  // namespace ecotune::model

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/json.hpp"
+#include "hwsim/cpu_spec.hpp"
+#include "model/dataset.hpp"
+#include "nn/mlp.hpp"
+#include "stats/scaler.hpp"
+
+namespace ecotune::model {
+
+/// Configuration of the neural-network energy model (paper Sec. IV-C and
+/// V-B defaults).
+struct EnergyModelConfig {
+  nn::MlpConfig mlp;   ///< 9-5-5-1, ReLU, ADAM lr 1e-3
+  int epochs = 5;      ///< LOOCV uses 5 epochs; the final model uses 10
+  /// Members of the seed ensemble whose predictions are averaged. The paper
+  /// trains a single network; with so small a network the argmin over the
+  /// nearly flat energy surface is noisy across initializations, so the
+  /// plugin averages a small ensemble by default. Set to 1 for the
+  /// paper-exact single-network setup.
+  int ensemble = 5;
+  std::uint64_t seed = 0x4E4EULL;
+};
+
+/// Recommendation produced by sweeping the model over the frequency grids.
+struct FrequencyRecommendation {
+  CoreFreq cf;
+  UncoreFreq ucf;
+  double predicted_normalized_energy = 0.0;
+};
+
+/// The paper's energy model: a StandardScaler (fit on the training set) in
+/// front of the 2-hidden-layer MLP predicting normalized node energy from
+/// seven counter rates plus the core and uncore frequency. Sweeping all
+/// frequency combinations through the network and taking the argmin yields
+/// the plugin's global frequency recommendation (Sec. III-C).
+class EnergyModel {
+ public:
+  explicit EnergyModel(EnergyModelConfig config = {});
+
+  /// Fits scaler and network on `train` for `config.epochs` epochs.
+  void train(const EnergyDataset& train);
+  /// As train(), overriding the epoch count (paper: 5 for LOOCV, 10 final).
+  void train(const EnergyDataset& train, int epochs);
+
+  [[nodiscard]] bool trained() const { return trained_; }
+
+  /// Predicts normalized energy for one raw (unscaled) feature vector.
+  [[nodiscard]] double predict(const std::vector<double>& features) const;
+
+  /// Predictions for a whole dataset (validation convenience).
+  [[nodiscard]] std::vector<double> predict_all(
+      const EnergyDataset& ds) const;
+
+  /// Sweeps every supported (CF, UCF) combination for an application whose
+  /// calibration counter rates are `counter_rates` and returns the
+  /// energy-minimal point.
+  [[nodiscard]] FrequencyRecommendation recommend(
+      const std::map<std::string, double>& counter_rates,
+      const hwsim::CpuSpec& spec) const;
+
+  /// Full predicted surface over the grids (for Figs. 6-7 style heatmaps):
+  /// row-major [cf index][ucf index].
+  [[nodiscard]] std::vector<std::vector<double>> predict_surface(
+      const std::map<std::string, double>& counter_rates,
+      const hwsim::CpuSpec& spec) const;
+
+  /// Serialization of scaler + network weights (the "tuning plugin input").
+  [[nodiscard]] Json to_json() const;
+  [[nodiscard]] static EnergyModel from_json(const Json& j);
+
+ private:
+  EnergyModelConfig config_;
+  stats::StandardScaler scaler_;
+  std::vector<nn::Mlp> nets_;  ///< ensemble members (>= 1 when trained)
+  bool trained_ = false;
+};
+
+}  // namespace ecotune::model

@@ -1,0 +1,44 @@
+#include "model/features.hpp"
+
+#include "common/error.hpp"
+
+namespace ecotune::model {
+
+const std::vector<hwsim::PmuEvent>& paper_feature_events() {
+  static const std::vector<hwsim::PmuEvent> events{
+      hwsim::PmuEvent::kBR_NTK,  hwsim::PmuEvent::kLD_INS,
+      hwsim::PmuEvent::kL2_ICR,  hwsim::PmuEvent::kBR_MSP,
+      hwsim::PmuEvent::kRES_STL, hwsim::PmuEvent::kSR_INS,
+      hwsim::PmuEvent::kL2_DCR,
+  };
+  return events;
+}
+
+std::vector<std::string> feature_names(
+    const std::vector<hwsim::PmuEvent>& events) {
+  std::vector<std::string> names;
+  names.reserve(events.size() + 2);
+  for (auto e : events) names.emplace_back(hwsim::pmu_event_name(e));
+  names.emplace_back("core_freq_ghz");
+  names.emplace_back("uncore_freq_ghz");
+  return names;
+}
+
+std::vector<double> build_features(
+    const std::map<std::string, double>& counter_rates,
+    const std::vector<hwsim::PmuEvent>& events, CoreFreq cf, UncoreFreq ucf) {
+  std::vector<double> f;
+  f.reserve(events.size() + 2);
+  for (auto e : events) {
+    const std::string name(hwsim::pmu_event_name(e));
+    auto it = counter_rates.find(name);
+    ensure(it != counter_rates.end(),
+           "build_features: missing counter rate for " + name);
+    f.push_back(it->second);
+  }
+  f.push_back(cf.as_ghz());
+  f.push_back(ucf.as_ghz());
+  return f;
+}
+
+}  // namespace ecotune::model

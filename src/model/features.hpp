@@ -1,0 +1,28 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "hwsim/pmu_events.hpp"
+
+namespace ecotune::model {
+
+/// The seven PAPI counters the paper selects for the energy model (Table I):
+/// BR_NTK, LD_INS, L2_ICR, BR_MSP, RES_STL, SR_INS, L2_DCR.
+[[nodiscard]] const std::vector<hwsim::PmuEvent>& paper_feature_events();
+
+/// Feature names: the counter names followed by "core_freq_ghz" and
+/// "uncore_freq_ghz" (the paper's nine model inputs, Fig. 4).
+[[nodiscard]] std::vector<std::string> feature_names(
+    const std::vector<hwsim::PmuEvent>& events);
+
+/// Builds the model input vector: counter *rates* (counts per second of
+/// phase time, paper Sec. IV-C) for `events` in order, then the two
+/// frequencies in GHz. Throws if a rate is missing from the map.
+[[nodiscard]] std::vector<double> build_features(
+    const std::map<std::string, double>& counter_rates,
+    const std::vector<hwsim::PmuEvent>& events, CoreFreq cf, UncoreFreq ucf);
+
+}  // namespace ecotune::model

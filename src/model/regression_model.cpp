@@ -1,0 +1,41 @@
+#include "model/regression_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ecotune::model {
+
+void RegressionEnergyModel::train(const EnergyDataset& train) {
+  ensure(!train.samples.empty(),
+         "RegressionEnergyModel::train: empty training set");
+  const stats::Matrix x = train.feature_matrix();
+  std::vector<double> power, time;
+  power.reserve(train.samples.size());
+  time.reserve(train.samples.size());
+  for (const auto& s : train.samples) {
+    power.push_back(s.normalized_power);
+    time.push_back(s.normalized_time);
+  }
+  power_ = stats::ols_fit(x, power);
+  time_ = stats::ols_fit(x, time);
+  trained_ = true;
+}
+
+double RegressionEnergyModel::predict(
+    const std::vector<double>& features) const {
+  ensure(trained_, "RegressionEnergyModel::predict: not trained");
+  const double p = std::max(0.0, power_.predict(features));
+  const double t = std::max(0.0, time_.predict(features));
+  return p * t;
+}
+
+std::vector<double> RegressionEnergyModel::predict_all(
+    const EnergyDataset& ds) const {
+  std::vector<double> out;
+  out.reserve(ds.samples.size());
+  for (const auto& s : ds.samples) out.push_back(predict(s.features));
+  return out;
+}
+
+}  // namespace ecotune::model

@@ -1,0 +1,238 @@
+#include "nn/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace ecotune::nn {
+
+Mlp::Mlp(MlpConfig config) : config_(std::move(config)) {
+  ensure(config_.layer_sizes.size() >= 2, "Mlp: need at least two layers");
+}
+
+Mlp::Mlp(MlpConfig config, Rng& rng) : Mlp(std::move(config)) {
+  for (std::size_t l = 0; l + 1 < config_.layer_sizes.size(); ++l) {
+    const std::size_t in = config_.layer_sizes[l];
+    const std::size_t out = config_.layer_sizes[l + 1];
+    Layer layer;
+    layer.w = stats::Matrix(out, in);
+    const double he = std::sqrt(2.0 / static_cast<double>(in));
+    for (std::size_t i = 0; i < out; ++i)
+      for (std::size_t j = 0; j < in; ++j)
+        layer.w(i, j) = rng.normal(0.0, 1.0) * he;
+    layer.b.assign(out, 0.0);
+    layer.mw = stats::Matrix(out, in);
+    layer.vw = stats::Matrix(out, in);
+    layer.mb.assign(out, 0.0);
+    layer.vb.assign(out, 0.0);
+    const bool is_output = (l + 2 == config_.layer_sizes.size());
+    layer.relu = !is_output || config_.relu_output;
+    layers_.push_back(std::move(layer));
+  }
+}
+
+std::vector<double> Mlp::forward(const std::vector<double>& x) const {
+  ensure(x.size() == input_size(), "Mlp::forward: input size mismatch");
+  std::vector<double> a = x;
+  for (const auto& layer : layers_) {
+    std::vector<double> z(layer.b);
+    for (std::size_t i = 0; i < layer.w.rows(); ++i) {
+      double acc = z[i];
+      for (std::size_t j = 0; j < layer.w.cols(); ++j)
+        acc += layer.w(i, j) * a[j];
+      z[i] = acc;
+    }
+    if (layer.relu)
+      for (auto& v : z) v = std::max(0.0, v);
+    a = std::move(z);
+  }
+  return a;
+}
+
+double Mlp::predict(const std::vector<double>& x) const {
+  ensure(output_size() == 1, "Mlp::predict: network is not scalar-valued");
+  return forward(x)[0];
+}
+
+double Mlp::train_sample(const std::vector<double>& x,
+                         const std::vector<double>& y) {
+  ensure(x.size() == input_size(), "Mlp::train_sample: input size mismatch");
+  ensure(y.size() == output_size(), "Mlp::train_sample: label size mismatch");
+
+  // Forward pass, caching pre-activations and activations.
+  std::vector<std::vector<double>> activations{x};  // a[0] = input
+  std::vector<std::vector<double>> pre;             // z per layer
+  for (const auto& layer : layers_) {
+    const auto& a = activations.back();
+    std::vector<double> z(layer.b);
+    for (std::size_t i = 0; i < layer.w.rows(); ++i) {
+      double acc = z[i];
+      for (std::size_t j = 0; j < layer.w.cols(); ++j)
+        acc += layer.w(i, j) * a[j];
+      z[i] = acc;
+    }
+    pre.push_back(z);
+    if (layer.relu)
+      for (auto& v : z) v = std::max(0.0, v);
+    activations.push_back(std::move(z));
+  }
+
+  // MSE loss and output gradient: L = mean_i (a_i - y_i)^2.
+  const auto& out = activations.back();
+  double loss = 0.0;
+  std::vector<double> delta(out.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const double diff = out[i] - y[i];
+    loss += diff * diff;
+    delta[i] = 2.0 * diff / static_cast<double>(out.size());
+  }
+  loss /= static_cast<double>(out.size());
+
+  // Backward pass.
+  for (std::size_t li = layers_.size(); li-- > 0;) {
+    Layer& layer = layers_[li];
+    // Through the activation.
+    if (layer.relu) {
+      for (std::size_t i = 0; i < delta.size(); ++i)
+        if (pre[li][i] <= 0.0) delta[i] = 0.0;
+    }
+    const auto& a_in = activations[li];
+    stats::Matrix grad_w(layer.w.rows(), layer.w.cols());
+    for (std::size_t i = 0; i < layer.w.rows(); ++i)
+      for (std::size_t j = 0; j < layer.w.cols(); ++j)
+        grad_w(i, j) = delta[i] * a_in[j];
+    const std::vector<double>& grad_b = delta;
+
+    // Gradient w.r.t. the previous activation (before updating weights).
+    std::vector<double> prev_delta(layer.w.cols(), 0.0);
+    for (std::size_t j = 0; j < layer.w.cols(); ++j) {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < layer.w.rows(); ++i)
+        acc += layer.w(i, j) * delta[i];
+      prev_delta[j] = acc;
+    }
+
+    adam_step(layer, grad_w, grad_b);
+    delta = std::move(prev_delta);
+  }
+  return loss;
+}
+
+void Mlp::adam_step(Layer& layer, const stats::Matrix& grad_w,
+                    const std::vector<double>& grad_b) {
+  ++timestep_;
+  const double b1 = config_.beta1;
+  const double b2 = config_.beta2;
+  const double bc1 = 1.0 - std::pow(b1, static_cast<double>(timestep_));
+  const double bc2 = 1.0 - std::pow(b2, static_cast<double>(timestep_));
+  const double lr = config_.learning_rate;
+
+  for (std::size_t i = 0; i < layer.w.rows(); ++i) {
+    for (std::size_t j = 0; j < layer.w.cols(); ++j) {
+      const double g = grad_w(i, j);
+      layer.mw(i, j) = b1 * layer.mw(i, j) + (1 - b1) * g;
+      layer.vw(i, j) = b2 * layer.vw(i, j) + (1 - b2) * g * g;
+      const double mhat = layer.mw(i, j) / bc1;
+      const double vhat = layer.vw(i, j) / bc2;
+      layer.w(i, j) -= lr * mhat / (std::sqrt(vhat) + config_.epsilon);
+    }
+    const double g = grad_b[i];
+    layer.mb[i] = b1 * layer.mb[i] + (1 - b1) * g;
+    layer.vb[i] = b2 * layer.vb[i] + (1 - b2) * g * g;
+    const double mhat = layer.mb[i] / bc1;
+    const double vhat = layer.vb[i] / bc2;
+    layer.b[i] -= lr * mhat / (std::sqrt(vhat) + config_.epsilon);
+  }
+}
+
+double Mlp::train_epoch(const stats::Matrix& x, const std::vector<double>& y,
+                        Rng& shuffle_rng) {
+  ensure(x.rows() == y.size(), "Mlp::train_epoch: sample count mismatch");
+  ensure(output_size() == 1, "Mlp::train_epoch: expects scalar labels");
+  std::vector<std::size_t> order(x.rows());
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t i = order.size(); i-- > 1;) {
+    const auto j = static_cast<std::size_t>(
+        shuffle_rng.uniform_int(0, static_cast<std::int64_t>(i)));
+    std::swap(order[i], order[j]);
+  }
+  double total = 0.0;
+  for (const auto idx : order)
+    total += train_sample(x.row(idx), {y[idx]});
+  return total / static_cast<double>(x.rows());
+}
+
+std::size_t Mlp::parameter_count() const {
+  std::size_t n = 0;
+  for (const auto& layer : layers_)
+    n += layer.w.rows() * layer.w.cols() + layer.b.size();
+  return n;
+}
+
+Json Mlp::to_json() const {
+  Json j = Json::object();
+  Json sizes = Json::array();
+  for (auto s : config_.layer_sizes) sizes.push_back(s);
+  j["layer_sizes"] = std::move(sizes);
+  j["relu_output"] = config_.relu_output;
+  j["learning_rate"] = config_.learning_rate;
+  Json layers = Json::array();
+  for (const auto& layer : layers_) {
+    Json lj = Json::object();
+    Json w = Json::array();
+    for (std::size_t i = 0; i < layer.w.rows(); ++i) {
+      Json row = Json::array();
+      for (std::size_t jj = 0; jj < layer.w.cols(); ++jj)
+        row.push_back(layer.w(i, jj));
+      w.push_back(std::move(row));
+    }
+    Json b = Json::array();
+    for (double v : layer.b) b.push_back(v);
+    lj["w"] = std::move(w);
+    lj["b"] = std::move(b);
+    lj["relu"] = layer.relu;
+    layers.push_back(std::move(lj));
+  }
+  j["layers"] = std::move(layers);
+  return j;
+}
+
+Mlp Mlp::from_json(const Json& j) {
+  MlpConfig config;
+  config.layer_sizes.clear();
+  for (const auto& s : j.at("layer_sizes").as_array())
+    config.layer_sizes.push_back(static_cast<std::size_t>(s.as_int()));
+  config.relu_output = j.at("relu_output").as_bool();
+  config.learning_rate = j.at("learning_rate").as_number();
+
+  Mlp net(config);
+  for (const auto& lj : j.at("layers").as_array()) {
+    const auto& wj = lj.at("w").as_array();
+    const auto& bj = lj.at("b").as_array();
+    Layer layer;
+    const std::size_t out = wj.size();
+    const std::size_t in = out ? wj[0].as_array().size() : 0;
+    layer.w = stats::Matrix(out, in);
+    for (std::size_t i = 0; i < out; ++i) {
+      const auto& row = wj[i].as_array();
+      ensure(row.size() == in, "Mlp::from_json: ragged weight matrix");
+      for (std::size_t jj = 0; jj < in; ++jj)
+        layer.w(i, jj) = row[jj].as_number();
+    }
+    for (const auto& v : bj) layer.b.push_back(v.as_number());
+    ensure(layer.b.size() == out, "Mlp::from_json: bias size mismatch");
+    layer.mw = stats::Matrix(out, in);
+    layer.vw = stats::Matrix(out, in);
+    layer.mb.assign(out, 0.0);
+    layer.vb.assign(out, 0.0);
+    layer.relu = lj.at("relu").as_bool();
+    net.layers_.push_back(std::move(layer));
+  }
+  ensure(net.layers_.size() + 1 == config.layer_sizes.size(),
+         "Mlp::from_json: layer count mismatch");
+  return net;
+}
+
+}  // namespace ecotune::nn

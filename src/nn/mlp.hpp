@@ -1,0 +1,85 @@
+#pragma once
+
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/rng.hpp"
+#include "stats/linalg.hpp"
+
+namespace ecotune::nn {
+
+/// Hyper-parameters of the feed-forward network and its ADAM optimizer.
+/// Defaults reproduce the paper's Fig. 4 architecture and Sec. V-B training
+/// setup: 9 inputs -> 5 -> 5 -> 1, ReLU before the hidden layers and before
+/// the output, He initialization, zero biases, MSE loss, ADAM with the
+/// default parameters and learning rate 1e-3.
+struct MlpConfig {
+  std::vector<std::size_t> layer_sizes{9, 5, 5, 1};
+  /// ReLU on the output unit as well (the paper places ReLU "before the two
+  /// hidden layers and before the output layer"; normalized energy is
+  /// non-negative).
+  bool relu_output = true;
+  double learning_rate = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+};
+
+/// Fully connected feed-forward network trained by per-sample stochastic
+/// gradient descent with ADAM on a mean-squared-error objective.
+class Mlp {
+ public:
+  /// Initializes weights ~ N(0,1) * sqrt(2/n_in) (He et al.), biases zero.
+  Mlp(MlpConfig config, Rng& rng);
+
+  [[nodiscard]] const MlpConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t input_size() const {
+    return config_.layer_sizes.front();
+  }
+  [[nodiscard]] std::size_t output_size() const {
+    return config_.layer_sizes.back();
+  }
+
+  /// Forward pass; returns the output vector.
+  [[nodiscard]] std::vector<double> forward(
+      const std::vector<double>& x) const;
+
+  /// Scalar prediction convenience (single-output networks).
+  [[nodiscard]] double predict(const std::vector<double>& x) const;
+
+  /// One forward/backward pass and ADAM update on a single sample; returns
+  /// the sample's squared-error loss before the update.
+  double train_sample(const std::vector<double>& x,
+                      const std::vector<double>& y);
+
+  /// One epoch of per-sample SGD over (x, y) in shuffled order; returns the
+  /// mean loss.
+  double train_epoch(const stats::Matrix& x, const std::vector<double>& y,
+                     Rng& shuffle_rng);
+
+  /// Serializes weights, biases and config (optimizer state excluded).
+  [[nodiscard]] Json to_json() const;
+  [[nodiscard]] static Mlp from_json(const Json& j);
+
+  /// Total number of trainable parameters.
+  [[nodiscard]] std::size_t parameter_count() const;
+
+ private:
+  struct Layer {
+    stats::Matrix w;         ///< out x in
+    std::vector<double> b;   ///< out
+    stats::Matrix mw, vw;    ///< ADAM first/second moments for w
+    std::vector<double> mb, vb;
+    bool relu = true;        ///< activation after this layer
+  };
+
+  explicit Mlp(MlpConfig config);  // uninitialized (for from_json)
+  void adam_step(Layer& layer, const stats::Matrix& grad_w,
+                 const std::vector<double>& grad_b);
+
+  MlpConfig config_;
+  std::vector<Layer> layers_;
+  long timestep_ = 0;
+};
+
+}  // namespace ecotune::nn

@@ -1,0 +1,19 @@
+#include "pmc/counter_sampler.hpp"
+
+#include <algorithm>
+
+namespace ecotune::pmc {
+
+CounterReadings CounterSampler::sample(const EventSet& set,
+                                       const hwsim::PmuCounts& truth) {
+  CounterReadings out;
+  for (auto e : set.events()) {
+    const double v = truth[static_cast<std::size_t>(static_cast<int>(e))];
+    const double factor =
+        noise_ > 0 ? std::max(0.0, rng_.normal(1.0, noise_)) : 1.0;
+    out[e] = v * factor;
+  }
+  return out;
+}
+
+}  // namespace ecotune::pmc

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hwsim/counter_model.hpp"
+#include "pmc/event_set.hpp"
+
+namespace ecotune::pmc {
+
+/// Measured values keyed by event.
+using CounterReadings = std::map<hwsim::PmuEvent, double>;
+
+/// Converts ground-truth counter values into "measured" ones: per-read
+/// multiplicative noise models sampling skid and interrupt perturbation.
+class CounterSampler {
+ public:
+  explicit CounterSampler(Rng rng, double relative_noise = 0.005)
+      : rng_(rng), noise_(relative_noise) {}
+
+  /// Samples one event set from one region-execution ground truth.
+  [[nodiscard]] CounterReadings sample(const EventSet& set,
+                                       const hwsim::PmuCounts& truth);
+
+  /// Collects all `events` from repeated executions: `run` is invoked once
+  /// per multiplexed event set and per repeat, returning the ground truth of
+  /// that execution; readings are averaged over `repeats` (paper: "energy
+  /// and PAPI counter values are averaged across all runs").
+  template <class RunFn>
+  [[nodiscard]] CounterReadings collect_multiplexed(
+      const std::vector<hwsim::PmuEvent>& events, RunFn&& run,
+      int repeats = 1) {
+    CounterReadings avg;
+    const auto schedule = multiplex_schedule(events);
+    for (const auto& set : schedule) {
+      for (int r = 0; r < repeats; ++r) {
+        const hwsim::PmuCounts truth = run();
+        for (const auto& [e, v] : sample(set, truth)) avg[e] += v;
+      }
+    }
+    for (auto& [e, v] : avg) v /= repeats;
+    return avg;
+  }
+
+  /// Number of application runs needed to collect `n_events` counters.
+  [[nodiscard]] static int runs_required(std::size_t n_events) {
+    return static_cast<int>(
+        (n_events + EventSet::kMaxHardwareCounters - 1) /
+        EventSet::kMaxHardwareCounters);
+  }
+
+ private:
+  Rng rng_;
+  double noise_;
+};
+
+}  // namespace ecotune::pmc

@@ -1,0 +1,40 @@
+#include "pmc/event_set.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ecotune::pmc {
+
+EventSet::EventSet(std::vector<hwsim::PmuEvent> events) {
+  for (auto e : events) add(e);
+}
+
+void EventSet::add(hwsim::PmuEvent e) {
+  ensure(events_.size() < static_cast<std::size_t>(kMaxHardwareCounters),
+         "EventSet::add: no free hardware counter (PAPI_ECNFLCT)");
+  ensure(!contains(e), "EventSet::add: event already in set");
+  events_.push_back(e);
+}
+
+bool EventSet::contains(hwsim::PmuEvent e) const {
+  return std::find(events_.begin(), events_.end(), e) != events_.end();
+}
+
+std::vector<EventSet> multiplex_schedule(
+    const std::vector<hwsim::PmuEvent>& events) {
+  std::vector<EventSet> out;
+  EventSet current;
+  for (auto e : events) {
+    if (current.size() ==
+        static_cast<std::size_t>(EventSet::kMaxHardwareCounters)) {
+      out.push_back(std::move(current));
+      current = EventSet();
+    }
+    current.add(e);
+  }
+  if (current.size() > 0) out.push_back(std::move(current));
+  return out;
+}
+
+}  // namespace ecotune::pmc

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+#include "hwsim/pmu_events.hpp"
+
+namespace ecotune::pmc {
+
+/// PAPI-style event set. The simulated PMU has a limited number of
+/// programmable counters (4, as on Haswell with hyper-threading disabled but
+/// NMI watchdog active), which is why collecting all 56 presets requires
+/// multiple application runs (paper Sec. IV-A).
+class EventSet {
+ public:
+  /// Programmable counters available per run.
+  static constexpr int kMaxHardwareCounters = 4;
+
+  EventSet() = default;
+  /// Convenience constructor; throws if `events` exceeds the limit.
+  explicit EventSet(std::vector<hwsim::PmuEvent> events);
+
+  /// Adds an event; throws PreconditionError when full or duplicated
+  /// (PAPI_ECNFLCT analogue).
+  void add(hwsim::PmuEvent e);
+
+  [[nodiscard]] const std::vector<hwsim::PmuEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] bool contains(hwsim::PmuEvent e) const;
+
+ private:
+  std::vector<hwsim::PmuEvent> events_;
+};
+
+/// Splits `events` into the minimal sequence of hardware-feasible event sets
+/// (the multiplexing schedule for multi-run collection).
+[[nodiscard]] std::vector<EventSet> multiplex_schedule(
+    const std::vector<hwsim::PmuEvent>& events);
+
+}  // namespace ecotune::pmc

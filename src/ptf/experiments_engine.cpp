@@ -1,0 +1,154 @@
+#include "ptf/experiments_engine.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ecotune::ptf {
+namespace {
+
+/// Listener that assigns one scenario per phase iteration: switches the
+/// configuration at phase enter and buckets region/phase measurements by the
+/// active scenario.
+class ScenarioScheduler final : public instr::RegionListener {
+ public:
+  ScenarioScheduler(instr::ExecutionContext& ctx,
+                    const std::vector<std::pair<int, SystemConfig>>& schedule,
+                    std::map<int, ScenarioResult>& buckets, Rng& rng,
+                    double noise)
+      : ctx_(ctx),
+        schedule_(schedule),
+        buckets_(buckets),
+        rng_(rng),
+        noise_(noise) {}
+
+  void on_enter(const instr::RegionEnter& e) override {
+    if (e.type != instr::RegionType::kPhase) return;
+    const std::size_t i = static_cast<std::size_t>(e.iteration);
+    if (i >= schedule_.size()) return;
+    active_ = schedule_[i].first;
+    ctx_.apply(schedule_[i].second);
+  }
+
+  void on_exit(const instr::RegionExit& e) override {
+    if (active_ < 0) return;
+    auto it = buckets_.find(active_);
+    if (it == buckets_.end()) return;
+    Measurement m;
+    // HDEEM-plugin style measurement: exact value with small reading noise.
+    const double f =
+        noise_ > 0 ? std::max(0.0, rng_.normal(1.0, noise_)) : 1.0;
+    m.node_energy = e.node_energy * f;
+    m.cpu_energy = e.cpu_energy * f;
+    m.time = e.duration();
+    m.count = 1;
+    if (e.type == instr::RegionType::kPhase) {
+      it->second.phase += m;
+    } else {
+      it->second.regions[std::string(e.region)] += m;
+    }
+  }
+
+ private:
+  instr::ExecutionContext& ctx_;
+  const std::vector<std::pair<int, SystemConfig>>& schedule_;
+  std::map<int, ScenarioResult>& buckets_;
+  Rng& rng_;
+  double noise_;
+  int active_ = -1;
+};
+
+}  // namespace
+
+ExperimentsEngine::ExperimentsEngine(hwsim::NodeSimulator& node,
+                                     workload::Benchmark app,
+                                     instr::InstrumentationFilter filter,
+                                     EngineOptions options)
+    : node_(node),
+      app_(std::move(app)),
+      filter_(std::move(filter)),
+      options_(options),
+      rng_(options.seed) {}
+
+std::vector<ScenarioResult> ExperimentsEngine::run(
+    const std::vector<Scenario>& scenarios, const SystemConfig& base) {
+  ensure(!scenarios.empty(), "ExperimentsEngine::run: no scenarios");
+  ensure(options_.iterations_per_scenario >= 1,
+         "ExperimentsEngine::run: iterations_per_scenario must be >= 1");
+
+  // Build the experiment schedule: each scenario occupies
+  // `iterations_per_scenario` consecutive phase iterations.
+  std::vector<std::pair<int, SystemConfig>> schedule;
+  std::map<int, ScenarioResult> buckets;
+  for (const auto& s : scenarios) {
+    ScenarioResult r;
+    r.scenario = s;
+    r.config = scenario_to_config(s, base);
+    buckets.emplace(s.id, std::move(r));
+    for (int i = 0; i < options_.iterations_per_scenario; ++i)
+      schedule.emplace_back(s.id, scenario_to_config(s, base));
+  }
+
+  // Chunk the schedule into application runs: one run covers at most
+  // `phase_iterations` scheduled slots.
+  const auto per_run = static_cast<std::size_t>(app_.phase_iterations());
+  const Seconds t0 = node_.now();
+  std::size_t cursor = 0;
+  while (cursor < schedule.size()) {
+    const std::size_t n = std::min(per_run, schedule.size() - cursor);
+    const std::vector<std::pair<int, SystemConfig>> slice(
+        schedule.begin() + static_cast<std::ptrdiff_t>(cursor),
+        schedule.begin() + static_cast<std::ptrdiff_t>(cursor + n));
+    // Shorten the app so the run ends when its slice is exhausted.
+    const workload::Benchmark chunk =
+        app_.with_iterations(static_cast<int>(n));
+    instr::ExecutionContext ctx(node_);
+    ctx.apply(base);
+    ScenarioScheduler scheduler(ctx, slice, buckets, rng_,
+                                options_.measurement_noise);
+    instr::ScorepRuntime runtime(chunk, filter_);
+    runtime.add_listener(&scheduler);
+    runtime.execute(ctx);
+    ++app_runs_;
+    cursor += n;
+  }
+  experiment_time_ += node_.now() - t0;
+
+  std::vector<ScenarioResult> out;
+  out.reserve(scenarios.size());
+  for (const auto& s : scenarios) out.push_back(buckets.at(s.id));
+  return out;
+}
+
+const ScenarioResult& ExperimentsEngine::best_phase(
+    const std::vector<ScenarioResult>& results,
+    const TuningObjective& objective) {
+  ensure(!results.empty(), "best_phase: no results");
+  const ScenarioResult* best = &results.front();
+  for (const auto& r : results) {
+    if (objective.evaluate(r.phase) < objective.evaluate(best->phase))
+      best = &r;
+  }
+  return *best;
+}
+
+std::map<std::string, const ScenarioResult*>
+ExperimentsEngine::best_per_region(const std::vector<ScenarioResult>& results,
+                                   const TuningObjective& objective) {
+  std::map<std::string, const ScenarioResult*> best;
+  for (const auto& r : results) {
+    for (const auto& [region, m] : r.regions) {
+      auto it = best.find(region);
+      if (it == best.end()) {
+        best.emplace(region, &r);
+      } else {
+        const Measurement& incumbent = it->second->regions.at(region);
+        if (objective.evaluate(m) < objective.evaluate(incumbent))
+          it->second = &r;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace ecotune::ptf

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "instr/filter.hpp"
+#include "instr/scorep_runtime.hpp"
+#include "ptf/objectives.hpp"
+#include "ptf/tuning_parameter.hpp"
+#include "workload/benchmark.hpp"
+
+namespace ecotune::ptf {
+
+/// What the engine measured for one scenario: the phase-region aggregate
+/// plus per-region aggregates (regions are measured in the same experiment,
+/// which is how the plugin tunes all significant regions "in a single
+/// application run", paper Sec. V-C).
+struct ScenarioResult {
+  Scenario scenario;
+  SystemConfig config;
+  Measurement phase;
+  std::map<std::string, Measurement> regions;
+};
+
+/// Engine knobs.
+struct EngineOptions {
+  /// Phase iterations evaluated per scenario (>=1; averaging reduces noise).
+  int iterations_per_scenario = 1;
+  /// Relative noise of per-region energy measurements (HDEEM metric-plugin
+  /// readings at region granularity).
+  double measurement_noise = 0.004;
+  std::uint64_t seed = 0xE61E5EEDULL;
+};
+
+/// PTF experiments engine: executes scenarios on the instrumented
+/// application, assigning one scenario per phase iteration so a single
+/// application run evaluates many scenarios (the progressive-phase-loop
+/// exploitation of paper Sec. V-C). Configurations are switched at phase
+/// boundaries through the Parameter Control Plugins.
+class ExperimentsEngine {
+ public:
+  /// The application is stored by value, so temporaries are safe to pass.
+  ExperimentsEngine(hwsim::NodeSimulator& node, workload::Benchmark app,
+                    instr::InstrumentationFilter filter,
+                    EngineOptions options = {});
+
+  /// Runs all scenarios; unspecified parameters default to `base`.
+  [[nodiscard]] std::vector<ScenarioResult> run(
+      const std::vector<Scenario>& scenarios, const SystemConfig& base);
+
+  /// Application runs performed so far (one run covers up to
+  /// phase_iterations scenarios).
+  [[nodiscard]] long app_runs() const { return app_runs_; }
+  /// Total simulated wall time spent in experiments (the tuning time).
+  [[nodiscard]] Seconds experiment_time() const { return experiment_time_; }
+
+  /// Picks the best scenario for the phase region under `objective`.
+  [[nodiscard]] static const ScenarioResult& best_phase(
+      const std::vector<ScenarioResult>& results,
+      const TuningObjective& objective);
+
+  /// Picks the best scenario per region under `objective`.
+  [[nodiscard]] static std::map<std::string, const ScenarioResult*>
+  best_per_region(const std::vector<ScenarioResult>& results,
+                  const TuningObjective& objective);
+
+ private:
+  hwsim::NodeSimulator& node_;
+  workload::Benchmark app_;
+  instr::InstrumentationFilter filter_;
+  EngineOptions options_;
+  Rng rng_;
+  long app_runs_ = 0;
+  Seconds experiment_time_{0};
+};
+
+}  // namespace ecotune::ptf

@@ -1,0 +1,18 @@
+#include "ptf/objectives.hpp"
+
+#include "common/error.hpp"
+
+namespace ecotune::ptf {
+
+std::unique_ptr<TuningObjective> make_objective(std::string_view name) {
+  if (name == "energy") return std::make_unique<EnergyObjective>();
+  if (name == "cpu_energy") return std::make_unique<CpuEnergyObjective>();
+  if (name == "time") return std::make_unique<TimeObjective>();
+  if (name == "edp") return std::make_unique<EdpObjective>();
+  if (name == "ed2p") return std::make_unique<Ed2pObjective>();
+  if (name == "tco") return std::make_unique<TcoObjective>();
+  throw ConfigError("make_objective: unknown objective '" +
+                    std::string(name) + "'");
+}
+
+}  // namespace ecotune::ptf

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/units.hpp"
+
+namespace ecotune::ptf {
+
+/// What the experiments engine measured for one scenario (or one region
+/// under one scenario).
+struct Measurement {
+  Joules node_energy{0};
+  Joules cpu_energy{0};
+  Seconds time{0};
+  long count = 0;  ///< number of aggregated instances
+
+  Measurement& operator+=(const Measurement& rhs) {
+    node_energy += rhs.node_energy;
+    cpu_energy += rhs.cpu_energy;
+    time += rhs.time;
+    count += rhs.count;
+    return *this;
+  }
+};
+
+/// A single-objective tuning criterion (paper Sec. II: energy, TCO, EDP,
+/// ED2P...). Lower is better.
+class TuningObjective {
+ public:
+  virtual ~TuningObjective() = default;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  [[nodiscard]] virtual double evaluate(const Measurement& m) const = 0;
+};
+
+/// Node energy (the paper's fundamental tuning objective).
+class EnergyObjective final : public TuningObjective {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "energy"; }
+  [[nodiscard]] double evaluate(const Measurement& m) const override {
+    return m.node_energy.value();
+  }
+};
+
+/// CPU (RAPL-domain) energy.
+class CpuEnergyObjective final : public TuningObjective {
+ public:
+  [[nodiscard]] std::string_view name() const override {
+    return "cpu_energy";
+  }
+  [[nodiscard]] double evaluate(const Measurement& m) const override {
+    return m.cpu_energy.value();
+  }
+};
+
+/// Time-to-solution.
+class TimeObjective final : public TuningObjective {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "time"; }
+  [[nodiscard]] double evaluate(const Measurement& m) const override {
+    return m.time.value();
+  }
+};
+
+/// Energy-delay product E*T.
+class EdpObjective final : public TuningObjective {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "edp"; }
+  [[nodiscard]] double evaluate(const Measurement& m) const override {
+    return m.node_energy.value() * m.time.value();
+  }
+};
+
+/// Energy-delay-squared product E*T^2.
+class Ed2pObjective final : public TuningObjective {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "ed2p"; }
+  [[nodiscard]] double evaluate(const Measurement& m) const override {
+    return m.node_energy.value() * m.time.value() * m.time.value();
+  }
+};
+
+/// Total cost of ownership: energy cost plus machine-time cost.
+class TcoObjective final : public TuningObjective {
+ public:
+  /// Defaults: ~0.25 EUR/kWh and a machine-hour rate.
+  TcoObjective(double cost_per_joule = 0.25 / 3.6e6,
+               double cost_per_second = 0.02 / 3.6e3)
+      : cost_per_joule_(cost_per_joule), cost_per_second_(cost_per_second) {}
+  [[nodiscard]] std::string_view name() const override { return "tco"; }
+  [[nodiscard]] double evaluate(const Measurement& m) const override {
+    return cost_per_joule_ * m.node_energy.value() +
+           cost_per_second_ * m.time.value();
+  }
+
+ private:
+  double cost_per_joule_;
+  double cost_per_second_;
+};
+
+/// Factory by name ("energy", "cpu_energy", "time", "edp", "ed2p", "tco").
+[[nodiscard]] std::unique_ptr<TuningObjective> make_objective(
+    std::string_view name);
+
+}  // namespace ecotune::ptf

@@ -1,0 +1,46 @@
+#include "ptf/search_space.hpp"
+
+#include "common/error.hpp"
+
+namespace ecotune::ptf {
+
+SearchSpace::SearchSpace(std::vector<TuningParameter> params)
+    : params_(std::move(params)) {}
+
+void SearchSpace::add_parameter(TuningParameter p) {
+  ensure(!p.values.empty(), "SearchSpace: parameter without values");
+  params_.push_back(std::move(p));
+}
+
+std::size_t SearchSpace::size() const {
+  if (params_.empty()) return 0;
+  std::size_t n = 1;
+  for (const auto& p : params_) n *= p.values.size();
+  return n;
+}
+
+std::vector<Scenario> SearchSpace::exhaustive() const {
+  std::vector<Scenario> out;
+  if (params_.empty()) return out;
+  out.reserve(size());
+  std::vector<std::size_t> idx(params_.size(), 0);
+  int id = 0;
+  while (true) {
+    Scenario s;
+    s.id = id++;
+    for (std::size_t i = 0; i < params_.size(); ++i)
+      s.values[params_[i].name] = params_[i].values[idx[i]];
+    out.push_back(std::move(s));
+    // Odometer increment.
+    std::size_t i = 0;
+    while (i < idx.size()) {
+      if (++idx[i] < params_[i].values.size()) break;
+      idx[i] = 0;
+      ++i;
+    }
+    if (i == idx.size()) break;
+  }
+  return out;
+}
+
+}  // namespace ecotune::ptf

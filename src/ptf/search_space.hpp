@@ -1,0 +1,31 @@
+#pragma once
+
+#include <vector>
+
+#include "ptf/tuning_parameter.hpp"
+
+namespace ecotune::ptf {
+
+/// Cartesian search space over tuning parameters, with the exhaustive and
+/// reduced (neighborhood) enumeration strategies the plugin uses.
+class SearchSpace {
+ public:
+  SearchSpace() = default;
+  explicit SearchSpace(std::vector<TuningParameter> params);
+
+  void add_parameter(TuningParameter p);
+  [[nodiscard]] const std::vector<TuningParameter>& parameters() const {
+    return params_;
+  }
+
+  /// Number of scenarios in the full cartesian product.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Enumerates every combination (ids are assigned 0..size-1).
+  [[nodiscard]] std::vector<Scenario> exhaustive() const;
+
+ private:
+  std::vector<TuningParameter> params_;
+};
+
+}  // namespace ecotune::ptf

@@ -1,0 +1,57 @@
+#include "ptf/tuning_parameter.hpp"
+
+#include "common/error.hpp"
+
+namespace ecotune::ptf {
+
+TuningParameter omp_threads_parameter(int lower, int upper, int step) {
+  ensure(lower >= 1 && upper >= lower && step >= 1,
+         "omp_threads_parameter: invalid range");
+  TuningParameter p;
+  p.name = std::string(kOmpThreadsParam);
+  for (int t = lower; t <= upper; t += step) p.values.push_back(t);
+  return p;
+}
+
+TuningParameter core_freq_parameter(const std::vector<CoreFreq>& values) {
+  ensure(!values.empty(), "core_freq_parameter: empty value set");
+  TuningParameter p;
+  p.name = std::string(kCoreFreqParam);
+  for (auto f : values) p.values.push_back(f.as_mhz());
+  return p;
+}
+
+TuningParameter uncore_freq_parameter(const std::vector<UncoreFreq>& values) {
+  ensure(!values.empty(), "uncore_freq_parameter: empty value set");
+  TuningParameter p;
+  p.name = std::string(kUncoreFreqParam);
+  for (auto f : values) p.values.push_back(f.as_mhz());
+  return p;
+}
+
+int Scenario::at(std::string_view param) const {
+  auto it = values.find(std::string(param));
+  ensure(it != values.end(),
+         "Scenario::at: parameter '" + std::string(param) + "' not set");
+  return it->second;
+}
+
+SystemConfig scenario_to_config(const Scenario& s, const SystemConfig& base) {
+  SystemConfig c = base;
+  if (s.has(kOmpThreadsParam)) c.threads = s.at(kOmpThreadsParam);
+  if (s.has(kCoreFreqParam)) c.core = CoreFreq::mhz(s.at(kCoreFreqParam));
+  if (s.has(kUncoreFreqParam))
+    c.uncore = UncoreFreq::mhz(s.at(kUncoreFreqParam));
+  return c;
+}
+
+Scenario config_to_scenario(int id, const SystemConfig& c) {
+  Scenario s;
+  s.id = id;
+  s.values[std::string(kOmpThreadsParam)] = c.threads;
+  s.values[std::string(kCoreFreqParam)] = c.core.as_mhz();
+  s.values[std::string(kUncoreFreqParam)] = c.uncore.as_mhz();
+  return s;
+}
+
+}  // namespace ecotune::ptf

@@ -1,0 +1,28 @@
+#include "ptf/tuning_plugin.hpp"
+
+namespace ecotune::ptf {
+
+int Frontend::run(TuningPlugin& plugin, const workload::Benchmark& app,
+                  hwsim::NodeSimulator& node) {
+  PluginContext ctx(node, app);
+  plugin.initialize(ctx);
+
+  int scenarios_executed = 0;
+  app_runs_ = 0;
+  experiment_time_ = Seconds(0);
+  while (plugin.has_next_tuning_step()) {
+    const std::vector<Scenario> scenarios = plugin.create_scenarios();
+    if (scenarios.empty()) continue;
+    ExperimentsEngine engine(node, app, plugin.instrumentation_filter(),
+                             engine_options_);
+    const auto results = engine.run(scenarios, plugin.scenario_base());
+    app_runs_ += engine.app_runs();
+    experiment_time_ += engine.experiment_time();
+    scenarios_executed += static_cast<int>(scenarios.size());
+    plugin.process_results(results);
+  }
+  plugin.finalize();
+  return scenarios_executed;
+}
+
+}  // namespace ecotune::ptf

@@ -1,0 +1,48 @@
+#include "readex/rrl.hpp"
+
+namespace ecotune::readex {
+
+Rrl::Rrl(const TuningModel& model, instr::ExecutionContext& ctx)
+    : model_(model), ctx_(ctx), pcps_(instr::default_pcps()) {}
+
+void Rrl::on_enter(const instr::RegionEnter& e) {
+  if (e.type == instr::RegionType::kPhase) return;
+  ++lookups_;
+  const auto config = model_.lookup(std::string(e.region));
+  if (!config) return;
+  if (*config == ctx_.current()) return;
+  // Apply through the PCP stack (OpenMPTP, cpu_freq, uncore_freq).
+  Seconds overhead{0};
+  for (const auto& pcp : pcps_) {
+    if (pcp->name() == "OpenMPTP") {
+      overhead += pcp->set(ctx_, config->threads);
+    } else if (pcp->name() == "cpu_freq") {
+      overhead += pcp->set(ctx_, config->core.as_mhz());
+    } else if (pcp->name() == "uncore_freq") {
+      overhead += pcp->set(ctx_, config->uncore.as_mhz());
+    }
+  }
+  if (overhead.value() > 0) {
+    ++switches_;
+    switch_overhead_ += overhead;
+  }
+}
+
+RatResult run_with_rrl(const workload::Benchmark& app,
+                       hwsim::NodeSimulator& node, const TuningModel& model,
+                       const instr::InstrumentationFilter& filter,
+                       const SystemConfig& initial) {
+  instr::ExecutionContext ctx(node);
+  ctx.apply(initial);
+  Rrl rrl(model, ctx);
+  instr::ScorepRuntime runtime(app, filter);
+  runtime.add_listener(&rrl);
+  RatResult result;
+  result.run = runtime.execute(ctx);
+  result.switches = rrl.switches();
+  result.switch_overhead = rrl.switch_overhead();
+  result.lookups = rrl.lookups();
+  return result;
+}
+
+}  // namespace ecotune::readex

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "instr/pcp.hpp"
+#include "instr/region_events.hpp"
+#include "instr/scorep_runtime.hpp"
+#include "readex/tuning_model.hpp"
+#include "workload/benchmark.hpp"
+
+namespace ecotune::readex {
+
+/// The READEX Runtime Library: loads a tuning model and, at every
+/// significant-region enter, switches the system configuration to the
+/// region's scenario through the Parameter Control Plugins (paper Sec. V-D,
+/// Runtime Application Tuning). Regions not present in the model keep the
+/// last applied configuration.
+class Rrl final : public instr::RegionListener {
+ public:
+  /// `ctx` must outlive the Rrl; switching is accounted on it.
+  Rrl(const TuningModel& model, instr::ExecutionContext& ctx);
+
+  // instr::RegionListener:
+  void on_enter(const instr::RegionEnter& e) override;
+
+  /// Number of region enters that caused an actual configuration change.
+  [[nodiscard]] long switches() const { return switches_; }
+  /// Total DVFS/UFS/thread switching overhead charged.
+  [[nodiscard]] Seconds switch_overhead() const { return switch_overhead_; }
+  /// Region enters observed (significant-region lookups).
+  [[nodiscard]] long lookups() const { return lookups_; }
+
+ private:
+  const TuningModel& model_;
+  instr::ExecutionContext& ctx_;
+  std::vector<std::unique_ptr<instr::Pcp>> pcps_;
+  long switches_ = 0;
+  long lookups_ = 0;
+  Seconds switch_overhead_{0};
+};
+
+/// Result of a production run under RRL control.
+struct RatResult {
+  instr::AppRunResult run;     ///< run totals (instrumented, switched)
+  long switches = 0;           ///< configuration changes performed
+  Seconds switch_overhead{0};  ///< time spent switching
+  long lookups = 0;            ///< region enters seen by RRL
+};
+
+/// Convenience: execute a production run of `app` on `node` under RRL
+/// control with the given tuning model. `filter` should instrument exactly
+/// the significant regions plus the phase (as DTA configured it).
+[[nodiscard]] RatResult run_with_rrl(const workload::Benchmark& app,
+                                     hwsim::NodeSimulator& node,
+                                     const TuningModel& model,
+                                     const instr::InstrumentationFilter& filter,
+                                     const SystemConfig& initial);
+
+}  // namespace ecotune::readex

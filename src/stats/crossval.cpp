@@ -1,0 +1,62 @@
+#include "stats/crossval.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace ecotune::stats {
+
+std::vector<Split> kfold(std::size_t n, std::size_t k, Rng& rng) {
+  ensure(k >= 2 && k <= n, "kfold: need 2 <= k <= n");
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  // Fisher-Yates with our deterministic generator.
+  for (std::size_t i = n; i-- > 1;) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(i)));
+    std::swap(idx[i], idx[j]);
+  }
+  std::vector<Split> splits(k);
+  for (std::size_t f = 0; f < k; ++f) {
+    const std::size_t lo = f * n / k;
+    const std::size_t hi = (f + 1) * n / k;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i >= lo && i < hi)
+        splits[f].test.push_back(idx[i]);
+      else
+        splits[f].train.push_back(idx[i]);
+    }
+  }
+  return splits;
+}
+
+std::vector<std::string> distinct_groups(
+    const std::vector<std::string>& groups) {
+  std::vector<std::string> out;
+  for (const auto& g : groups)
+    if (std::find(out.begin(), out.end(), g) == out.end()) out.push_back(g);
+  return out;
+}
+
+std::vector<Split> leave_one_group_out(
+    const std::vector<std::string>& groups) {
+  ensure(!groups.empty(), "leave_one_group_out: empty input");
+  const auto labels = distinct_groups(groups);
+  ensure(labels.size() >= 2, "leave_one_group_out: need >= 2 groups");
+  std::vector<Split> splits;
+  splits.reserve(labels.size());
+  for (const auto& label : labels) {
+    Split s;
+    for (std::size_t i = 0; i < groups.size(); ++i) {
+      if (groups[i] == label)
+        s.test.push_back(i);
+      else
+        s.train.push_back(i);
+    }
+    splits.push_back(std::move(s));
+  }
+  return splits;
+}
+
+}  // namespace ecotune::stats

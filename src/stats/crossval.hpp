@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ecotune::stats {
+
+/// One train/test index split.
+struct Split {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+};
+
+/// k-fold cross-validation with random index shuffling (the 10-fold CV "with
+/// random indexing" of the paper's regression baseline).
+[[nodiscard]] std::vector<Split> kfold(std::size_t n, std::size_t k, Rng& rng);
+
+/// Leave-one-group-out cross-validation: one split per distinct group, the
+/// split's test set being all samples of that group. With group = benchmark
+/// name this is exactly the paper's LOOCV ("in each step of LOOCV a single
+/// benchmark forms the testing set").
+[[nodiscard]] std::vector<Split> leave_one_group_out(
+    const std::vector<std::string>& groups);
+
+/// Distinct group labels in first-appearance order (parallel to the splits
+/// returned by leave_one_group_out).
+[[nodiscard]] std::vector<std::string> distinct_groups(
+    const std::vector<std::string>& groups);
+
+}  // namespace ecotune::stats

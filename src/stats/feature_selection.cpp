@@ -1,0 +1,82 @@
+#include "stats/feature_selection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/regression.hpp"
+
+namespace ecotune::stats {
+namespace {
+
+Matrix submatrix(const Matrix& x, const std::vector<std::size_t>& cols) {
+  Matrix out(x.rows(), cols.size());
+  for (std::size_t i = 0; i < x.rows(); ++i)
+    for (std::size_t j = 0; j < cols.size(); ++j) out(i, j) = x(i, cols[j]);
+  return out;
+}
+
+}  // namespace
+
+SelectionResult select_features(const Matrix& x,
+                                const std::vector<double>& target,
+                                SelectionOptions options) {
+  ensure(x.rows() == target.size(), "select_features: sample count mismatch");
+  SelectionResult result;
+
+  // Constant columns can never explain variance and break VIF computation.
+  std::vector<bool> eligible(x.cols(), true);
+  for (std::size_t j = 0; j < x.cols(); ++j) {
+    const auto column = x.col(j);
+    if (stddev_population(column) <= 1e-12) eligible[j] = false;
+  }
+
+  double current_adj_r2 = -std::numeric_limits<double>::infinity();
+  while (result.selected.size() < options.max_features) {
+    std::size_t best_j = x.cols();
+    double best_adj_r2 = current_adj_r2;
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      if (!eligible[j]) continue;
+      if (std::find(result.selected.begin(), result.selected.end(), j) !=
+          result.selected.end())
+        continue;
+      auto candidate = result.selected;
+      candidate.push_back(j);
+      const Matrix xs = submatrix(x, candidate);
+      // VIF guard (only meaningful with >= 2 features).
+      if (candidate.size() >= 2) {
+        const auto vifs = vif_all(xs);
+        if (*std::max_element(vifs.begin(), vifs.end()) > options.vif_limit)
+          continue;
+      }
+      const OlsResult fit = ols_fit(xs, target);
+      if (fit.adjusted_r_squared > best_adj_r2) {
+        best_adj_r2 = fit.adjusted_r_squared;
+        best_j = j;
+      }
+    }
+    if (best_j == x.cols()) break;  // no admissible candidate
+    if (!result.selected.empty() &&
+        best_adj_r2 - current_adj_r2 < options.min_improvement)
+      break;
+    result.selected.push_back(best_j);
+    current_adj_r2 = best_adj_r2;
+  }
+
+  ensure(!result.selected.empty(),
+         "select_features: no feature improved the fit");
+  const Matrix xs = submatrix(x, result.selected);
+  if (result.selected.size() >= 2) {
+    result.vifs = vif_all(xs);
+    result.mean_vif = mean(result.vifs);
+  } else {
+    result.vifs = {1.0};
+    result.mean_vif = 1.0;
+  }
+  result.adjusted_r_squared = ols_fit(xs, target).adjusted_r_squared;
+  return result;
+}
+
+}  // namespace ecotune::stats

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/linalg.hpp"
+
+namespace ecotune::stats {
+
+/// Options for the stepwise selection algorithm of Chadha et al. (IPDPSW'17)
+/// that the paper reuses for counter selection (Sec. IV-B).
+struct SelectionOptions {
+  /// Stop adding features beyond this count (the paper selects 7 counters).
+  std::size_t max_features = 7;
+  /// Candidate is rejected if adding it pushes any selected feature's VIF
+  /// above this limit (multicollinearity guard; >10 is harmful).
+  double vif_limit = 10.0;
+  /// Minimal adjusted-R^2 improvement to keep adding features.
+  double min_improvement = 1e-3;
+};
+
+/// Result of stepwise feature selection.
+struct SelectionResult {
+  std::vector<std::size_t> selected;  ///< column indices, selection order
+  std::vector<double> vifs;           ///< VIF per selected feature
+  double mean_vif = 0.0;
+  double adjusted_r_squared = 0.0;    ///< of the final model
+};
+
+/// Greedy forward selection with a VIF guard: at each step add the feature
+/// that best improves the adjusted R^2 of the OLS fit to `target`, skipping
+/// candidates that would introduce multicollinearity. Constant (zero
+/// variance) columns are never selected.
+[[nodiscard]] SelectionResult select_features(const Matrix& x,
+                                              const std::vector<double>& target,
+                                              SelectionOptions options = {});
+
+}  // namespace ecotune::stats

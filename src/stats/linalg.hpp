@@ -1,0 +1,63 @@
+#pragma once
+
+#include <initializer_list>
+#include <vector>
+
+namespace ecotune::stats {
+
+/// Dense row-major matrix of doubles. Deliberately small: exactly the
+/// operations the regression pipeline and the neural network need.
+class Matrix {
+ public:
+  Matrix() = default;
+  /// rows x cols, zero-initialized.
+  Matrix(std::size_t rows, std::size_t cols);
+  /// From nested initializer list (rows of equal length).
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  [[nodiscard]] static Matrix identity(std::size_t n);
+  /// Column vector from values.
+  [[nodiscard]] static Matrix column(const std::vector<double>& values);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] const std::vector<double>& data() const { return data_; }
+  [[nodiscard]] std::vector<double>& data() { return data_; }
+
+  /// One row as a vector copy.
+  [[nodiscard]] std::vector<double> row(std::size_t r) const;
+  /// One column as a vector copy.
+  [[nodiscard]] std::vector<double> col(std::size_t c) const;
+
+  [[nodiscard]] Matrix transpose() const;
+  [[nodiscard]] Matrix operator*(const Matrix& rhs) const;
+  [[nodiscard]] Matrix operator+(const Matrix& rhs) const;
+  [[nodiscard]] Matrix operator-(const Matrix& rhs) const;
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix& operator*=(double s);
+
+  /// Matrix-vector product (x.size() == cols()).
+  [[nodiscard]] std::vector<double> apply(const std::vector<double>& x) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b for symmetric positive-definite A via Cholesky; if the
+/// factorization fails (rank deficiency / collinearity), retries with a
+/// ridge term lambda*I growing until it succeeds.
+[[nodiscard]] std::vector<double> solve_spd(Matrix a,
+                                            const std::vector<double>& b,
+                                            double ridge = 0.0);
+
+}  // namespace ecotune::stats

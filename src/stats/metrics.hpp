@@ -1,0 +1,23 @@
+#pragma once
+
+#include <span>
+
+namespace ecotune::stats {
+
+/// Mean absolute percentage error, in percent (the paper's Fig. 5 metric).
+[[nodiscard]] double mape(std::span<const double> y_true,
+                          std::span<const double> y_pred);
+
+/// Mean squared error.
+[[nodiscard]] double mse(std::span<const double> y_true,
+                         std::span<const double> y_pred);
+
+/// Mean absolute error.
+[[nodiscard]] double mae(std::span<const double> y_true,
+                         std::span<const double> y_pred);
+
+/// Coefficient of determination.
+[[nodiscard]] double r2_score(std::span<const double> y_true,
+                              std::span<const double> y_pred);
+
+}  // namespace ecotune::stats

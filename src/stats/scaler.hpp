@@ -1,0 +1,36 @@
+#pragma once
+
+#include <vector>
+
+#include "common/json.hpp"
+#include "stats/linalg.hpp"
+
+namespace ecotune::stats {
+
+/// Standardizes features by removing the mean and scaling to unit variance
+/// (paper Sec. IV-C). Mean/scale are learned from the training set only.
+class StandardScaler {
+ public:
+  /// Learns per-column mean and population stddev from `x`.
+  void fit(const Matrix& x);
+
+  [[nodiscard]] bool fitted() const { return !mean_.empty(); }
+  [[nodiscard]] const std::vector<double>& mean() const { return mean_; }
+  [[nodiscard]] const std::vector<double>& scale() const { return scale_; }
+
+  /// Standardizes one row in place.
+  void transform_row(std::vector<double>& row) const;
+  /// Standardizes a copy of the whole matrix.
+  [[nodiscard]] Matrix transform(const Matrix& x) const;
+  /// Undoes the transform for one row.
+  void inverse_transform_row(std::vector<double>& row) const;
+
+  [[nodiscard]] Json to_json() const;
+  [[nodiscard]] static StandardScaler from_json(const Json& j);
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> scale_;
+};
+
+}  // namespace ecotune::stats

@@ -1,0 +1,124 @@
+#include "trace/post_processor.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/error.hpp"
+#include "trace/trace_listener.hpp"
+
+namespace ecotune::trace {
+
+Otf2PostProcessor::Otf2PostProcessor(const Otf2Archive& archive,
+                                     std::string phase_region) {
+  const auto& records = archive.records();
+  if (records.empty()) return;
+
+  total_time_ = Seconds(records.back().timestamp - records.front().timestamp);
+
+  // Metric snapshots: the metric records immediately following an enter or
+  // preceding an exit describe that position's cumulative values.
+  std::map<std::uint32_t, double> current_metrics;
+  std::optional<double> first_energy, last_energy;
+  std::uint32_t energy_id = static_cast<std::uint32_t>(-1);
+  for (std::size_t i = 0; i < archive.metric_names().size(); ++i) {
+    if (archive.metric_names()[i] == kEnergyMetricName)
+      energy_id = static_cast<std::uint32_t>(i);
+  }
+
+  const bool has_phase = archive.has_region(phase_region);
+  const std::uint32_t phase_id =
+      has_phase ? archive.region_id(phase_region) : 0;
+
+  std::map<std::uint32_t, RegionTraceStats> region_agg;
+  std::map<std::uint32_t, double> open_enter_time;
+  std::map<std::uint32_t, double> open_enter_energy;
+
+  std::optional<PhaseInstance> open_phase;
+  std::map<std::string, double> phase_enter_counters;
+  int phase_counter = 0;
+
+  for (const auto& r : records) {
+    switch (r.type) {
+      case RecordType::kMetric:
+        current_metrics[r.id] = r.value;
+        if (r.id == energy_id) {
+          if (!first_energy) first_energy = r.value;
+          last_energy = r.value;
+        }
+        break;
+      case RecordType::kEnter: {
+        open_enter_time[r.id] = r.timestamp;
+        if (has_phase && r.id == phase_id) {
+          // Snapshot counters at phase entry. The metric records follow the
+          // enter record, so defer the snapshot: mark the instance open and
+          // fill on first subsequent metric sweep. Since metrics directly
+          // follow enters in our writer, reading current_metrics at the next
+          // record boundary is equivalent; we snapshot lazily at exit using
+          // enter-time values captured below.
+          PhaseInstance inst;
+          inst.index = phase_counter++;
+          inst.start = Seconds(r.timestamp);
+          open_phase = inst;
+          phase_enter_counters.clear();
+        }
+        break;
+      }
+      case RecordType::kExit: {
+        auto it = open_enter_time.find(r.id);
+        const double t0 = it != open_enter_time.end() ? it->second : 0.0;
+        auto& agg = region_agg[r.id];
+        agg.count += 1;
+        agg.total_time += Seconds(r.timestamp - t0);
+        if (has_phase && r.id == phase_id && open_phase) {
+          open_phase->end = Seconds(r.timestamp);
+          // Counter deltas: cumulative metrics now vs at phase entry.
+          for (const auto& [mid, value] : current_metrics) {
+            const auto& name = archive.metric_name(mid);
+            if (name == kEnergyMetricName) {
+              open_phase->energy +=
+                  Joules(value - phase_enter_counters[name]);
+            } else {
+              open_phase->counters[name] =
+                  value - phase_enter_counters[name];
+            }
+          }
+          instances_.push_back(*open_phase);
+          open_phase.reset();
+        }
+        break;
+      }
+    }
+    // Snapshot metrics seen right after a phase enter (the writer emits the
+    // metric sweep immediately after the enter record).
+    if (open_phase && r.type == RecordType::kMetric) {
+      const auto& name = archive.metric_name(r.id);
+      if (phase_enter_counters.count(name) == 0)
+        phase_enter_counters[name] = r.value;
+    }
+  }
+
+  if (first_energy && last_energy)
+    total_energy_ = Joules(*last_energy - *first_energy);
+
+  for (auto& [id, agg] : region_agg) {
+    agg.name = archive.region_name(id);
+    region_stats_.push_back(agg);
+  }
+  std::sort(region_stats_.begin(), region_stats_.end(),
+            [](const auto& a, const auto& b) { return a.name < b.name; });
+}
+
+std::map<std::string, double> Otf2PostProcessor::mean_counter_rates() const {
+  std::map<std::string, double> sums;
+  double total_duration = 0.0;
+  for (const auto& inst : instances_) {
+    total_duration += inst.duration().value();
+    for (const auto& [name, delta] : inst.counters) sums[name] += delta;
+  }
+  ensure(total_duration > 0,
+         "Otf2PostProcessor::mean_counter_rates: no phase instances");
+  for (auto& [name, v] : sums) v /= total_duration;
+  return sums;
+}
+
+}  // namespace ecotune::trace

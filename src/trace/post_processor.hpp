@@ -1,0 +1,69 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "trace/otf2.hpp"
+
+namespace ecotune::trace {
+
+/// Per-phase-instance measurements extracted from a trace: the counter and
+/// energy deltas between the phase region's enter and exit records.
+struct PhaseInstance {
+  int index = 0;
+  Seconds start{0};
+  Seconds end{0};
+  Joules energy{0};
+  /// PAPI metric deltas keyed by metric (event) name.
+  std::map<std::string, double> counters;
+
+  [[nodiscard]] Seconds duration() const { return end - start; }
+};
+
+/// Per-region aggregate extracted from a trace.
+struct RegionTraceStats {
+  std::string name;
+  long count = 0;
+  Seconds total_time{0};
+  Joules total_energy{0};
+};
+
+/// The custom OTF2 post-processing tool of paper Sec. IV-A ("Our tool
+/// reports energy values for the entire application run, while PAPI values
+/// are reported individually for instances of the phase region").
+class Otf2PostProcessor {
+ public:
+  /// `phase_region` is the annotated phase region name.
+  Otf2PostProcessor(const Otf2Archive& archive, std::string phase_region);
+
+  /// Energy over the whole run (last minus first energy metric record).
+  [[nodiscard]] Joules total_energy() const { return total_energy_; }
+
+  /// Wall time between the first and last record.
+  [[nodiscard]] Seconds total_time() const { return total_time_; }
+
+  /// One entry per phase iteration, chronological.
+  [[nodiscard]] const std::vector<PhaseInstance>& phase_instances() const {
+    return instances_;
+  }
+
+  /// Counter deltas averaged across phase instances and divided by the mean
+  /// phase duration: the "PAPI counters normalized by the execution time of
+  /// one phase iteration" that feed the energy model (paper Sec. IV-C).
+  [[nodiscard]] std::map<std::string, double> mean_counter_rates() const;
+
+  /// Aggregates for every region that appears in the trace.
+  [[nodiscard]] const std::vector<RegionTraceStats>& region_stats() const {
+    return region_stats_;
+  }
+
+ private:
+  std::vector<PhaseInstance> instances_;
+  std::vector<RegionTraceStats> region_stats_;
+  Joules total_energy_{0};
+  Seconds total_time_{0};
+};
+
+}  // namespace ecotune::trace

@@ -1,0 +1,47 @@
+#include "trace/trace_listener.hpp"
+
+#include <string>
+
+namespace ecotune::trace {
+
+TraceListener::TraceListener(Otf2Archive& archive, pmc::EventSet events,
+                             pmc::CounterSampler sampler)
+    : archive_(archive),
+      events_(std::move(events)),
+      sampler_(std::move(sampler)),
+      energy_metric_(archive_.define_metric(std::string(kEnergyMetricName))),
+      cum_counters_(events_.size(), 0.0) {
+  for (auto e : events_.events())
+    counter_metrics_.push_back(
+        archive_.define_metric(std::string(hwsim::pmu_event_name(e))));
+}
+
+void TraceListener::write_metrics(Seconds t) {
+  archive_.metric(t, energy_metric_, cum_energy_);
+  for (std::size_t i = 0; i < counter_metrics_.size(); ++i)
+    archive_.metric(t, counter_metrics_[i], cum_counters_[i]);
+}
+
+void TraceListener::on_enter(const instr::RegionEnter& e) {
+  const std::uint32_t region = archive_.define_region(std::string(e.region));
+  archive_.enter(e.timestamp, region);
+  write_metrics(e.timestamp);
+  ++depth_;
+}
+
+void TraceListener::on_exit(const instr::RegionExit& e) {
+  --depth_;
+  // Leaf regions advance the cumulative measurements; the enclosing phase
+  // region would otherwise double-count its children.
+  if (e.type != instr::RegionType::kPhase) {
+    cum_energy_ += e.node_energy.value();
+    const auto readings = sampler_.sample(events_, e.counters);
+    std::size_t i = 0;
+    for (auto ev : events_.events()) cum_counters_[i++] += readings.at(ev);
+  }
+  const std::uint32_t region = archive_.define_region(std::string(e.region));
+  write_metrics(e.exit_time);
+  archive_.exit(e.exit_time, region);
+}
+
+}  // namespace ecotune::trace

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <vector>
+
+#include "instr/region_events.hpp"
+#include "pmc/counter_sampler.hpp"
+#include "pmc/event_set.hpp"
+#include "trace/otf2.hpp"
+
+namespace ecotune::trace {
+
+/// Name of the node-energy metric written by the scorep_hdeem_plugin
+/// analogue.
+inline constexpr std::string_view kEnergyMetricName = "hdeem/BLADE/E";
+
+/// Bridges Score-P region events into an OTF2 archive: writes enter/exit
+/// records plus cumulative metric records for node energy (the HDEEM metric
+/// plugin) and for the PAPI events of one hardware event set (at most 4, the
+/// multiplexing limit). Counter readings carry sampling noise.
+class TraceListener final : public instr::RegionListener {
+ public:
+  /// Traces into `archive`; `events` is the PMU event set recorded in this
+  /// run (may be empty for energy-only traces).
+  TraceListener(Otf2Archive& archive, pmc::EventSet events,
+                pmc::CounterSampler sampler);
+
+  // instr::RegionListener:
+  void on_enter(const instr::RegionEnter& e) override;
+  void on_exit(const instr::RegionExit& e) override;
+
+ private:
+  void write_metrics(Seconds t);
+
+  Otf2Archive& archive_;
+  pmc::EventSet events_;
+  pmc::CounterSampler sampler_;
+  std::uint32_t energy_metric_;
+  std::vector<std::uint32_t> counter_metrics_;
+  /// Cumulative (since trace start) measured values.
+  double cum_energy_ = 0.0;
+  std::vector<double> cum_counters_;
+  int depth_ = 0;  ///< nesting depth: counters accumulate on leaf exits only
+};
+
+}  // namespace ecotune::trace

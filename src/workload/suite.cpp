@@ -1,0 +1,398 @@
+#include "workload/suite.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ecotune::workload {
+namespace {
+
+using hwsim::KernelTraits;
+
+/// Instruction-mix presets; they mainly shape the counter signature each
+/// benchmark presents to the model-selection pipeline.
+enum class Mix { kFpVector, kFpScalar, kStream, kIntBranchy, kSparse };
+
+KernelTraits mix_traits(Mix m) {
+  KernelTraits t;
+  switch (m) {
+    case Mix::kFpVector:  // dense FP kernels: BLAS, MD force loops
+      t.ipc_peak = 2.6;
+      t.load_fraction = 0.30;
+      t.store_fraction = 0.10;
+      t.branch_fraction = 0.06;
+      t.branch_taken_rate = 0.70;
+      t.branch_miss_rate = 0.008;
+      t.l1d_miss_rate = 0.020;
+      t.l1i_miss_rate = 0.0008;
+      t.l2_miss_rate = 0.25;
+      t.l3_miss_rate = 0.30;
+      t.fp_fraction = 0.45;
+      t.vector_fraction = 0.55;
+      break;
+    case Mix::kFpScalar:  // unstructured-mesh FP: Lulesh, BEM kernels
+      t.ipc_peak = 2.0;
+      t.load_fraction = 0.28;
+      t.store_fraction = 0.12;
+      t.branch_fraction = 0.10;
+      t.branch_taken_rate = 0.60;
+      t.branch_miss_rate = 0.015;
+      t.l1d_miss_rate = 0.035;
+      t.l1i_miss_rate = 0.0015;
+      t.l2_miss_rate = 0.30;
+      t.l3_miss_rate = 0.35;
+      t.fp_fraction = 0.38;
+      t.vector_fraction = 0.25;
+      break;
+    case Mix::kStream:  // bandwidth-bound sweeps: MG, miniFE, FT
+      t.ipc_peak = 1.4;
+      t.load_fraction = 0.38;
+      t.store_fraction = 0.18;
+      t.branch_fraction = 0.08;
+      t.branch_taken_rate = 0.85;
+      t.branch_miss_rate = 0.004;
+      t.l1d_miss_rate = 0.11;
+      t.l1i_miss_rate = 0.0005;
+      t.l2_miss_rate = 0.60;
+      t.l3_miss_rate = 0.65;
+      t.fp_fraction = 0.25;
+      t.vector_fraction = 0.40;
+      break;
+    case Mix::kIntBranchy:  // sorting, Monte Carlo control flow: IS, DC, Mcb
+      t.ipc_peak = 1.6;
+      t.load_fraction = 0.26;
+      t.store_fraction = 0.14;
+      t.branch_fraction = 0.22;
+      t.branch_taken_rate = 0.48;
+      t.branch_miss_rate = 0.060;
+      t.l1d_miss_rate = 0.060;
+      t.l1i_miss_rate = 0.004;
+      t.l2_miss_rate = 0.45;
+      t.l3_miss_rate = 0.50;
+      t.fp_fraction = 0.08;
+      t.vector_fraction = 0.05;
+      break;
+    case Mix::kSparse:  // indirect access: CG, XSBench, AMG
+      t.ipc_peak = 1.3;
+      t.load_fraction = 0.42;
+      t.store_fraction = 0.08;
+      t.branch_fraction = 0.12;
+      t.branch_taken_rate = 0.58;
+      t.branch_miss_rate = 0.030;
+      t.l1d_miss_rate = 0.14;
+      t.l1i_miss_rate = 0.002;
+      t.l2_miss_rate = 0.70;
+      t.l3_miss_rate = 0.60;
+      t.fp_fraction = 0.22;
+      t.vector_fraction = 0.10;
+      break;
+  }
+  return t;
+}
+
+/// Compact region builder used by the suite definitions below.
+struct R {
+  std::string name;
+  Mix mix;
+  double gi;       ///< giga-instructions per iteration
+  double bpi;      ///< DRAM bytes per instruction
+  double upi;      ///< uncore cycles per instruction
+  double par;      ///< Amdahl parallel fraction
+  double cont;     ///< contention per extra thread
+  double overlap;  ///< compute/memory overlap
+  double act;      ///< dynamic-power activity factor
+};
+
+Region make_region(const R& r) {
+  KernelTraits t = mix_traits(r.mix);
+  t.total_instructions = r.gi * 1e9;
+  // Fork/join cost grows with the amount of work sharing inside the region
+  // but stays bounded; tiny helper regions must remain sub-millisecond.
+  t.sync_seconds_per_thread = std::min(2.0e-5, 2.0e-6 + 1.2e-6 * r.gi);
+  t.dram_bytes = r.bpi * t.total_instructions;
+  t.uncore_cycles = r.upi * t.total_instructions;
+  t.parallel_fraction = r.par;
+  t.contention = r.cont;
+  t.overlap = r.overlap;
+  t.activity = r.act;
+  return Region{r.name, t, 1};
+}
+
+std::vector<Region> make_regions(std::initializer_list<R> rs) {
+  std::vector<Region> out;
+  out.reserve(rs.size());
+  for (const auto& r : rs) out.push_back(make_region(r));
+  return out;
+}
+
+std::vector<Benchmark> build_suite() {
+  std::vector<Benchmark> v;
+  const auto omp = ProgrammingModel::kOpenMp;
+  const auto mpi = ProgrammingModel::kMpi;
+  const auto hyb = ProgrammingModel::kHybrid;
+
+  // ---- NPB-3.3 -----------------------------------------------------------
+  // CG: sparse conjugate gradient, memory-latency bound.
+  v.emplace_back("CG", "NPB-3.3", omp,
+                 make_regions({
+                     {"conj_grad", Mix::kSparse, 14, 2.8, 0.50, 0.992, 0.006,
+                      0.85, 0.70},
+                     {"norm_resid", Mix::kStream, 4, 1.8, 0.30, 0.990, 0.006,
+                      0.80, 0.65},
+                 }),
+                 15, 0.015);
+  // DC: data cube, branchy integer with irregular IO-like stalls.
+  v.emplace_back("DC", "NPB-3.3", omp,
+                 make_regions({
+                     {"build_cube", Mix::kIntBranchy, 10, 0.9, 0.45, 0.975,
+                      0.010, 0.55, 0.62},
+                     {"aggregate_views", Mix::kIntBranchy, 7, 1.3, 0.55, 0.970,
+                      0.012, 0.60, 0.60},
+                 }),
+                 10, 0.02);
+  // EP: embarrassingly parallel random-number kernel, pure compute.
+  v.emplace_back("EP", "NPB-3.3", omp,
+                 make_regions({
+                     {"gaussian_pairs", Mix::kFpScalar, 26, 0.02, 0.015, 0.999,
+                      0.001, 0.95, 0.98},
+                 }),
+                 12, 0.01);
+  // FT: 3-D FFT, alternating compute and transpose (bandwidth) phases.
+  v.emplace_back("FT", "NPB-3.3", omp,
+                 make_regions({
+                     {"fft_layers", Mix::kFpVector, 16, 0.55, 0.30, 0.995,
+                      0.004, 0.75, 1.02},
+                     {"transpose", Mix::kStream, 7, 2.4, 0.45, 0.990, 0.006,
+                      0.80, 0.70},
+                 }),
+                 12, 0.015);
+  // IS: integer bucket sort, bandwidth + branches.
+  v.emplace_back("IS", "NPB-3.3", omp,
+                 make_regions({
+                     {"rank_keys", Mix::kIntBranchy, 9, 3.2, 0.55, 0.988,
+                      0.008, 0.85, 0.62},
+                     {"key_permute", Mix::kStream, 5, 3.8, 0.40, 0.985, 0.008,
+                      0.85, 0.60},
+                 }),
+                 14, 0.02);
+  // MG: multigrid V-cycle, strongly bandwidth bound.
+  v.emplace_back("MG", "NPB-3.3", omp,
+                 make_regions({
+                     {"resid", Mix::kStream, 11, 2.9, 0.50, 0.993, 0.005, 0.85,
+                      0.72},
+                     {"psinv", Mix::kStream, 8, 2.6, 0.45, 0.993, 0.005, 0.85,
+                      0.72},
+                     {"interp", Mix::kStream, 5, 2.1, 0.40, 0.990, 0.006, 0.80,
+                      0.68},
+                 }),
+                 16, 0.015);
+  // BT: block-tridiagonal solver, compute heavy.
+  v.emplace_back("BT", "NPB-3.3", omp,
+                 make_regions({
+                     {"x_solve", Mix::kFpScalar, 15, 0.35, 0.18, 0.996, 0.003,
+                      0.80, 1.05},
+                     {"y_solve", Mix::kFpScalar, 15, 0.35, 0.18, 0.996, 0.003,
+                      0.80, 1.05},
+                     {"z_solve", Mix::kFpScalar, 16, 0.45, 0.20, 0.996, 0.003,
+                      0.80, 1.05},
+                 }),
+                 12, 0.015);
+  // BT-MZ: multi-zone hybrid variant.
+  v.emplace_back("BT-MZ", "NPB-3.3", hyb,
+                 make_regions({
+                     {"zone_solve", Mix::kFpScalar, 24, 0.30, 0.16, 0.995,
+                      0.004, 0.80, 1.02},
+                     {"exch_qbc", Mix::kStream, 4, 1.6, 0.35, 0.980, 0.008,
+                      0.70, 0.68},
+                 }),
+                 12, 0.02);
+  // SP-MZ: multi-zone scalar-pentadiagonal, hybrid.
+  v.emplace_back("SP-MZ", "NPB-3.3", hyb,
+                 make_regions({
+                     {"zone_sp_solve", Mix::kFpScalar, 20, 0.55, 0.25, 0.995,
+                      0.004, 0.78, 1.0},
+                     {"exch_qbc", Mix::kStream, 5, 1.9, 0.35, 0.982, 0.008,
+                      0.72, 0.68},
+                 }),
+                 12, 0.02);
+
+  // ---- CORAL -------------------------------------------------------------
+  // Amg2013: algebraic multigrid; scaling saturates well below 24 threads
+  // (paper Table V: 16 threads optimal).
+  v.emplace_back("Amg2013", "CORAL", hyb,
+                 make_regions({
+                     {"hypre_BoomerAMGSolve", Mix::kFpScalar, 24, 0.54, 0.31,
+                      0.984, 0.026, 0.78, 0.80},
+                     {"hypre_BoomerAMGRelax", Mix::kFpScalar, 18, 0.67, 0.33,
+                      0.983, 0.023, 0.80, 0.78},
+                     {"hypre_ParCSRMatvec", Mix::kFpScalar, 15, 0.47, 0.27,
+                      0.992, 0.006, 0.78, 0.82},
+                 }),
+                 18, 0.02);
+  // Lulesh: shock hydrodynamics, compute-bound with mildly heterogeneous
+  // regions (paper Tables III and V).
+  v.emplace_back("Lulesh", "CORAL", hyb,
+                 make_regions({
+                     {"IntegrateStressForElems", Mix::kFpScalar, 16, 0.17,
+                      0.13, 0.996, 0.003, 0.80, 0.96},
+                     {"CalcFBHourglassForceForElems", Mix::kFpScalar, 18, 0.14,
+                      0.11, 0.996, 0.003, 0.80, 0.99},
+                     {"CalcKinematicsForElems", Mix::kFpScalar, 13, 0.26, 0.16,
+                      0.995, 0.004, 0.78, 0.93},
+                     {"CalcQForElems", Mix::kFpScalar, 11, 0.21, 0.14, 0.993,
+                      0.008, 0.78, 0.96},
+                     {"ApplyMaterialPropertiesForElems", Mix::kFpScalar, 9,
+                      0.32, 0.18, 0.985, 0.019, 0.75, 0.91},
+                     {"TimeIncrement", Mix::kIntBranchy, 0.008, 0.3, 0.2, 0.90,
+                      0.01, 0.6, 0.6},
+                     {"CalcCourantConstraint", Mix::kFpScalar, 0.02, 0.2, 0.2,
+                      0.95, 0.01, 0.7, 0.8},
+                 }),
+                 25, 0.022);
+  // miniFE: finite-element assembly + CG solve, bandwidth bound.
+  v.emplace_back("miniFE", "CORAL", omp,
+                 make_regions({
+                     {"matvec", Mix::kStream, 13, 2.7, 0.50, 0.992, 0.006,
+                      0.85, 0.70},
+                     {"assemble_FE", Mix::kFpScalar, 8, 0.8, 0.30, 0.990,
+                      0.008, 0.75, 0.88},
+                     {"dot_axpy", Mix::kStream, 5, 3.0, 0.40, 0.990, 0.006,
+                      0.85, 0.66},
+                 }),
+                 15, 0.015);
+  // XSBench: Monte Carlo cross-section lookup, memory-latency dominated.
+  v.emplace_back("XSBench", "CORAL", hyb,
+                 make_regions({
+                     {"xs_lookup", Mix::kSparse, 15, 3.4, 0.65, 0.993, 0.006,
+                      0.90, 0.64},
+                     {"grid_search", Mix::kIntBranchy, 6, 2.2, 0.50, 0.990,
+                      0.008, 0.85, 0.62},
+                 }),
+                 14, 0.02);
+  // Kripke: deterministic transport sweeps, mixed compute/memory.
+  v.emplace_back("Kripke", "CORAL", mpi,
+                 make_regions({
+                     {"sweep_solver", Mix::kFpScalar, 17, 0.85, 0.35, 0.994,
+                      0.005, 0.78, 0.95},
+                     {"ltimes", Mix::kFpVector, 9, 0.55, 0.25, 0.995, 0.004,
+                      0.78, 1.0},
+                     {"scattering", Mix::kStream, 6, 1.8, 0.40, 0.990, 0.006,
+                      0.80, 0.75},
+                 }),
+                 14, 0.02);
+  // Mcb: Monte Carlo burnup proxy, predominantly memory bound (paper Fig. 7,
+  // Tables IV and V).
+  v.emplace_back("Mcb", "CORAL", hyb,
+                 make_regions({
+                     {"setupDT", Mix::kIntBranchy, 9, 3.0, 0.60, 0.984, 0.016,
+                      0.90, 0.58},
+                     {"advPhoton", Mix::kIntBranchy, 14, 4.2, 0.70, 0.985,
+                      0.016, 0.90, 0.56},
+                     {"omp parallel:423", Mix::kSparse, 8, 2.5, 0.52, 0.982,
+                      0.017, 0.88, 0.60},
+                     {"omp parallel:501", Mix::kSparse, 7, 2.0, 0.48, 0.978,
+                      0.030, 0.85, 0.64},
+                     {"omp parallel:642", Mix::kIntBranchy, 8, 3.8, 0.65,
+                      0.983, 0.016, 0.90, 0.56},
+                     {"tallyFlux", Mix::kStream, 0.015, 1.0, 0.4, 0.9, 0.01,
+                      0.8, 0.6},
+                 }),
+                 20, 0.045);
+
+  // ---- Mantevo -----------------------------------------------------------
+  // CoMD: classical molecular dynamics, compute bound.
+  v.emplace_back("CoMD", "Mantevo", mpi,
+                 make_regions({
+                     {"ljForce", Mix::kFpVector, 20, 0.12, 0.08, 0.997, 0.002,
+                      0.85, 1.05},
+                     {"advanceVelocity", Mix::kStream, 4, 1.2, 0.25, 0.992,
+                      0.005, 0.80, 0.72},
+                 }),
+                 16, 0.01);
+  // miniMD: MD proxy, strongly compute bound (paper Table V: 2.5|1.5).
+  v.emplace_back("miniMD", "Mantevo", hyb,
+                 make_regions({
+                     {"compute_force", Mix::kFpVector, 24, 0.10, 0.09, 0.998,
+                      0.002, 0.90, 1.0},
+                     {"neighbor_build", Mix::kIntBranchy, 7, 0.35, 0.18, 0.990,
+                      0.012, 0.75, 0.80},
+                     {"integrate", Mix::kStream, 8, 0.5, 0.10, 0.994, 0.004,
+                      0.85, 0.70},
+                 }),
+                 22, 0.018);
+
+  // ---- LLCBench ----------------------------------------------------------
+  // Blasbench: dense BLAS, cache-resident compute.
+  v.emplace_back("Blasbench", "LLCBench", omp,
+                 make_regions({
+                     {"dgemm_kernel", Mix::kFpVector, 30, 0.04, 0.06, 0.998,
+                      0.002, 0.92, 1.0},
+                     {"dgemv_kernel", Mix::kFpVector, 8, 0.8, 0.20, 0.994,
+                      0.004, 0.85, 0.95},
+                 }),
+                 12, 0.01);
+
+  // ---- Real-world application --------------------------------------------
+  // BEM4I: boundary-element Helmholtz solver; AVX-heavy assembly plus a
+  // memory-bound representation evaluation (paper Table V: 2.3|1.9).
+  v.emplace_back("BEM4I", "Other", hyb,
+                 make_regions({
+                     {"assembleV", Mix::kFpVector, 18, 0.22, 0.17, 0.996,
+                      0.003, 0.82, 1.18},
+                     {"assembleK", Mix::kFpVector, 15, 0.24, 0.18, 0.996,
+                      0.003, 0.82, 1.16},
+                     {"gmresSolve", Mix::kSparse, 10, 0.75, 0.26, 0.990, 0.015,
+                      0.82, 0.86},
+                     {"evalRepresentation", Mix::kFpScalar, 8, 0.45, 0.18,
+                      0.988, 0.013, 0.78, 0.95},
+                     {"printInfo", Mix::kIntBranchy, 0.008, 0.4, 0.3, 0.8, 0.01,
+                      0.6, 0.5},
+                 }),
+                 14, 0.012);
+
+  return v;
+}
+
+}  // namespace
+
+const std::vector<Benchmark>& BenchmarkSuite::all() {
+  static const std::vector<Benchmark> suite = build_suite();
+  return suite;
+}
+
+const Benchmark& BenchmarkSuite::by_name(const std::string& name) {
+  for (const auto& b : all())
+    if (b.name() == name) return b;
+  throw ConfigError("BenchmarkSuite: unknown benchmark '" + name + "'");
+}
+
+std::vector<std::string> BenchmarkSuite::names() {
+  std::vector<std::string> out;
+  out.reserve(all().size());
+  for (const auto& b : all()) out.push_back(b.name());
+  return out;
+}
+
+const std::vector<std::string>& BenchmarkSuite::evaluation_names() {
+  static const std::vector<std::string> names{"Lulesh", "Amg2013", "miniMD",
+                                              "BEM4I", "Mcb"};
+  return names;
+}
+
+std::vector<Benchmark> BenchmarkSuite::evaluation_set() {
+  std::vector<Benchmark> out;
+  for (const auto& n : evaluation_names()) out.push_back(by_name(n));
+  return out;
+}
+
+std::vector<Benchmark> BenchmarkSuite::training_set() {
+  std::vector<Benchmark> out;
+  const auto& eval = evaluation_names();
+  for (const auto& b : all()) {
+    if (std::find(eval.begin(), eval.end(), b.name()) == eval.end())
+      out.push_back(b);
+  }
+  return out;
+}
+
+}  // namespace ecotune::workload

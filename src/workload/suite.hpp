@@ -1,0 +1,34 @@
+#pragma once
+
+#include <vector>
+
+#include "workload/benchmark.hpp"
+
+namespace ecotune::workload {
+
+/// The 19 benchmarks of paper Table II (NPB-3.3, CORAL, Mantevo, LLCBench,
+/// BEM4I), recreated as synthetic kernels with matched qualitative
+/// characteristics: Lulesh/miniMD/CoMD/Blasbench compute-bound,
+/// CG/IS/MG/miniFE/XSBench/Mcb memory-bound, Amg2013 thread-scaling-limited,
+/// and region-level heterogeneity inside the five evaluation benchmarks.
+class BenchmarkSuite {
+ public:
+  /// All 19 benchmarks, stable order (as in Table II).
+  [[nodiscard]] static const std::vector<Benchmark>& all();
+
+  /// Lookup by name; throws ConfigError if unknown.
+  [[nodiscard]] static const Benchmark& by_name(const std::string& name);
+
+  /// Names of all benchmarks, suite order.
+  [[nodiscard]] static std::vector<std::string> names();
+
+  /// The paper's evaluation (test) set: the five hybrid benchmarks Lulesh,
+  /// Amg2013, miniMD, BEM4I, Mcb (Sec. V-B last paragraph).
+  [[nodiscard]] static const std::vector<std::string>& evaluation_names();
+  [[nodiscard]] static std::vector<Benchmark> evaluation_set();
+
+  /// Everything not in the evaluation set (the final training split).
+  [[nodiscard]] static std::vector<Benchmark> training_set();
+};
+
+}  // namespace ecotune::workload

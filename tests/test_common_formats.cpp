@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/config.hpp"
+#include "common/csv.hpp"
+#include "common/logging.hpp"
+#include "common/table.hpp"
+
+namespace ecotune {
+namespace {
+
+TEST(TextTable, AlignsColumnsAndPrintsHeader) {
+  TextTable t("Title");
+  t.header({"name", "value"});
+  t.row({"x", "1"});
+  t.row({"longer-name", "22"});
+  const std::string out = t.str();
+  EXPECT_NE(out.find("Title"), std::string::npos);
+  EXPECT_NE(out.find("| name "), std::string::npos);
+  EXPECT_NE(out.find("| longer-name |"), std::string::npos);
+  // All rendered table lines have the same width.
+  std::istringstream is(out);
+  std::string line;
+  std::getline(is, line);  // title
+  std::size_t width = 0;
+  while (std::getline(is, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(TextTable, HandlesShortRowsAndSeparators) {
+  TextTable t;
+  t.header({"a", "b", "c"});
+  t.row({"only-one"});
+  t.separator();
+  t.row({"1", "2", "3"});
+  const std::string out = t.str();
+  EXPECT_NE(out.find("only-one"), std::string::npos);
+}
+
+TEST(TextTable, NumberFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(-1.0, 0), "-1");
+  EXPECT_EQ(TextTable::pct(5.2, 1), "+5.2%");
+  EXPECT_EQ(TextTable::pct(-7.83, 2), "-7.83%");
+}
+
+TEST(CsvWriter, QuotesOnlyWhenNeeded) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.row({"plain", "with,comma", "with\"quote", "with\nnewline"});
+  EXPECT_EQ(os.str(),
+            "plain,\"with,comma\",\"with\"\"quote\",\"with\nnewline\"\n");
+}
+
+TEST(CsvWriter, NumericRow) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.row_numeric({1.5, 2.0, -3.25});
+  EXPECT_EQ(os.str(), "1.5,2,-3.25\n");
+}
+
+TEST(Logging, RespectsLevelAndSink) {
+  std::ostringstream sink;
+  log::set_sink(&sink);
+  log::set_level(log::Level::kWarn);
+  log::info("test") << "hidden";
+  log::warn("test") << "visible " << 42;
+  log::set_sink(nullptr);
+  log::set_level(log::Level::kWarn);
+  EXPECT_EQ(sink.str().find("hidden"), std::string::npos);
+  EXPECT_NE(sink.str().find("visible 42"), std::string::npos);
+  EXPECT_NE(sink.str().find("[WARN]"), std::string::npos);
+}
+
+TEST(SystemConfig, EqualityAndFormatting) {
+  SystemConfig a{24, CoreFreq::mhz(2500), UncoreFreq::mhz(3000)};
+  SystemConfig b = a;
+  EXPECT_EQ(a, b);
+  b.threads = 12;
+  EXPECT_NE(a, b);
+  EXPECT_EQ(to_string(a), "24 thr, 2.5GHz|3.0GHz");
+}
+
+}  // namespace
+}  // namespace ecotune

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+
+namespace ecotune {
+namespace {
+
+TEST(Json, TypePredicates) {
+  EXPECT_TRUE(Json().is_null());
+  EXPECT_TRUE(Json(true).is_bool());
+  EXPECT_TRUE(Json(3.14).is_number());
+  EXPECT_TRUE(Json(7).is_number());
+  EXPECT_TRUE(Json("hello").is_string());
+  EXPECT_TRUE(Json::array().is_array());
+  EXPECT_TRUE(Json::object().is_object());
+}
+
+TEST(Json, AccessorsThrowOnWrongType) {
+  const Json j("text");
+  EXPECT_THROW((void)j.as_number(), Error);
+  EXPECT_THROW((void)j.as_bool(), Error);
+  EXPECT_THROW((void)j.as_array(), Error);
+  EXPECT_THROW((void)j.as_object(), Error);
+  EXPECT_EQ(j.as_string(), "text");
+}
+
+TEST(Json, ObjectBuildAndAccess) {
+  Json j = Json::object();
+  j["a"] = 1;
+  j["b"] = "two";
+  j["c"]["nested"] = true;  // auto-creates object
+  EXPECT_EQ(j.at("a").as_int(), 1);
+  EXPECT_EQ(j.at("b").as_string(), "two");
+  EXPECT_TRUE(j.at("c").at("nested").as_bool());
+  EXPECT_TRUE(j.contains("a"));
+  EXPECT_FALSE(j.contains("zzz"));
+  EXPECT_THROW((void)j.at("zzz"), Error);
+}
+
+TEST(Json, ArrayPushBack) {
+  Json j;
+  j.push_back(1);
+  j.push_back("x");
+  ASSERT_TRUE(j.is_array());
+  ASSERT_EQ(j.as_array().size(), 2u);
+  EXPECT_EQ(j.as_array()[1].as_string(), "x");
+}
+
+TEST(Json, RoundTripThroughText) {
+  Json j = Json::object();
+  j["name"] = "Lulesh";
+  j["threads"] = 24;
+  j["ratio"] = 0.125;
+  j["flag"] = false;
+  j["nothing"] = nullptr;
+  Json arr = Json::array();
+  arr.push_back(1);
+  arr.push_back(2.5);
+  arr.push_back("three");
+  j["list"] = std::move(arr);
+
+  const Json parsed = Json::parse(j.dump(2));
+  EXPECT_EQ(parsed, j);
+  const Json compact = Json::parse(j.dump(-1));
+  EXPECT_EQ(compact, j);
+}
+
+TEST(Json, ParsesEscapes) {
+  const Json j = Json::parse(R"({"s": "a\"b\\c\ndA"})");
+  EXPECT_EQ(j.at("s").as_string(), "a\"b\\c\ndA");
+}
+
+TEST(Json, DumpEscapesControlCharacters) {
+  const Json j(std::string("line\nbreak\ttab\"quote"));
+  const std::string out = j.dump(-1);
+  EXPECT_EQ(Json::parse(out).as_string(), j.as_string());
+}
+
+TEST(Json, ParsesNumbersIncludingExponents) {
+  EXPECT_DOUBLE_EQ(Json::parse("1e3").as_number(), 1000.0);
+  EXPECT_DOUBLE_EQ(Json::parse("-2.5").as_number(), -2.5);
+  EXPECT_DOUBLE_EQ(Json::parse("3.25e-2").as_number(), 0.0325);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(Json::parse("{"), Error);
+  EXPECT_THROW(Json::parse("[1,]"), Error);
+  EXPECT_THROW(Json::parse("tru"), Error);
+  EXPECT_THROW(Json::parse("{\"a\":1} trailing"), Error);
+  EXPECT_THROW(Json::parse("\"unterminated"), Error);
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_EQ(Json::parse("[]").as_array().size(), 0u);
+  EXPECT_EQ(Json::parse("{}").as_object().size(), 0u);
+  EXPECT_EQ(Json::array().dump(-1), "[]");
+  EXPECT_EQ(Json::object().dump(-1), "{}");
+}
+
+TEST(Json, DeterministicKeyOrder) {
+  Json j = Json::object();
+  j["zeta"] = 1;
+  j["alpha"] = 2;
+  const std::string out = j.dump(-1);
+  EXPECT_LT(out.find("alpha"), out.find("zeta"));
+}
+
+}  // namespace
+}  // namespace ecotune

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ecotune {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ForkIsIndependentAndDeterministic) {
+  Rng base(7);
+  Rng f1 = base.fork("node-0");
+  Rng f2 = base.fork("node-0");
+  Rng f3 = base.fork("node-1");
+  EXPECT_EQ(f1(), f2());
+  EXPECT_NE(f1(), f3());
+}
+
+TEST(Rng, ForkDoesNotAdvanceParent) {
+  Rng a(9), b(9);
+  (void)a.fork("x");
+  EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(2.0, 3.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng r(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == 0;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMomentsApproximatelyCorrect) {
+  Rng r(17);
+  const int n = 20000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal(5.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(Rng, Fnv1aIsStable) {
+  EXPECT_EQ(fnv1a("node-0"), fnv1a("node-0"));
+  EXPECT_NE(fnv1a("node-0"), fnv1a("node-1"));
+  EXPECT_NE(fnv1a(""), fnv1a("a"));
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Rng::min() == 0);
+  static_assert(Rng::max() == ~std::uint64_t{0});
+  Rng r(1);
+  const auto v = r();
+  EXPECT_GE(v, Rng::min());
+  EXPECT_LE(v, Rng::max());
+}
+
+}  // namespace
+}  // namespace ecotune

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "hwsim/perf_model.hpp"
+
+namespace ecotune::hwsim {
+namespace {
+
+KernelTraits compute_kernel() {
+  KernelTraits k;
+  k.total_instructions = 1e10;
+  k.ipc_peak = 2.0;
+  k.dram_bytes = 1e8;
+  k.uncore_cycles = 5e7;
+  k.parallel_fraction = 0.995;
+  k.contention = 0.003;
+  k.overlap = 0.8;
+  return k;
+}
+
+KernelTraits memory_kernel() {
+  KernelTraits k;
+  k.total_instructions = 5e9;
+  k.ipc_peak = 1.4;
+  k.dram_bytes = 1.5e10;
+  k.uncore_cycles = 2e9;
+  k.parallel_fraction = 0.99;
+  k.contention = 0.01;
+  k.overlap = 0.9;
+  return k;
+}
+
+TEST(PerfModel, SpeedupIsMonotoneForParallelKernel) {
+  const PerfModel m;
+  const auto k = compute_kernel();
+  double prev = 0.0;
+  for (int t : {1, 2, 4, 8, 12, 16, 20, 24}) {
+    const double s = m.speedup(k, t);
+    EXPECT_GT(s, prev);
+    prev = s;
+  }
+  EXPECT_DOUBLE_EQ(m.speedup(k, 1), 1.0);
+}
+
+TEST(PerfModel, SpeedupSaturatesWithHeavyContention) {
+  const PerfModel m;
+  KernelTraits k = compute_kernel();
+  k.contention = 0.03;
+  EXPECT_GT(m.speedup(k, 16), m.speedup(k, 24));
+}
+
+TEST(PerfModel, SpeedupRejectsBadThreadCount) {
+  const PerfModel m;
+  EXPECT_THROW((void)m.speedup(compute_kernel(), 0), PreconditionError);
+}
+
+TEST(PerfModel, BandwidthIncreasesWithUncoreFreq) {
+  const PerfModel m;
+  double prev = 0.0;
+  for (int mhz = 1300; mhz <= 3000; mhz += 100) {
+    const double bw = m.bandwidth(UncoreFreq::mhz(mhz), 24);
+    EXPECT_GT(bw, prev);
+    prev = bw;
+  }
+}
+
+TEST(PerfModel, BandwidthPeaksAtMaxUncoreAndAllThreads) {
+  const PerfModel m;
+  const double peak = m.bandwidth(UncoreFreq::mhz(3000), 24);
+  EXPECT_NEAR(peak, m.params().peak_bandwidth, 1e-3 * peak);
+  EXPECT_LT(m.bandwidth(UncoreFreq::mhz(3000), 4), peak);
+}
+
+TEST(PerfModel, ComputeKernelScalesWithCoreFreq) {
+  const PerfModel m;
+  const auto k = compute_kernel();
+  const auto slow = m.evaluate(k, 24, CoreFreq::mhz(1200),
+                               UncoreFreq::mhz(3000));
+  const auto fast = m.evaluate(k, 24, CoreFreq::mhz(2400),
+                               UncoreFreq::mhz(3000));
+  // Compute-bound: doubling the clock should nearly halve the runtime.
+  const double ratio = slow.time / fast.time;
+  EXPECT_GT(ratio, 1.7);
+  EXPECT_LT(ratio, 2.05);
+}
+
+TEST(PerfModel, MemoryKernelInsensitiveToCoreFreq) {
+  const PerfModel m;
+  const auto k = memory_kernel();
+  const auto slow = m.evaluate(k, 24, CoreFreq::mhz(1500),
+                               UncoreFreq::mhz(3000));
+  const auto fast = m.evaluate(k, 24, CoreFreq::mhz(2500),
+                               UncoreFreq::mhz(3000));
+  EXPECT_LT(slow.time / fast.time, 1.25);
+}
+
+TEST(PerfModel, MemoryKernelSpeedsUpWithUncoreFreq) {
+  const PerfModel m;
+  const auto k = memory_kernel();
+  const auto slow = m.evaluate(k, 24, CoreFreq::mhz(2500),
+                               UncoreFreq::mhz(1300));
+  const auto fast = m.evaluate(k, 24, CoreFreq::mhz(2500),
+                               UncoreFreq::mhz(3000));
+  EXPECT_GT(slow.time / fast.time, 1.2);
+}
+
+TEST(PerfModel, TimeDecomposesIntoComponents) {
+  const PerfModel m;
+  const auto k = compute_kernel();
+  const auto r = m.evaluate(k, 24, CoreFreq::mhz(2000),
+                            UncoreFreq::mhz(2000));
+  // Total lies between the overlapped max and the fully serialized sum.
+  const double serial = r.compute_time.value() + r.memory_time.value() +
+                        r.uncore_time.value();
+  const double overlapped =
+      std::max(r.compute_time.value(),
+               r.memory_time.value() + r.uncore_time.value());
+  EXPECT_GE(r.time.value() + 1e-12, overlapped + r.sync_time.value());
+  EXPECT_LE(r.time.value(), serial + r.sync_time.value() + 1e-12);
+}
+
+TEST(PerfModel, StallCyclesConsistentWithCycleAccounting) {
+  const PerfModel m;
+  const auto k = compute_kernel();
+  const auto r = m.evaluate(k, 24, CoreFreq::mhz(2000),
+                            UncoreFreq::mhz(2000));
+  EXPECT_NEAR(r.total_cycles, r.work_cycles + r.stall_cycles, 1.0);
+  EXPECT_GE(r.stall_cycles, 0.0);
+}
+
+TEST(PerfModel, RejectsUnsetFrequencies) {
+  const PerfModel m;
+  EXPECT_THROW((void)m.evaluate(compute_kernel(), 24, CoreFreq{},
+                                UncoreFreq::mhz(2000)),
+               PreconditionError);
+}
+
+// Property sweep: time strictly decreases in core frequency for a
+// compute-bound kernel at every thread count.
+class PerfMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(PerfMonotonicity, TimeMonotoneInCoreFreq) {
+  const PerfModel m;
+  const auto k = compute_kernel();
+  const int threads = GetParam();
+  double prev = 1e300;
+  for (int mhz = 1200; mhz <= 2500; mhz += 100) {
+    const auto r =
+        m.evaluate(k, threads, CoreFreq::mhz(mhz), UncoreFreq::mhz(2000));
+    EXPECT_LT(r.time.value(), prev);
+    prev = r.time.value();
+  }
+}
+
+TEST_P(PerfMonotonicity, TimeMonotoneInUncoreFreqForMemoryKernel) {
+  const PerfModel m;
+  const auto k = memory_kernel();
+  const int threads = GetParam();
+  double prev = 1e300;
+  for (int mhz = 1300; mhz <= 3000; mhz += 100) {
+    const auto r =
+        m.evaluate(k, threads, CoreFreq::mhz(2000), UncoreFreq::mhz(mhz));
+    EXPECT_LT(r.time.value(), prev);
+    prev = r.time.value();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, PerfMonotonicity,
+                         ::testing::Values(1, 12, 16, 20, 24));
+
+}  // namespace
+}  // namespace ecotune::hwsim

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "hwsim/node.hpp"
+#include "hwsim/power_model.hpp"
+
+namespace ecotune::hwsim {
+namespace {
+
+const CpuSpec kSpec = haswell_ep_spec();
+const NodeVariability kNominal{};  // all factors 1.0 / 0.0
+
+KernelTraits busy_kernel() {
+  KernelTraits k;
+  k.activity = 1.0;
+  return k;
+}
+
+TEST(PowerModel, VoltageIsAffineInFrequency) {
+  const PowerModel m;
+  const double v1 = m.core_voltage(CoreFreq::mhz(1200));
+  const double v2 = m.core_voltage(CoreFreq::mhz(2500));
+  EXPECT_GT(v2, v1);
+  EXPECT_NEAR(m.core_voltage(CoreFreq::mhz(1850)),
+              (v1 + v2) / 2.0, 1e-9);
+}
+
+TEST(PowerModel, FullLoadNodePowerInHaswellRange) {
+  const PowerModel m;
+  const auto p = m.evaluate(kSpec, kNominal, busy_kernel(), 24,
+                            CoreFreq::mhz(2500), UncoreFreq::mhz(3000),
+                            40e9);
+  // A loaded 2-socket Haswell node draws a few hundred watts.
+  EXPECT_GT(p.node().value(), 250.0);
+  EXPECT_LT(p.node().value(), 450.0);
+  EXPECT_GT(p.cpu().value(), 150.0);
+  EXPECT_LT(p.cpu().value(), p.node().value());
+}
+
+TEST(PowerModel, PowerMonotoneInCoreFrequency) {
+  const PowerModel m;
+  double prev = 0.0;
+  for (int mhz = 1200; mhz <= 2500; mhz += 100) {
+    const auto p = m.evaluate(kSpec, kNominal, busy_kernel(), 24,
+                              CoreFreq::mhz(mhz), UncoreFreq::mhz(2000),
+                              20e9);
+    EXPECT_GT(p.node().value(), prev);
+    prev = p.node().value();
+  }
+}
+
+TEST(PowerModel, PowerMonotoneInUncoreFrequency) {
+  const PowerModel m;
+  double prev = 0.0;
+  for (int mhz = 1300; mhz <= 3000; mhz += 100) {
+    const auto p = m.evaluate(kSpec, kNominal, busy_kernel(), 24,
+                              CoreFreq::mhz(2000), UncoreFreq::mhz(mhz),
+                              20e9);
+    EXPECT_GT(p.uncore.value(), prev);
+    prev = p.uncore.value();
+  }
+}
+
+TEST(PowerModel, PowerIncreasesWithActiveThreads) {
+  const PowerModel m;
+  const auto p12 = m.evaluate(kSpec, kNominal, busy_kernel(), 12,
+                              CoreFreq::mhz(2500), UncoreFreq::mhz(3000),
+                              20e9);
+  const auto p24 = m.evaluate(kSpec, kNominal, busy_kernel(), 24,
+                              CoreFreq::mhz(2500), UncoreFreq::mhz(3000),
+                              20e9);
+  EXPECT_GT(p24.core_dynamic.value(), p12.core_dynamic.value());
+  // Static parts do not depend on the thread count.
+  EXPECT_DOUBLE_EQ(p24.core_static.value(), p12.core_static.value());
+  EXPECT_DOUBLE_EQ(p24.uncore.value(), p12.uncore.value());
+}
+
+TEST(PowerModel, DramPowerScalesWithBandwidth) {
+  const PowerModel m;
+  const auto idle = m.evaluate(kSpec, kNominal, busy_kernel(), 24,
+                               CoreFreq::mhz(2000), UncoreFreq::mhz(2000),
+                               0.0);
+  const auto loaded = m.evaluate(kSpec, kNominal, busy_kernel(), 24,
+                                 CoreFreq::mhz(2000), UncoreFreq::mhz(2000),
+                                 80e9);
+  EXPECT_NEAR(loaded.dram.value() - idle.dram.value(),
+              m.params().dram_per_gbs * 80.0, 1e-9);
+}
+
+TEST(PowerModel, IdleIsCheaperThanLoaded) {
+  const PowerModel m;
+  const auto idle = m.idle(kSpec, kNominal, CoreFreq::mhz(2000),
+                           UncoreFreq::mhz(2000));
+  const auto loaded = m.evaluate(kSpec, kNominal, busy_kernel(), 24,
+                                 CoreFreq::mhz(2000), UncoreFreq::mhz(2000),
+                                 20e9);
+  EXPECT_LT(idle.node().value(), loaded.node().value());
+  EXPECT_GT(idle.node().value(), m.params().node_base);
+}
+
+TEST(PowerModel, VariabilityScalesStaticAndDynamicParts) {
+  const PowerModel m;
+  NodeVariability hot;
+  hot.leakage_factor = 1.1;
+  hot.dynamic_factor = 1.05;
+  hot.base_offset_w = 5.0;
+  const auto nom = m.evaluate(kSpec, kNominal, busy_kernel(), 24,
+                              CoreFreq::mhz(2000), UncoreFreq::mhz(2000),
+                              20e9);
+  const auto var = m.evaluate(kSpec, hot, busy_kernel(), 24,
+                              CoreFreq::mhz(2000), UncoreFreq::mhz(2000),
+                              20e9);
+  EXPECT_NEAR(var.core_static.value(), nom.core_static.value() * 1.1, 1e-9);
+  EXPECT_NEAR(var.core_dynamic.value(), nom.core_dynamic.value() * 1.05,
+              1e-9);
+  EXPECT_NEAR(var.node_base.value(), nom.node_base.value() + 5.0, 1e-9);
+}
+
+TEST(PowerModel, DrawnVariabilityIsDeterministicPerNode) {
+  const Rng rng(123);
+  const auto a = draw_node_variability(rng, 3);
+  const auto b = draw_node_variability(rng, 3);
+  const auto c = draw_node_variability(rng, 4);
+  EXPECT_DOUBLE_EQ(a.leakage_factor, b.leakage_factor);
+  EXPECT_DOUBLE_EQ(a.base_offset_w, b.base_offset_w);
+  EXPECT_NE(a.leakage_factor, c.leakage_factor);
+}
+
+TEST(PowerModel, DrawnVariabilityWithinClampedBounds) {
+  const Rng rng(99);
+  for (int id = 0; id < 50; ++id) {
+    const auto v = draw_node_variability(rng, id);
+    EXPECT_GE(v.leakage_factor, 0.85);
+    EXPECT_LE(v.leakage_factor, 1.15);
+    EXPECT_GE(v.dynamic_factor, 0.94);
+    EXPECT_LE(v.dynamic_factor, 1.06);
+    EXPECT_GE(v.base_offset_w, -10.0);
+    EXPECT_LE(v.base_offset_w, 10.0);
+  }
+}
+
+TEST(PowerModel, RejectsTooManyThreads) {
+  const PowerModel m;
+  EXPECT_THROW((void)m.evaluate(kSpec, kNominal, busy_kernel(), 25,
+                                CoreFreq::mhz(2000),
+                                UncoreFreq::mhz(2000), 0.0),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace ecotune::hwsim

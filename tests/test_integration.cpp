@@ -1,0 +1,184 @@
+// End-to-end integration tests: the full paper pipeline from data
+// acquisition through DTA to the RRL production run, on the simulated
+// cluster.
+#include <gtest/gtest.h>
+
+#include "core/evaluation.hpp"
+#include "model/dataset.hpp"
+#include "readex/rrl.hpp"
+#include "stats/crossval.hpp"
+#include "stats/metrics.hpp"
+#include "workload/suite.hpp"
+
+namespace ecotune {
+namespace {
+
+/// Shared fixture: acquire a modest training set and train the model once.
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    cluster_ = new hwsim::Cluster(hwsim::haswell_ep_spec(), 0xC0FFEE);
+    auto& node = cluster_->node(0);
+    node.set_jitter(0.001);
+
+    model::AcquisitionOptions opts;
+    opts.thread_counts = {16, 24};
+    opts.cf_stride = 2;
+    opts.ucf_stride = 2;
+    opts.phase_iterations = 2;
+    model::DataAcquisition acq(node, opts);
+    std::vector<workload::Benchmark> training;
+    for (const char* n : {"CG", "EP", "FT", "MG", "BT", "miniFE", "XSBench",
+                          "Kripke", "CoMD", "Blasbench"})
+      training.push_back(workload::BenchmarkSuite::by_name(n));
+    dataset_ = new model::EnergyDataset(acq.acquire(training));
+
+    energy_model_ = new model::EnergyModel();
+    energy_model_->train(*dataset_, 10);
+  }
+  static void TearDownTestSuite() {
+    delete energy_model_;
+    delete dataset_;
+    delete cluster_;
+    energy_model_ = nullptr;
+    dataset_ = nullptr;
+    cluster_ = nullptr;
+  }
+
+  static hwsim::Cluster* cluster_;
+  static model::EnergyDataset* dataset_;
+  static model::EnergyModel* energy_model_;
+};
+
+hwsim::Cluster* IntegrationTest::cluster_ = nullptr;
+model::EnergyDataset* IntegrationTest::dataset_ = nullptr;
+model::EnergyModel* IntegrationTest::energy_model_ = nullptr;
+
+TEST_F(IntegrationTest, ModelFitsHeldInTrainingData) {
+  const auto pred = energy_model_->predict_all(*dataset_);
+  EXPECT_LT(stats::mape(dataset_->labels(), pred), 8.0);
+}
+
+TEST_F(IntegrationTest, LoocvOverTrainingBenchmarksStaysAccurate) {
+  // A reduced version of the paper's Fig. 5 experiment.
+  const auto groups = dataset_->groups();
+  const auto splits = stats::leave_one_group_out(groups);
+  const auto labels = stats::distinct_groups(groups);
+  double worst = 0.0;
+  for (std::size_t f = 0; f < splits.size(); ++f) {
+    model::EnergyModel fold_model;
+    fold_model.train(dataset_->subset(splits[f].train), 5);
+    const auto test = dataset_->subset(splits[f].test);
+    const double err =
+        stats::mape(test.labels(), fold_model.predict_all(test));
+    worst = std::max(worst, err);
+    EXPECT_LT(err, 32.0) << labels[f];
+  }
+  // At least one fold should be clearly better than the worst.
+  EXPECT_GT(worst, 0.0);
+}
+
+TEST_F(IntegrationTest, FullPipelineProducesSavingsForLulesh) {
+  auto& node = cluster_->node(0);
+  core::SavingsOptions opts;
+  opts.repeats = 3;
+  opts.static_search.thread_counts = {16, 20, 24};
+  opts.static_search.cf_stride = 2;
+  opts.static_search.ucf_stride = 2;
+  core::SavingsEvaluator evaluator(node, *energy_model_, opts);
+  const auto row = evaluator.evaluate(
+      workload::BenchmarkSuite::by_name("Lulesh").with_iterations(8));
+
+  // Energy savings exist for both tuning styles...
+  EXPECT_GT(row.static_cpu_energy_pct, 0.0);
+  EXPECT_GT(row.dynamic_cpu_energy_pct, 0.0);
+  EXPECT_GT(row.dynamic_job_energy_pct, 0.0);
+  // ...CPU savings exceed job savings (node baseline dilutes the latter)...
+  EXPECT_GT(row.static_cpu_energy_pct, row.static_job_energy_pct);
+  EXPECT_GT(row.dynamic_cpu_energy_pct, row.dynamic_job_energy_pct);
+  // ...and dynamic tuning pays with run time (paper Table VI).
+  EXPECT_LT(row.dynamic_time_pct, 1.0);
+  EXPECT_LT(row.overhead_pct, 0.0);
+  EXPECT_GE(row.overhead_pct, -15.0);
+  // Decomposition adds up: time delta = config effect + overhead.
+  EXPECT_NEAR(row.dynamic_time_pct,
+              row.perf_reduction_config_pct + row.overhead_pct, 0.5);
+  // The static optimum matches the calibrated ground truth shape.
+  EXPECT_EQ(row.static_config.threads, 24);
+  EXPECT_GE(row.static_config.core.as_mhz(), 2100);
+  EXPECT_LE(row.static_config.uncore.as_mhz(), 2200);
+  // DTA bookkeeping made it into the row.
+  EXPECT_EQ(row.dta.dyn_report.significant.size(), 5u);
+  EXPECT_GT(row.dynamic_switches, 0);
+}
+
+TEST_F(IntegrationTest, TuningModelSurvivesSerializationIntoRrlRun) {
+  auto& node = cluster_->node(0);
+  core::DvfsUfsPlugin plugin(*energy_model_);
+  const auto app =
+      workload::BenchmarkSuite::by_name("BEM4I").with_iterations(8);
+  const auto dta = plugin.run_dta(app, node);
+
+  // Serialize the tuning model to JSON and reload (the RRL input path).
+  const auto reloaded = readex::TuningModel::from_json(
+      Json::parse(dta.tuning_model.to_json().dump()));
+  EXPECT_EQ(reloaded.region_count(), dta.tuning_model.region_count());
+
+  auto filter = instr::InstrumentationFilter::instrument_all();
+  for (const auto& r : app.regions())
+    if (!dta.dyn_report.is_significant(r.name)) filter.exclude(r.name);
+
+  const SystemConfig default_config{24, CoreFreq::mhz(2500),
+                                    UncoreFreq::mhz(3000)};
+  const auto rat =
+      readex::run_with_rrl(app, node, reloaded, filter, default_config);
+  EXPECT_GT(rat.lookups, 0);
+  EXPECT_GT(rat.run.node_energy.value(), 0.0);
+}
+
+TEST_F(IntegrationTest, DynamicBeatsStaticOnRegionHeterogeneousApp) {
+  // Amg2013 has strong thread-scaling heterogeneity; region-level tuning
+  // should recover more CPU energy than the single static configuration.
+  auto& node = cluster_->node(1);
+  node.set_jitter(0.001);
+  core::SavingsOptions opts;
+  opts.repeats = 3;
+  opts.static_search.cf_stride = 2;
+  opts.static_search.ucf_stride = 2;
+  core::SavingsEvaluator evaluator(node, *energy_model_, opts);
+  const auto row = evaluator.evaluate(
+      workload::BenchmarkSuite::by_name("Amg2013").with_iterations(8));
+  EXPECT_GT(row.dynamic_cpu_energy_pct, 0.0);
+  EXPECT_GT(row.static_cpu_energy_pct, 0.0);
+}
+
+TEST_F(IntegrationTest, NodeVariabilityCancelsUnderNormalization) {
+  // Fig. 2b/3b property: normalized energies agree across nodes far better
+  // than raw energies.
+  const auto app =
+      workload::BenchmarkSuite::by_name("Lulesh").with_iterations(2);
+  std::vector<double> raw, norm;
+  for (int id = 2; id < 6; ++id) {
+    auto& node = cluster_->node(id);
+    node.set_jitter(0.0);
+    const auto at = [&](int cf_mhz, int ucf_mhz) {
+      return instr::run_uninstrumented(
+                 app, node,
+                 SystemConfig{24, CoreFreq::mhz(cf_mhz),
+                              UncoreFreq::mhz(ucf_mhz)})
+          .node_energy.value();
+    };
+    const double e_hi = at(2400, 1500);
+    const double e_cal = at(2000, 1500);
+    raw.push_back(e_hi);
+    norm.push_back(e_hi / e_cal);
+  }
+  auto spread = [](const std::vector<double>& v) {
+    const auto [lo, hi] = std::minmax_element(v.begin(), v.end());
+    return (*hi - *lo) / *lo;
+  };
+  EXPECT_LT(spread(norm), spread(raw) * 0.5);
+}
+
+}  // namespace
+}  // namespace ecotune

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "nn/mlp.hpp"
+#include "stats/metrics.hpp"
+
+namespace ecotune::nn {
+namespace {
+
+TEST(Mlp, PaperArchitectureShape) {
+  Rng rng(1);
+  const Mlp net(MlpConfig{}, rng);
+  EXPECT_EQ(net.input_size(), 9u);
+  EXPECT_EQ(net.output_size(), 1u);
+  // 9*5+5 + 5*5+5 + 5*1+1 = 50 + 30 + 6 = 86 parameters.
+  EXPECT_EQ(net.parameter_count(), 86u);
+}
+
+TEST(Mlp, HeInitializationStatistics) {
+  MlpConfig cfg;
+  cfg.layer_sizes = {100, 200};
+  cfg.relu_output = false;
+  Rng rng(2);
+  const Mlp net(cfg, rng);
+  // Serialize to inspect weights: stddev should be ~sqrt(2/100) = 0.1414.
+  const Json j = net.to_json();
+  const auto& w = j.at("layers").as_array()[0].at("w").as_array();
+  double sum = 0.0, sq = 0.0;
+  int n = 0;
+  for (const auto& row : w) {
+    for (const auto& v : row.as_array()) {
+      sum += v.as_number();
+      sq += v.as_number() * v.as_number();
+      ++n;
+    }
+  }
+  const double mean = sum / n;
+  const double sd = std::sqrt(sq / n - mean * mean);
+  EXPECT_NEAR(mean, 0.0, 0.01);
+  EXPECT_NEAR(sd, std::sqrt(2.0 / 100.0), 0.01);
+  // Biases start at zero.
+  for (const auto& b : j.at("layers").as_array()[0].at("b").as_array())
+    EXPECT_DOUBLE_EQ(b.as_number(), 0.0);
+}
+
+TEST(Mlp, ReluOutputIsNonNegative) {
+  Rng rng(3);
+  const Mlp net(MlpConfig{}, rng);
+  Rng probe(4);
+  for (int i = 0; i < 100; ++i) {
+    std::vector<double> x(9);
+    for (auto& v : x) v = probe.normal(0, 2);
+    EXPECT_GE(net.predict(x), 0.0);
+  }
+}
+
+TEST(Mlp, ValidatesInputSizes) {
+  Rng rng(5);
+  Mlp net(MlpConfig{}, rng);
+  EXPECT_THROW((void)net.predict({1.0, 2.0}), PreconditionError);
+  EXPECT_THROW(net.train_sample({1.0}, {1.0}), PreconditionError);
+}
+
+TEST(Mlp, LearnsLinearFunction) {
+  MlpConfig cfg;
+  cfg.layer_sizes = {2, 8, 1};
+  Rng rng(6);
+  Mlp net(cfg, rng);
+
+  Rng data_rng(7);
+  stats::Matrix x(256, 2);
+  std::vector<double> y(256);
+  for (std::size_t i = 0; i < 256; ++i) {
+    x(i, 0) = data_rng.uniform(0, 1);
+    x(i, 1) = data_rng.uniform(0, 1);
+    y[i] = 0.5 + 0.3 * x(i, 0) + 0.2 * x(i, 1);
+  }
+  Rng shuffle(8);
+  double first_loss = net.train_epoch(x, y, shuffle);
+  double last_loss = first_loss;
+  for (int e = 0; e < 200; ++e) last_loss = net.train_epoch(x, y, shuffle);
+  EXPECT_LT(last_loss, first_loss * 0.05);
+  EXPECT_NEAR(net.predict({0.5, 0.5}), 0.75, 0.05);
+}
+
+TEST(Mlp, LearnsNonlinearEnergyShapedSurface) {
+  // A paper-like target: U-shaped normalized energy in "frequency".
+  MlpConfig cfg;
+  cfg.layer_sizes = {1, 8, 8, 1};
+  cfg.learning_rate = 3e-3;
+  Rng rng(9);
+  Mlp net(cfg, rng);
+
+  stats::Matrix x(141, 1);
+  std::vector<double> y(141);
+  for (int i = 0; i <= 140; ++i) {
+    const double f = 1.2 + i * 0.01;  // 1.2 .. 2.6 "GHz"
+    x(static_cast<std::size_t>(i), 0) = (f - 1.9) / 0.4;  // standardized-ish
+    y[static_cast<std::size_t>(i)] = 0.8 + 0.5 * (f - 1.9) * (f - 1.9);
+  }
+  Rng shuffle(10);
+  for (int e = 0; e < 400; ++e) net.train_epoch(x, y, shuffle);
+
+  std::vector<double> pred, truth;
+  for (std::size_t i = 0; i < 141; ++i) {
+    pred.push_back(net.predict(x.row(i)));
+    truth.push_back(y[i]);
+  }
+  EXPECT_LT(stats::mape(truth, pred), 3.0);
+  // The learned surface must preserve the argmin location approximately.
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i)
+    if (pred[i] < pred[best]) best = i;
+  EXPECT_NEAR(1.2 + static_cast<double>(best) * 0.01, 1.9, 0.15);
+}
+
+TEST(Mlp, TrainSampleReturnsDecreasingLossOnRepeat) {
+  MlpConfig cfg;
+  cfg.layer_sizes = {2, 4, 1};
+  cfg.relu_output = false;  // a ReLU output can die on a single sample
+  Rng rng(11);
+  Mlp net(cfg, rng);
+  const std::vector<double> x{0.3, 0.6};
+  const std::vector<double> y{1.5};
+  const double l0 = net.train_sample(x, y);
+  double l = l0;
+  for (int i = 0; i < 300; ++i) l = net.train_sample(x, y);
+  EXPECT_LT(l, l0 * 0.01);
+}
+
+TEST(Mlp, SerializationRoundTripPreservesPredictions) {
+  Rng rng(12);
+  Mlp net(MlpConfig{}, rng);
+  // Train briefly so weights are not just the init.
+  stats::Matrix x(32, 9);
+  std::vector<double> y(32);
+  Rng d(13);
+  for (std::size_t i = 0; i < 32; ++i) {
+    for (std::size_t j = 0; j < 9; ++j) x(i, j) = d.normal(0, 1);
+    y[i] = 1.0 + 0.1 * x(i, 0);
+  }
+  Rng shuffle(14);
+  net.train_epoch(x, y, shuffle);
+
+  const Mlp restored = Mlp::from_json(Json::parse(net.to_json().dump()));
+  for (std::size_t i = 0; i < 8; ++i)
+    EXPECT_DOUBLE_EQ(restored.predict(x.row(i)), net.predict(x.row(i)));
+}
+
+TEST(Mlp, DeterministicTrainingForSameSeeds) {
+  auto make_trained = [] {
+    Rng rng(15);
+    Mlp net(MlpConfig{}, rng);
+    stats::Matrix x(16, 9);
+    std::vector<double> y(16);
+    Rng d(16);
+    for (std::size_t i = 0; i < 16; ++i) {
+      for (std::size_t j = 0; j < 9; ++j) x(i, j) = d.normal(0, 1);
+      y[i] = d.uniform(0.5, 1.5);
+    }
+    Rng shuffle(17);
+    for (int e = 0; e < 5; ++e) net.train_epoch(x, y, shuffle);
+    return net.predict(std::vector<double>(9, 0.1));
+  };
+  EXPECT_DOUBLE_EQ(make_trained(), make_trained());
+}
+
+TEST(Mlp, RejectsDegenerateConfig) {
+  MlpConfig cfg;
+  cfg.layer_sizes = {9};
+  Rng rng(18);
+  EXPECT_THROW(Mlp(cfg, rng), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ecotune::nn

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "hwsim/node.hpp"
+#include "pmc/counter_sampler.hpp"
+#include "pmc/event_set.hpp"
+
+namespace ecotune::pmc {
+namespace {
+
+using hwsim::PmuEvent;
+
+TEST(EventSet, EnforcesHardwareCounterLimit) {
+  EventSet set;
+  set.add(PmuEvent::kTOT_INS);
+  set.add(PmuEvent::kLD_INS);
+  set.add(PmuEvent::kSR_INS);
+  set.add(PmuEvent::kBR_MSP);
+  EXPECT_EQ(set.size(), 4u);
+  EXPECT_THROW(set.add(PmuEvent::kTOT_CYC), PreconditionError);
+}
+
+TEST(EventSet, RejectsDuplicates) {
+  EventSet set;
+  set.add(PmuEvent::kTOT_INS);
+  EXPECT_THROW(set.add(PmuEvent::kTOT_INS), PreconditionError);
+}
+
+TEST(EventSet, ConstructorValidates) {
+  EXPECT_NO_THROW(EventSet({PmuEvent::kTOT_INS, PmuEvent::kLD_INS}));
+  EXPECT_THROW(EventSet({PmuEvent::kTOT_INS, PmuEvent::kLD_INS,
+                         PmuEvent::kSR_INS, PmuEvent::kBR_MSP,
+                         PmuEvent::kTOT_CYC}),
+               PreconditionError);
+}
+
+TEST(EventSet, MultiplexScheduleCoversAllEventsOnce) {
+  std::vector<PmuEvent> events(hwsim::all_pmu_events().begin(),
+                               hwsim::all_pmu_events().end());
+  const auto schedule = multiplex_schedule(events);
+  EXPECT_EQ(schedule.size(), 14u);  // 56 / 4
+  std::size_t total = 0;
+  for (const auto& set : schedule) {
+    EXPECT_LE(set.size(),
+              static_cast<std::size_t>(EventSet::kMaxHardwareCounters));
+    total += set.size();
+  }
+  EXPECT_EQ(total, events.size());
+}
+
+TEST(EventSet, MultiplexScheduleForPaperSevenNeedsTwoRuns) {
+  std::vector<PmuEvent> seven{
+      PmuEvent::kBR_NTK, PmuEvent::kLD_INS,  PmuEvent::kL2_ICR,
+      PmuEvent::kBR_MSP, PmuEvent::kRES_STL, PmuEvent::kSR_INS,
+      PmuEvent::kL2_DCR};
+  const auto schedule = multiplex_schedule(seven);
+  EXPECT_EQ(schedule.size(), 2u);
+  EXPECT_EQ(CounterSampler::runs_required(seven.size()), 2);
+  EXPECT_EQ(CounterSampler::runs_required(56), 14);
+}
+
+TEST(CounterSampler, NoiselessSamplingIsExact) {
+  hwsim::PmuCounts truth{};
+  truth[static_cast<std::size_t>(static_cast<int>(PmuEvent::kTOT_INS))] =
+      1e9;
+  CounterSampler sampler(Rng(1), 0.0);
+  const auto r = sampler.sample(EventSet({PmuEvent::kTOT_INS}), truth);
+  EXPECT_DOUBLE_EQ(r.at(PmuEvent::kTOT_INS), 1e9);
+}
+
+TEST(CounterSampler, NoiseIsSmallAndUnbiased) {
+  hwsim::PmuCounts truth{};
+  const auto idx =
+      static_cast<std::size_t>(static_cast<int>(PmuEvent::kLD_INS));
+  truth[idx] = 1e8;
+  CounterSampler sampler(Rng(2), 0.01);
+  double sum = 0.0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i)
+    sum += sampler.sample(EventSet({PmuEvent::kLD_INS}), truth)
+               .at(PmuEvent::kLD_INS);
+  EXPECT_NEAR(sum / n / 1e8, 1.0, 0.002);
+}
+
+TEST(CounterSampler, CollectMultiplexedMergesAllEvents) {
+  hwsim::PmuCounts truth{};
+  for (std::size_t i = 0; i < truth.size(); ++i)
+    truth[i] = static_cast<double>(i + 1) * 1000.0;
+
+  std::vector<PmuEvent> events(hwsim::all_pmu_events().begin(),
+                               hwsim::all_pmu_events().end());
+  CounterSampler sampler(Rng(3), 0.0);
+  int runs = 0;
+  const auto merged = sampler.collect_multiplexed(
+      events,
+      [&] {
+        ++runs;
+        return truth;
+      },
+      /*repeats=*/2);
+  EXPECT_EQ(runs, 14 * 2);
+  EXPECT_EQ(merged.size(), events.size());
+  for (auto e : events) {
+    const auto i = static_cast<std::size_t>(static_cast<int>(e));
+    EXPECT_DOUBLE_EQ(merged.at(e), truth[i]);
+  }
+}
+
+}  // namespace
+}  // namespace ecotune::pmc

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "hwsim/node.hpp"
+#include "ptf/experiments_engine.hpp"
+#include "ptf/objectives.hpp"
+#include "ptf/search_space.hpp"
+#include "ptf/tuning_parameter.hpp"
+#include "workload/suite.hpp"
+
+namespace ecotune::ptf {
+namespace {
+
+TEST(TuningParameter, OmpThreadsRange) {
+  const auto p = omp_threads_parameter(12, 24, 4);
+  EXPECT_EQ(p.name, "OpenMPTP");
+  EXPECT_EQ(p.values, (std::vector<int>{12, 16, 20, 24}));
+  EXPECT_THROW(omp_threads_parameter(12, 8, 4), PreconditionError);
+}
+
+TEST(TuningParameter, FrequencyParameters) {
+  const auto cf = core_freq_parameter(
+      {CoreFreq::mhz(2400), CoreFreq::mhz(2500)});
+  EXPECT_EQ(cf.name, "cpu_freq");
+  EXPECT_EQ(cf.values, (std::vector<int>{2400, 2500}));
+  EXPECT_THROW(uncore_freq_parameter({}), PreconditionError);
+}
+
+TEST(Scenario, ConfigConversionRoundTrip) {
+  const SystemConfig base{24, CoreFreq::mhz(2000), UncoreFreq::mhz(1500)};
+  Scenario s = config_to_scenario(7, SystemConfig{16, CoreFreq::mhz(1800),
+                                                  UncoreFreq::mhz(2200)});
+  EXPECT_EQ(s.id, 7);
+  const SystemConfig c = scenario_to_config(s, base);
+  EXPECT_EQ(c.threads, 16);
+  EXPECT_EQ(c.core, CoreFreq::mhz(1800));
+  EXPECT_EQ(c.uncore, UncoreFreq::mhz(2200));
+
+  // Partial scenario falls back to the base.
+  Scenario partial;
+  partial.values["cpu_freq"] = 1200;
+  const SystemConfig pc = scenario_to_config(partial, base);
+  EXPECT_EQ(pc.threads, 24);
+  EXPECT_EQ(pc.core, CoreFreq::mhz(1200));
+  EXPECT_EQ(pc.uncore, UncoreFreq::mhz(1500));
+  EXPECT_THROW((void)partial.at("OpenMPTP"), PreconditionError);
+}
+
+TEST(SearchSpace, ExhaustiveCartesianProduct) {
+  SearchSpace space;
+  space.add_parameter(omp_threads_parameter(12, 24, 4));
+  space.add_parameter(core_freq_parameter(
+      {CoreFreq::mhz(2400), CoreFreq::mhz(2500)}));
+  EXPECT_EQ(space.size(), 8u);
+  const auto scenarios = space.exhaustive();
+  ASSERT_EQ(scenarios.size(), 8u);
+  // Ids are unique and sequential.
+  for (std::size_t i = 0; i < scenarios.size(); ++i)
+    EXPECT_EQ(scenarios[i].id, static_cast<int>(i));
+  // All combinations distinct.
+  for (std::size_t i = 0; i < scenarios.size(); ++i)
+    for (std::size_t j = i + 1; j < scenarios.size(); ++j)
+      EXPECT_NE(scenarios[i].values, scenarios[j].values);
+}
+
+TEST(SearchSpace, EmptyAndDegenerate) {
+  SearchSpace space;
+  EXPECT_EQ(space.size(), 0u);
+  EXPECT_TRUE(space.exhaustive().empty());
+  TuningParameter p;
+  p.name = "x";
+  EXPECT_THROW(space.add_parameter(p), PreconditionError);
+}
+
+TEST(Objectives, EvaluateAndOrdering) {
+  Measurement cheap;
+  cheap.node_energy = Joules(100);
+  cheap.cpu_energy = Joules(70);
+  cheap.time = Seconds(2.0);
+  Measurement fast;
+  fast.node_energy = Joules(120);
+  fast.cpu_energy = Joules(90);
+  fast.time = Seconds(1.0);
+
+  EXPECT_LT(EnergyObjective{}.evaluate(cheap),
+            EnergyObjective{}.evaluate(fast));
+  EXPECT_LT(TimeObjective{}.evaluate(fast), TimeObjective{}.evaluate(cheap));
+  EXPECT_DOUBLE_EQ(EdpObjective{}.evaluate(cheap), 200.0);
+  EXPECT_DOUBLE_EQ(Ed2pObjective{}.evaluate(cheap), 400.0);
+  // EDP prefers the fast run here, energy the cheap one: the classic trade.
+  EXPECT_LT(EdpObjective{}.evaluate(fast), EdpObjective{}.evaluate(cheap));
+  EXPECT_GT(TcoObjective{}.evaluate(cheap), 0.0);
+  EXPECT_DOUBLE_EQ(CpuEnergyObjective{}.evaluate(cheap), 70.0);
+}
+
+TEST(Objectives, FactoryByName) {
+  for (const char* name :
+       {"energy", "cpu_energy", "time", "edp", "ed2p", "tco"}) {
+    const auto obj = make_objective(name);
+    ASSERT_NE(obj, nullptr);
+    EXPECT_EQ(obj->name(), name);
+  }
+  EXPECT_THROW(make_objective("nope"), ConfigError);
+}
+
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest()
+      : node_(hwsim::haswell_ep_spec(), 0, Rng(1)),
+        app_(workload::BenchmarkSuite::by_name("Lulesh").with_iterations(6)) {
+    node_.set_jitter(0.0);
+  }
+  hwsim::NodeSimulator node_;
+  workload::Benchmark app_;
+  const SystemConfig base_{24, CoreFreq::mhz(2000), UncoreFreq::mhz(1500)};
+};
+
+TEST_F(EngineTest, OneScenarioPerPhaseIteration) {
+  SearchSpace space;
+  space.add_parameter(omp_threads_parameter(12, 24, 4));
+  EngineOptions opts;
+  opts.measurement_noise = 0.0;
+  ExperimentsEngine engine(node_, app_,
+                           instr::InstrumentationFilter::instrument_all(),
+                           opts);
+  const auto results = engine.run(space.exhaustive(), base_);
+  ASSERT_EQ(results.size(), 4u);
+  // 4 scenarios fit into one 6-iteration application run.
+  EXPECT_EQ(engine.app_runs(), 1);
+  for (const auto& r : results) {
+    EXPECT_EQ(r.phase.count, 1);
+    EXPECT_GT(r.phase.node_energy.value(), 0.0);
+    EXPECT_FALSE(r.regions.empty());
+  }
+}
+
+TEST_F(EngineTest, SchedulesMultipleRunsWhenScenariosExceedIterations) {
+  SearchSpace space;
+  space.add_parameter(core_freq_parameter(node_.spec().core_grid.values()));
+  EngineOptions opts;
+  opts.measurement_noise = 0.0;
+  ExperimentsEngine engine(node_, app_,
+                           instr::InstrumentationFilter::instrument_all(),
+                           opts);
+  const auto results = engine.run(space.exhaustive(), base_);
+  EXPECT_EQ(results.size(), 14u);
+  EXPECT_EQ(engine.app_runs(), 3);  // ceil(14 / 6)
+  EXPECT_GT(engine.experiment_time().value(), 0.0);
+}
+
+TEST_F(EngineTest, MeasurementsReflectConfiguration) {
+  std::vector<Scenario> scenarios;
+  scenarios.push_back(config_to_scenario(
+      0, SystemConfig{24, CoreFreq::mhz(1200), UncoreFreq::mhz(1500)}));
+  scenarios.push_back(config_to_scenario(
+      1, SystemConfig{24, CoreFreq::mhz(2500), UncoreFreq::mhz(1500)}));
+  EngineOptions opts;
+  opts.measurement_noise = 0.0;
+  ExperimentsEngine engine(node_, app_,
+                           instr::InstrumentationFilter::instrument_all(),
+                           opts);
+  const auto results = engine.run(scenarios, base_);
+  // Lulesh is compute-bound: 1.2 GHz must be much slower than 2.5 GHz.
+  EXPECT_GT(results[0].phase.time.value(),
+            results[1].phase.time.value() * 1.5);
+}
+
+TEST_F(EngineTest, BestSelectorsUseObjective) {
+  SearchSpace space;
+  space.add_parameter(omp_threads_parameter(12, 24, 4));
+  EngineOptions opts;
+  opts.measurement_noise = 0.0;
+  ExperimentsEngine engine(node_, app_,
+                           instr::InstrumentationFilter::instrument_all(),
+                           opts);
+  const auto results = engine.run(space.exhaustive(), base_);
+
+  const EnergyObjective energy;
+  const auto& best = ExperimentsEngine::best_phase(results, energy);
+  for (const auto& r : results)
+    EXPECT_LE(energy.evaluate(best.phase), energy.evaluate(r.phase));
+
+  const auto per_region = ExperimentsEngine::best_per_region(results, energy);
+  EXPECT_EQ(per_region.size(), app_.regions().size());
+  for (const auto& [region, sr] : per_region) {
+    for (const auto& r : results) {
+      EXPECT_LE(energy.evaluate(sr->regions.at(region)),
+                energy.evaluate(r.regions.at(region)))
+          << region;
+    }
+  }
+}
+
+TEST_F(EngineTest, AveragesOverRepeatedIterations) {
+  std::vector<Scenario> scenarios{config_to_scenario(
+      0, SystemConfig{24, CoreFreq::mhz(2000), UncoreFreq::mhz(1500)})};
+  EngineOptions opts;
+  opts.iterations_per_scenario = 3;
+  opts.measurement_noise = 0.0;
+  ExperimentsEngine engine(node_, app_,
+                           instr::InstrumentationFilter::instrument_all(),
+                           opts);
+  const auto results = engine.run(scenarios, base_);
+  EXPECT_EQ(results[0].phase.count, 3);
+}
+
+}  // namespace
+}  // namespace ecotune::ptf

@@ -1,0 +1,121 @@
+// Developer calibration harness: exhaustively searches (threads, CF, UCF)
+// per benchmark against the ground-truth simulator and prints the optimum
+// plus per-region optima, so workload parameters can be tuned to land near
+// the paper's Table V / Table III / Table IV values. Not part of the
+// published benches; see bench/ for the reproduction harnesses.
+#include <iostream>
+#include <limits>
+#include <vector>
+
+#include "common/table.hpp"
+#include "hwsim/node.hpp"
+#include "workload/suite.hpp"
+
+using namespace ecotune;
+
+namespace {
+
+struct Config {
+  int threads;
+  CoreFreq cf;
+  UncoreFreq ucf;
+};
+
+struct Sample {
+  double node_energy;
+  double cpu_energy;
+  double time;
+};
+
+Sample eval_regions(hwsim::NodeSimulator& node,
+                    const std::vector<workload::Region>& regions, int threads,
+                    bool significant_only) {
+  Sample s{0, 0, 0};
+  for (const auto& r : regions) {
+    if (significant_only && r.traits.total_instructions < 1e9) continue;
+    const auto res = node.run_kernel(r.traits, threads);
+    s.node_energy += res.node_energy.value() * r.calls_per_iteration;
+    s.cpu_energy += res.cpu_energy.value() * r.calls_per_iteration;
+    s.time += res.time.value() * r.calls_per_iteration;
+  }
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  const hwsim::CpuSpec spec = hwsim::haswell_ep_spec();
+  hwsim::NodeSimulator node(spec, 0, Rng(42));
+  node.set_jitter(0.0);
+
+  const std::vector<int> threads_grid{12, 16, 20, 24};
+
+  TextTable table("Ground-truth optima (node energy objective)");
+  table.header({"benchmark", "thr", "CF", "UCF", "E vs default", "T vs default",
+                "E@default(J)"});
+
+  for (const auto& bench : workload::BenchmarkSuite::all()) {
+    // Default configuration reference.
+    node.set_all_core_freqs(spec.default_core);
+    node.set_all_uncore_freqs(spec.default_uncore);
+    const Sample def = eval_regions(node, bench.regions(), 24, false);
+
+    double best_e = std::numeric_limits<double>::max();
+    Config best{24, spec.default_core, spec.default_uncore};
+    Sample best_s{};
+    for (int t : threads_grid) {
+      for (auto cf : spec.core_grid.values()) {
+        node.set_all_core_freqs(cf);
+        for (auto ucf : spec.uncore_grid.values()) {
+          node.set_all_uncore_freqs(ucf);
+          const Sample s = eval_regions(node, bench.regions(), t, false);
+          if (s.node_energy < best_e) {
+            best_e = s.node_energy;
+            best = {t, cf, ucf};
+            best_s = s;
+          }
+        }
+      }
+    }
+    table.row({bench.name(), std::to_string(best.threads),
+               to_string(best.cf), to_string(best.ucf),
+               TextTable::pct((best_s.node_energy / def.node_energy - 1) * 100),
+               TextTable::pct((best_s.time / def.time - 1) * 100),
+               TextTable::num(def.node_energy, 1)});
+  }
+  table.print(std::cout);
+
+  // Per-region optima for the five evaluation benchmarks (compare with
+  // paper Tables III and IV; unconstrained search here).
+  for (const auto& name : workload::BenchmarkSuite::evaluation_names()) {
+    const auto& bench = workload::BenchmarkSuite::by_name(name);
+    TextTable rt("Per-region ground-truth optima: " + name);
+    rt.header({"region", "thr", "CF", "UCF", "T@default(ms)"});
+    for (const auto& r : bench.regions()) {
+      if (r.traits.total_instructions < 1e9) continue;
+      double best_e = std::numeric_limits<double>::max();
+      Config best{24, spec.default_core, spec.default_uncore};
+      for (int t : threads_grid) {
+        for (auto cf : spec.core_grid.values()) {
+          node.set_all_core_freqs(cf);
+          for (auto ucf : spec.uncore_grid.values()) {
+            node.set_all_uncore_freqs(ucf);
+            const auto res = node.run_kernel(r.traits, t);
+            if (res.node_energy.value() < best_e) {
+              best_e = res.node_energy.value();
+              best = {t, cf, ucf};
+            }
+          }
+        }
+      }
+      node.set_all_core_freqs(spec.default_core);
+      node.set_all_uncore_freqs(spec.default_uncore);
+      const auto dres = node.run_kernel(r.traits, 24);
+      rt.row({r.name, std::to_string(best.threads), to_string(best.cf),
+              to_string(best.ucf),
+              TextTable::num(dres.time.value() * 1e3, 1)});
+    }
+    rt.print(std::cout);
+  }
+  return 0;
+}

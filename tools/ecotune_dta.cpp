@@ -1,0 +1,185 @@
+// Command-line front end for the full design-time analysis: trains the
+// energy model, tunes a benchmark, prints the report and writes the tuning
+// model for the RRL.
+//
+//   ecotune_dta --benchmark Lulesh [--objective energy] [--epochs 10]
+//               [--radius 1] [--per-region] [--seed 42]
+//               [--output tuning_model.json] [--list]
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+#include "core/dvfs_ufs_plugin.hpp"
+#include "model/dataset.hpp"
+#include "workload/suite.hpp"
+
+using namespace ecotune;
+
+namespace {
+
+struct CliOptions {
+  std::string benchmark;
+  std::string objective = "energy";
+  std::string output;
+  int epochs = 10;
+  int radius = 1;
+  bool per_region = false;
+  std::uint64_t seed = 42;
+  bool list = false;
+  bool help = false;
+};
+
+void print_usage() {
+  std::cout <<
+      "ecotune_dta -- design-time analysis (DVFS/UFS/OpenMP tuning plugin)\n"
+      "\n"
+      "usage: ecotune_dta --benchmark <name> [options]\n"
+      "\n"
+      "options:\n"
+      "  --benchmark <name>   benchmark to tune (see --list)\n"
+      "  --objective <name>   energy|cpu_energy|time|edp|ed2p|tco "
+      "(default energy)\n"
+      "  --epochs <n>         training epochs for the energy model "
+      "(default 10)\n"
+      "  --radius <n>         verification neighborhood radius (default 1)\n"
+      "  --per-region         per-region model-based prediction (Sec. VI)\n"
+      "  --seed <n>           simulation seed (default 42)\n"
+      "  --output <path>      write the tuning model JSON here\n"
+      "  --list               list available benchmarks and exit\n"
+      "  --help               this text\n";
+}
+
+bool parse_args(int argc, char** argv, CliOptions& opts) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "error: " << flag << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--benchmark") {
+      const char* v = next("--benchmark");
+      if (!v) return false;
+      opts.benchmark = v;
+    } else if (arg == "--objective") {
+      const char* v = next("--objective");
+      if (!v) return false;
+      opts.objective = v;
+    } else if (arg == "--epochs") {
+      const char* v = next("--epochs");
+      if (!v) return false;
+      opts.epochs = std::atoi(v);
+    } else if (arg == "--radius") {
+      const char* v = next("--radius");
+      if (!v) return false;
+      opts.radius = std::atoi(v);
+    } else if (arg == "--seed") {
+      const char* v = next("--seed");
+      if (!v) return false;
+      opts.seed = static_cast<std::uint64_t>(std::strtoull(v, nullptr, 0));
+    } else if (arg == "--output") {
+      const char* v = next("--output");
+      if (!v) return false;
+      opts.output = v;
+    } else if (arg == "--per-region") {
+      opts.per_region = true;
+    } else if (arg == "--list") {
+      opts.list = true;
+    } else if (arg == "--help" || arg == "-h") {
+      opts.help = true;
+    } else {
+      std::cerr << "error: unknown argument '" << arg << "'\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opts;
+  if (!parse_args(argc, argv, opts)) {
+    print_usage();
+    return 2;
+  }
+  if (opts.help) {
+    print_usage();
+    return 0;
+  }
+  if (opts.list) {
+    for (const auto& b : workload::BenchmarkSuite::all())
+      std::cout << b.name() << "  (" << b.suite() << ", "
+                << workload::to_string(b.model()) << ", "
+                << b.regions().size() << " regions)\n";
+    return 0;
+  }
+  if (opts.benchmark.empty()) {
+    print_usage();
+    return 2;
+  }
+
+  try {
+    const auto& app = workload::BenchmarkSuite::by_name(opts.benchmark);
+
+    std::cout << "training energy model (" << opts.epochs << " epochs)...\n";
+    hwsim::NodeSimulator train_node(hwsim::haswell_ep_spec(), 0,
+                                    Rng(opts.seed));
+    train_node.set_jitter(0.002);
+    model::DataAcquisition acq(train_node, model::AcquisitionOptions{});
+    model::EnergyModel energy_model;
+    energy_model.train(
+        acq.acquire(workload::BenchmarkSuite::training_set()), opts.epochs);
+
+    hwsim::NodeSimulator node(hwsim::haswell_ep_spec(), 1,
+                              Rng(opts.seed + 1));
+    node.set_jitter(0.002);
+
+    core::DvfsUfsPlugin::Options plugin_opts;
+    plugin_opts.config.objective = opts.objective;
+    plugin_opts.config.neighborhood_radius = opts.radius;
+    plugin_opts.config.per_region_prediction = opts.per_region;
+    core::DvfsUfsPlugin plugin(energy_model, plugin_opts);
+    const auto result = plugin.run_dta(app, node);
+
+    std::cout << "\n=== " << app.name() << " (" << opts.objective
+              << " objective) ===\n"
+              << "significant regions : "
+              << result.dyn_report.significant.size() << '\n'
+              << "phase threads       : " << result.phase_threads << '\n'
+              << "model recommendation: "
+              << to_string(result.recommendation.cf) << '|'
+              << to_string(result.recommendation.ucf) << '\n'
+              << "phase best          : " << to_string(result.phase_best)
+              << '\n'
+              << "experiments         : " << result.thread_scenarios << " + "
+              << result.analysis_runs << " + " << result.frequency_scenarios
+              << " in " << result.app_runs << " app runs ("
+              << TextTable::num(result.tuning_time.value(), 1)
+              << " s simulated)\n\n";
+
+    TextTable table("per-region configuration");
+    table.header({"region", "threads", "CF", "UCF", "scenario"});
+    for (const auto& sig : result.dyn_report.significant) {
+      auto it = result.region_best.find(sig.name);
+      if (it == result.region_best.end()) continue;
+      table.row({sig.name, std::to_string(it->second.threads),
+                 to_string(it->second.core), to_string(it->second.uncore),
+                 std::to_string(result.tuning_model.scenario_id(sig.name))});
+    }
+    table.print(std::cout);
+
+    if (!opts.output.empty()) {
+      result.tuning_model.save(opts.output);
+      std::cout << "\ntuning model written to " << opts.output << '\n';
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

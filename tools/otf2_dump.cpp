@@ -1,0 +1,100 @@
+// The stand-alone OTF2 post-processing tool (the paper's custom
+// "OTF2-Parser"): dumps whole-run energy, per-phase-instance PAPI deltas
+// and per-region statistics from an ecotune trace archive.
+//
+//   otf2_dump <trace-file> [--phase PHASE]
+//   otf2_dump --record <benchmark> <trace-file>   # record a demo trace
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+#include "instr/scorep_runtime.hpp"
+#include "pmc/counter_sampler.hpp"
+#include "trace/otf2.hpp"
+#include "trace/post_processor.hpp"
+#include "trace/trace_listener.hpp"
+#include "workload/suite.hpp"
+
+using namespace ecotune;
+
+namespace {
+
+int record(const std::string& benchmark, const std::string& path) {
+  const auto app =
+      workload::BenchmarkSuite::by_name(benchmark).with_iterations(3);
+  hwsim::NodeSimulator node(hwsim::haswell_ep_spec(), 0, Rng(7));
+  node.set_jitter(0.002);
+
+  trace::Otf2Archive archive;
+  trace::TraceListener listener(
+      archive,
+      pmc::EventSet({hwsim::PmuEvent::kTOT_INS, hwsim::PmuEvent::kLD_INS,
+                     hwsim::PmuEvent::kSR_INS, hwsim::PmuEvent::kBR_MSP}),
+      pmc::CounterSampler(Rng(8), 0.005));
+  instr::ExecutionContext ctx(node);
+  instr::ScorepRuntime runtime(app,
+                               instr::InstrumentationFilter::instrument_all());
+  runtime.add_listener(&listener);
+  runtime.execute(ctx);
+  archive.save(path);
+  std::cout << "recorded " << archive.records().size() << " records to "
+            << path << '\n';
+  return 0;
+}
+
+int dump(const std::string& path, const std::string& phase) {
+  const auto archive = trace::Otf2Archive::load(path);
+  const trace::Otf2PostProcessor post(archive, phase);
+
+  std::cout << "trace      : " << path << '\n'
+            << "records    : " << archive.records().size() << '\n'
+            << "regions    : " << archive.region_names().size() << '\n'
+            << "metrics    : " << archive.metric_names().size() << '\n'
+            << "total time : " << post.total_time().value() << " s\n"
+            << "total E    : " << post.total_energy().value() << " J\n\n";
+
+  TextTable regions("per-region statistics");
+  regions.header({"region", "count", "total time (s)"});
+  for (const auto& rs : post.region_stats())
+    regions.row({rs.name, std::to_string(rs.count),
+                 TextTable::num(rs.total_time.value(), 4)});
+  regions.print(std::cout);
+
+  if (!post.phase_instances().empty()) {
+    TextTable phases("phase instances (" + phase + ")");
+    std::vector<std::string> header{"#", "duration (s)", "energy (J)"};
+    for (const auto& [name, v] : post.phase_instances().front().counters)
+      header.push_back(name);
+    phases.header(header);
+    for (const auto& inst : post.phase_instances()) {
+      std::vector<std::string> row{std::to_string(inst.index),
+                                   TextTable::num(inst.duration().value(), 4),
+                                   TextTable::num(inst.energy.value(), 1)};
+      for (const auto& [name, v] : inst.counters)
+        row.push_back(TextTable::num(v, 0));
+      phases.row(row);
+    }
+    phases.print(std::cout);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    std::string phase = "PHASE";
+    if (argc >= 4 && std::string(argv[1]) == "--record")
+      return record(argv[2], argv[3]);
+    if (argc >= 2 && std::string(argv[1]).rfind("--", 0) != 0) {
+      if (argc >= 4 && std::string(argv[2]) == "--phase") phase = argv[3];
+      return dump(argv[1], phase);
+    }
+    std::cout << "usage:\n  otf2_dump <trace-file> [--phase PHASE]\n"
+                 "  otf2_dump --record <benchmark> <trace-file>\n";
+    return argc < 2 ? 2 : 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
