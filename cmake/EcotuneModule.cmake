@@ -1,0 +1,75 @@
+# Shared build logic for ecotune module libraries and executables.
+#
+# Every src/<module>/ directory declares one static library through
+# ecotune_add_module(), which owns the common include root (src/), the
+# warning set, and sanitizer wiring so the per-module CMakeLists stay
+# declarative: sources + explicit inter-module dependencies only.
+
+# One interface target carries the warning/sanitizer flags so they apply
+# uniformly to module libs, tests, benches, examples, and tools.
+if(NOT TARGET ecotune_build_flags)
+  add_library(ecotune_build_flags INTERFACE)
+  add_library(ecotune::build_flags ALIAS ecotune_build_flags)
+
+  if(CMAKE_CXX_COMPILER_ID STREQUAL "MSVC")
+    target_compile_options(ecotune_build_flags INTERFACE /W4)
+    if(ECOTUNE_WERROR)
+      target_compile_options(ecotune_build_flags INTERFACE /WX)
+    endif()
+  else()
+    target_compile_options(ecotune_build_flags INTERFACE -Wall -Wextra)
+    if(ECOTUNE_WERROR)
+      target_compile_options(ecotune_build_flags INTERFACE -Werror)
+    endif()
+  endif()
+
+  if(ECOTUNE_SANITIZE)
+    string(REPLACE "," ";" _ecotune_san_list "${ECOTUNE_SANITIZE}")
+    string(REPLACE ";" "," _ecotune_san_csv "${_ecotune_san_list}")
+    if(CMAKE_CXX_COMPILER_ID STREQUAL "MSVC")
+      message(FATAL_ERROR
+        "ECOTUNE_SANITIZE is only supported with GCC/Clang (got MSVC)")
+    endif()
+    target_compile_options(ecotune_build_flags INTERFACE
+      -fsanitize=${_ecotune_san_csv} -fno-omit-frame-pointer)
+    target_link_options(ecotune_build_flags INTERFACE
+      -fsanitize=${_ecotune_san_csv})
+    message(STATUS "Sanitizers enabled: ${_ecotune_san_csv}")
+  endif()
+endif()
+
+# ecotune_add_module(<name> SOURCES <src...> [DEPS <module...>])
+#
+# Defines STATIC library ecotune_<name> (alias ecotune::<name>) rooted at
+# src/, linking the listed sibling modules PUBLIC so transitive include
+# paths and link order resolve automatically.
+function(ecotune_add_module name)
+  cmake_parse_arguments(ARG "" "" "SOURCES;DEPS" ${ARGN})
+  if(NOT ARG_SOURCES)
+    message(FATAL_ERROR "ecotune_add_module(${name}): SOURCES is required")
+  endif()
+
+  set(target ecotune_${name})
+  add_library(${target} STATIC ${ARG_SOURCES})
+  add_library(ecotune::${name} ALIAS ${target})
+
+  target_include_directories(${target} PUBLIC "${PROJECT_SOURCE_DIR}/src")
+  target_link_libraries(${target} PRIVATE ecotune::build_flags)
+  foreach(dep IN LISTS ARG_DEPS)
+    target_link_libraries(${target} PUBLIC ecotune_${dep})
+  endforeach()
+endfunction()
+
+# ecotune_add_executable(<name> SOURCES <src...> [DEPS <target...>])
+#
+# Defines an executable with the shared flags, linking the full ecotune
+# aggregate by default plus any extra targets (e.g. bench support lib).
+function(ecotune_add_executable name)
+  cmake_parse_arguments(ARG "" "" "SOURCES;DEPS" ${ARGN})
+  if(NOT ARG_SOURCES)
+    message(FATAL_ERROR "ecotune_add_executable(${name}): SOURCES is required")
+  endif()
+
+  add_executable(${name} ${ARG_SOURCES})
+  target_link_libraries(${name} PRIVATE ecotune::ecotune ecotune::build_flags ${ARG_DEPS})
+endfunction()
