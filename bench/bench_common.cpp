@@ -1,5 +1,10 @@
 #include "bench_common.hpp"
 
+#include <cstdlib>
+#include <cstring>
+
+#include "common/parallel.hpp"
+
 namespace ecotune::bench {
 
 void banner(const std::string& title, const std::string& paper_reference) {
@@ -12,12 +17,44 @@ void banner(const std::string& title, const std::string& paper_reference) {
             << "================================================================\n\n";
 }
 
-model::AcquisitionOptions paper_acquisition_options() {
+int parse_jobs(int argc, char** argv) {
+  int jobs = 0;  // hardware concurrency
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "error: --jobs needs a value\n";
+        std::exit(2);
+      }
+      char* end = nullptr;
+      jobs = static_cast<int>(std::strtol(argv[++i], &end, 10));
+      if (end == argv[i] || *end != '\0') {
+        std::cerr << "error: --jobs expects an integer, got '" << argv[i]
+                  << "'\n";
+        std::exit(2);
+      }
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      std::cout << "usage: " << argv[0] << " [--jobs N]\n"
+                << "  --jobs N   parallel sweep workers (default: hardware "
+                   "concurrency;\n             output is identical for any "
+                   "N)\n";
+      std::exit(0);
+    } else {
+      std::cerr << "error: unknown argument '" << argv[i]
+                << "' (try --help)\n";
+      std::exit(2);
+    }
+  }
+  return resolve_jobs(jobs);
+}
+
+model::AcquisitionOptions paper_acquisition_options(int jobs) {
   model::AcquisitionOptions opts;
   opts.thread_counts = {12, 16, 20, 24};
   opts.cf_stride = 1;
   opts.ucf_stride = 1;
   opts.phase_iterations = 2;
+  opts.jobs = jobs;
   return opts;
 }
 
@@ -29,10 +66,10 @@ model::EnergyDataset acquire_dataset(
   return acq.acquire(benchmarks);
 }
 
-model::EnergyModel train_final_model(hwsim::NodeSimulator& node) {
+model::EnergyModel train_final_model(hwsim::NodeSimulator& node, int jobs) {
   const auto dataset = acquire_dataset(
       node, workload::BenchmarkSuite::training_set(),
-      paper_acquisition_options());
+      paper_acquisition_options(jobs));
   model::EnergyModel model;
   model.train(dataset, 10);
   return model;

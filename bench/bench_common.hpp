@@ -13,9 +13,16 @@ namespace ecotune::bench {
 /// Prints a banner identifying the reproduced paper artifact.
 void banner(const std::string& title, const std::string& paper_reference);
 
+/// Parses the drivers' shared `--jobs N` flag (0/omitted = hardware
+/// concurrency). Exits with usage on unknown arguments, so every table/fig
+/// driver gets a uniform CLI for free.
+[[nodiscard]] int parse_jobs(int argc, char** argv);
+
 /// Paper-faithful acquisition options: threads 12..24 step 4, full CF x UCF
-/// grid, two phase iterations per acquisition run.
-[[nodiscard]] model::AcquisitionOptions paper_acquisition_options();
+/// grid, two phase iterations per acquisition run. `jobs` controls how many
+/// benchmarks acquire concurrently (output is jobs-invariant).
+[[nodiscard]] model::AcquisitionOptions paper_acquisition_options(
+    int jobs = 1);
 
 /// Acquires the full training dataset over `benchmarks` on `node`.
 [[nodiscard]] model::EnergyDataset acquire_dataset(
@@ -24,8 +31,8 @@ void banner(const std::string& title, const std::string& paper_reference);
     model::AcquisitionOptions options);
 
 /// Trains the paper's final energy model: fit on the 14 training benchmarks
-/// for 10 epochs (Sec. V-B).
-[[nodiscard]] model::EnergyModel train_final_model(
-    hwsim::NodeSimulator& node);
+/// for 10 epochs (Sec. V-B). Acquisition parallelizes over `jobs` workers.
+[[nodiscard]] model::EnergyModel train_final_model(hwsim::NodeSimulator& node,
+                                                   int jobs = 1);
 
 }  // namespace ecotune::bench

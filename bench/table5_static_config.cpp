@@ -10,7 +10,8 @@
 
 using namespace ecotune;
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = bench::parse_jobs(argc, argv);
   bench::banner("Table V -- Optimal static configuration",
                 "exhaustive (threads x CF x UCF) search per benchmark "
                 "(Sec. V-D)");
@@ -33,6 +34,7 @@ int main() {
   table.header({"Benchmark", "thr", "CF", "UCF", "paper thr", "paper CF",
                 "paper UCF", "runs"});
   baseline::StaticTunerOptions opts;  // full grid
+  opts.jobs = jobs;
   baseline::StaticTuner tuner(node, opts);
   std::size_t i = 0;
   for (const auto& name : workload::BenchmarkSuite::evaluation_names()) {

@@ -14,7 +14,8 @@
 
 using namespace ecotune;
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = bench::parse_jobs(argc, argv);
   bench::banner("Sec. V-C -- Tuning-time comparison",
                 "model-based plugin (k+1+9 experiments) vs exhaustive "
                 "search (n x k x l x m runs)");
@@ -22,7 +23,7 @@ int main() {
   std::cout << "Training the final energy model...\n";
   hwsim::NodeSimulator train_node(hwsim::haswell_ep_spec(), 0, Rng(0x77C0));
   train_node.set_jitter(0.002);
-  const auto trained = bench::train_final_model(train_node);
+  const auto trained = bench::train_final_model(train_node, jobs);
 
   hwsim::NodeSimulator node(hwsim::haswell_ep_spec(), 0, Rng(0x77C1));
   node.set_jitter(0.002);
@@ -47,7 +48,9 @@ int main() {
   }
 
   // --- Our plugin -------------------------------------------------------
-  core::DvfsUfsPlugin plugin(trained);
+  core::DvfsUfsPlugin::Options plugin_opts;
+  plugin_opts.engine.jobs = jobs;
+  core::DvfsUfsPlugin plugin(trained, plugin_opts);
   const auto dta = plugin.run_dta(app, node);
   const int ours_experiments =
       dta.thread_scenarios + dta.analysis_runs + dta.frequency_scenarios;
@@ -64,6 +67,7 @@ int main() {
   baseline::ExhaustiveTunerOptions ex_opts;
   ex_opts.cf_stride = 2;   // run a quarter of the grid, extrapolate cost
   ex_opts.ucf_stride = 2;
+  ex_opts.jobs = jobs;
   baseline::ExhaustiveTuner exhaustive(node, ex_opts);
   const auto ex = exhaustive.tune(app);
   const double grid_scale =

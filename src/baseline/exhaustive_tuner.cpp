@@ -1,8 +1,10 @@
 #include "baseline/exhaustive_tuner.hpp"
 
 #include <limits>
+#include <string>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "instr/scorep_runtime.hpp"
 
 namespace ecotune::baseline {
@@ -38,55 +40,86 @@ ExhaustiveTuner::ExhaustiveTuner(hwsim::NodeSimulator& node,
 ExhaustiveTuningResult ExhaustiveTuner::tune(
     const workload::Benchmark& app, const ptf::TuningObjective& objective) {
   const auto& spec = node_.spec();
-  ExhaustiveTuningResult result;
 
-  std::map<std::string, double> best_scores;
-  double best_app_score = std::numeric_limits<double>::max();
-  const Seconds t0 = node_.now();
-  Seconds one_run_time{0};
-
+  // The full (threads x CF x UCF) lattice in sweep order.
+  std::vector<SystemConfig> configs;
   for (int threads : options_.thread_counts) {
     for (std::size_t ci = 0; ci < spec.core_grid.size();
          ci += static_cast<std::size_t>(options_.cf_stride)) {
       for (std::size_t ui = 0; ui < spec.uncore_grid.size();
            ui += static_cast<std::size_t>(options_.ucf_stride)) {
-        const SystemConfig config{threads, spec.core_grid.at(ci),
-                                  spec.uncore_grid.at(ui)};
-        // Manual instrumentation of every region (Sourouri et al. annotate
-        // each region by hand): full instrumentation, full application run.
-        instr::ExecutionContext ctx(node_);
-        ctx.apply(config);
+        configs.push_back(SystemConfig{threads, spec.core_grid.at(ci),
+                                       spec.uncore_grid.at(ui)});
+      }
+    }
+  }
+  ensure(!configs.empty(), "ExhaustiveTuner::tune: empty search space");
+
+  // Manual instrumentation of every region (Sourouri et al. annotate each
+  // region by hand): full instrumentation, full application run. Each
+  // configuration runs on a node clone with jitter keyed by (tune() call,
+  // config index) so the sweep parallelizes deterministically and repeated
+  // tune() calls draw fresh noise.
+  const long call_tag = tune_calls_++;
+  struct RunOutcome {
+    ptf::Measurement app;
+    std::map<std::string, ptf::Measurement> regions;
+    Seconds wall_time{0};
+    Seconds elapsed{0};
+  };
+  const auto outcomes = parallel_map_ordered(
+      configs.size(),
+      [&](std::size_t i) {
+        hwsim::NodeSimulator node =
+            node_.clone("exhaustive-tuner-" + std::to_string(call_tag) +
+                        "-" + std::to_string(i));
+        const Seconds t0 = node.now();
+        instr::ExecutionContext ctx(node);
+        ctx.apply(configs[i]);
         RegionCollector collector;
         instr::ScorepRuntime runtime(
             app, instr::InstrumentationFilter::instrument_all());
         runtime.add_listener(&collector);
         const auto run = runtime.execute(ctx);
-        ++result.runs;
-        if (one_run_time.value() == 0) one_run_time = run.wall_time;
 
-        ptf::Measurement app_m;
-        app_m.node_energy = run.node_energy;
-        app_m.cpu_energy = run.cpu_energy;
-        app_m.time = run.wall_time;
-        app_m.count = 1;
-        if (objective.evaluate(app_m) < best_app_score) {
-          best_app_score = objective.evaluate(app_m);
-          result.app_best = config;
-        }
+        RunOutcome out;
+        out.app.node_energy = run.node_energy;
+        out.app.cpu_energy = run.cpu_energy;
+        out.app.time = run.wall_time;
+        out.app.count = 1;
+        out.regions = collector.measurements();
+        out.wall_time = run.wall_time;
+        out.elapsed = node.now() - t0;
+        return out;
+      },
+      options_.jobs);
 
-        for (const auto& [region, m] : collector.measurements()) {
-          const double score = objective.evaluate(m);
-          auto it = best_scores.find(region);
-          if (it == best_scores.end() || score < it->second) {
-            best_scores[region] = score;
-            result.region_best[region] = config;
-          }
-        }
+  // Ordered reduce in sweep order (first strict improvement wins).
+  ExhaustiveTuningResult result;
+  std::map<std::string, double> best_scores;
+  double best_app_score = std::numeric_limits<double>::max();
+  Seconds one_run_time{0};
+  Seconds total{0};
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const RunOutcome& out = outcomes[i];
+    ++result.runs;
+    if (one_run_time.value() == 0) one_run_time = out.wall_time;
+    if (objective.evaluate(out.app) < best_app_score) {
+      best_app_score = objective.evaluate(out.app);
+      result.app_best = configs[i];
+    }
+    for (const auto& [region, m] : out.regions) {
+      const double score = objective.evaluate(m);
+      auto it = best_scores.find(region);
+      if (it == best_scores.end() || score < it->second) {
+        best_scores[region] = score;
+        result.region_best[region] = configs[i];
       }
     }
+    total += out.elapsed;
   }
-  result.search_time = node_.now() - t0;
-  ensure(result.runs > 0, "ExhaustiveTuner::tune: empty search space");
+  result.search_time = total;
+  node_.idle(total);
 
   // Paper formula: n regions x k x l x m configurations, one full run each.
   const double n = static_cast<double>(result.region_best.size());

@@ -16,6 +16,10 @@ struct ExhaustiveTunerOptions {
   std::vector<int> thread_counts{12, 16, 20, 24};
   int cf_stride = 1;
   int ucf_stride = 1;
+  /// Concurrent full-application runs, each on its own node clone
+  /// (1 = serial, 0 = hardware concurrency); output is identical for any
+  /// value.
+  int jobs = 1;
 };
 
 /// Search result with both the actual simulated cost and the paper's cost
@@ -47,6 +51,7 @@ class ExhaustiveTuner {
  private:
   hwsim::NodeSimulator& node_;
   ExhaustiveTunerOptions options_;
+  long tune_calls_ = 0;  ///< decorrelates noise across tune() calls
 };
 
 }  // namespace ecotune::baseline

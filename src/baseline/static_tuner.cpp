@@ -1,8 +1,10 @@
 #include "baseline/static_tuner.hpp"
 
 #include <limits>
+#include <string>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "instr/scorep_runtime.hpp"
 
 namespace ecotune::baseline {
@@ -17,42 +19,72 @@ StaticTuningResult StaticTuner::tune(const workload::Benchmark& app,
   const workload::Benchmark short_app =
       app.with_iterations(options_.phase_iterations);
 
-  StaticTuningResult result;
-  double best_score = std::numeric_limits<double>::max();
-  const Seconds t0 = node_.now();
-
+  // Materialize the searched lattice in sweep order (threads, CF, UCF).
+  std::vector<SystemConfig> configs;
   for (int threads : options_.thread_counts) {
     for (std::size_t ci = 0; ci < spec.core_grid.size();
          ci += static_cast<std::size_t>(options_.cf_stride)) {
       for (std::size_t ui = 0; ui < spec.uncore_grid.size();
            ui += static_cast<std::size_t>(options_.ucf_stride)) {
-        StaticPoint p;
-        p.config = SystemConfig{threads, spec.core_grid.at(ci),
-                                spec.uncore_grid.at(ui)};
-        const auto run =
-            instr::run_uninstrumented(short_app, node_, p.config);
-        p.node_energy = run.node_energy;
-        p.cpu_energy = run.cpu_energy;
-        p.time = run.wall_time;
-        ++result.runs;
-
-        ptf::Measurement m;
-        m.node_energy = p.node_energy;
-        m.cpu_energy = p.cpu_energy;
-        m.time = p.time;
-        m.count = 1;
-        const double score = objective.evaluate(m);
-        if (score < best_score) {
-          best_score = score;
-          result.best = p.config;
-          result.best_point = p;
-        }
-        result.evaluated.push_back(std::move(p));
+        configs.push_back(SystemConfig{threads, spec.core_grid.at(ci),
+                                       spec.uncore_grid.at(ui)});
       }
     }
   }
-  result.search_time = node_.now() - t0;
-  ensure(result.runs > 0, "StaticTuner::tune: empty search space");
+  ensure(!configs.empty(), "StaticTuner::tune: empty search space");
+
+  // Evaluate every configuration on its own node clone with jitter keyed
+  // by (tune() call, config index), so the sweep parallelizes without
+  // changing any result and repeated tune() calls draw fresh noise.
+  const long call_tag = tune_calls_++;
+  struct Evaluated {
+    StaticPoint point;
+    Seconds elapsed{0};
+  };
+  const auto evaluated = parallel_map_ordered(
+      configs.size(),
+      [&](std::size_t i) {
+        hwsim::NodeSimulator node =
+            node_.clone("static-tuner-" + std::to_string(call_tag) + "-" +
+                        std::to_string(i));
+        const Seconds t0 = node.now();
+        Evaluated e;
+        e.point.config = configs[i];
+        const auto run =
+            instr::run_uninstrumented(short_app, node, e.point.config);
+        e.point.node_energy = run.node_energy;
+        e.point.cpu_energy = run.cpu_energy;
+        e.point.time = run.wall_time;
+        e.elapsed = node.now() - t0;
+        return e;
+      },
+      options_.jobs);
+
+  // Ordered reduce in sweep order: first strict improvement wins, exactly
+  // as the serial loop selected.
+  StaticTuningResult result;
+  double best_score = std::numeric_limits<double>::max();
+  Seconds total{0};
+  for (const auto& e : evaluated) {
+    ++result.runs;
+    ptf::Measurement m;
+    m.node_energy = e.point.node_energy;
+    m.cpu_energy = e.point.cpu_energy;
+    m.time = e.point.time;
+    m.count = 1;
+    const double score = objective.evaluate(m);
+    if (score < best_score) {
+      best_score = score;
+      result.best = e.point.config;
+      result.best_point = e.point;
+    }
+    result.evaluated.push_back(e.point);
+    total += e.elapsed;
+  }
+  result.search_time = total;
+  // The clones consumed simulated time off the parent's timeline; put it
+  // back so downstream accounting (now() deltas) stays meaningful.
+  node_.idle(total);
   return result;
 }
 

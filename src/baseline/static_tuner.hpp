@@ -17,6 +17,11 @@ struct StaticTunerOptions {
   int ucf_stride = 1;
   /// Search runs use shortened phase loops.
   int phase_iterations = 2;
+  /// Concurrent configuration evaluations, each on its own node clone
+  /// (1 = serial, 0 = hardware concurrency). Results are identical for any
+  /// value: per-config jitter streams are keyed by sweep index and the
+  /// winner is reduced in sweep order.
+  int jobs = 1;
 };
 
 /// One evaluated configuration.
@@ -51,6 +56,7 @@ class StaticTuner {
  private:
   hwsim::NodeSimulator& node_;
   StaticTunerOptions options_;
+  long tune_calls_ = 0;  ///< decorrelates noise across tune() calls
 };
 
 }  // namespace ecotune::baseline

@@ -1,0 +1,108 @@
+#include "common/parallel.hpp"
+
+#include <atomic>
+#include <limits>
+
+namespace ecotune {
+
+int hardware_jobs() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+int resolve_jobs(int jobs) { return jobs <= 0 ? hardware_jobs() : jobs; }
+
+/// One run() invocation: a shared task cursor plus completion bookkeeping.
+/// Lives on the caller's stack; workers may only touch it between claiming
+/// the batch generation and decrementing `remaining_workers` (both under the
+/// pool mutex), which is what lets run() return safely once the count hits
+/// zero.
+struct ThreadPool::Batch {
+  std::size_t count = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> cancelled{false};
+  int remaining_workers = 0;  ///< guarded by the pool mutex
+
+  std::mutex error_mutex;
+  std::exception_ptr error;
+  std::size_t error_index = std::numeric_limits<std::size_t>::max();
+};
+
+ThreadPool::ThreadPool(int jobs) {
+  const int n = resolve_jobs(jobs);
+  workers_.reserve(static_cast<std::size_t>(n - 1));
+  for (int i = 1; i < n; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::drain(Batch& b) {
+  for (;;) {
+    if (b.cancelled.load()) return;
+    const std::size_t i = b.next.fetch_add(1);
+    if (i >= b.count) return;
+    try {
+      (*b.fn)(i);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(b.error_mutex);
+      if (i < b.error_index) {
+        b.error_index = i;
+        b.error = std::current_exception();
+      }
+      b.cancelled.store(true);
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    wake_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    Batch& b = *batch_;
+    lock.unlock();
+    drain(b);
+    lock.lock();
+    if (--b.remaining_workers == 0) done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::run(std::size_t count,
+                     const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  Batch b;
+  b.count = count;
+  b.fn = &fn;
+
+  if (!workers_.empty()) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      b.remaining_workers = static_cast<int>(workers_.size());
+      batch_ = &b;
+      ++generation_;
+    }
+    wake_cv_.notify_all();
+  }
+
+  drain(b);  // the caller participates as a worker
+
+  if (!workers_.empty()) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return b.remaining_workers == 0; });
+    batch_ = nullptr;
+  }
+  if (b.error) std::rethrow_exception(b.error);
+}
+
+}  // namespace ecotune

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ecotune {
+
+/// Number of concurrent jobs the hardware supports (>= 1).
+[[nodiscard]] int hardware_jobs();
+
+/// Normalizes a --jobs style argument: values <= 0 mean "use the hardware
+/// concurrency", anything else is taken verbatim.
+[[nodiscard]] int resolve_jobs(int jobs);
+
+/// A small fixed-size thread-pool executor for index-space parallelism.
+///
+/// The pool owns `jobs - 1` worker threads; the caller of run() participates
+/// as the remaining worker, so a 1-job pool executes everything inline with
+/// no synchronization. Tasks are identified by their index in [0, count) and
+/// are claimed from a shared atomic cursor, which balances uneven task costs
+/// across workers (the sweep engines' tasks vary widely in simulated length).
+///
+/// Determinism contract: the pool only schedules; anything order-dependent
+/// (RNG streams, reductions) must be keyed by task index by the caller.
+/// Every consumer in this tree derives per-task RNGs via Rng::fork and
+/// reduces results in index order, so output is identical for any job count.
+class ThreadPool {
+ public:
+  /// Creates a pool executing up to resolve_jobs(jobs) tasks concurrently.
+  explicit ThreadPool(int jobs = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Concurrency of this pool (worker threads + the calling thread).
+  [[nodiscard]] int jobs() const {
+    return static_cast<int>(workers_.size()) + 1;
+  }
+
+  /// Runs fn(i) for every i in [0, count); blocks until all tasks finished.
+  /// If tasks throw, remaining unclaimed tasks are skipped and the exception
+  /// with the lowest task index observed is rethrown in the caller.
+  void run(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Batch;
+  void worker_loop();
+  static void drain(Batch& b);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_cv_;   ///< signals workers: new batch / stop
+  std::condition_variable done_cv_;   ///< signals run(): all workers checked in
+  Batch* batch_ = nullptr;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+/// Runs fn(i) for i in [0, count) on a transient pool of `jobs` workers.
+template <typename Fn>
+void parallel_for_each(std::size_t count, Fn&& fn, int jobs = 0) {
+  ThreadPool pool(jobs);
+  pool.run(count, std::function<void(std::size_t)>(std::forward<Fn>(fn)));
+}
+
+/// Maps [0, count) through fn concurrently and returns the results in index
+/// order, independent of completion order. R must be default-constructible
+/// and movable.
+template <typename Fn>
+auto parallel_map_ordered(std::size_t count, Fn&& fn, int jobs = 0)
+    -> std::vector<decltype(fn(std::size_t{}))> {
+  using R = decltype(fn(std::size_t{}));
+  std::vector<R> out(count);
+  parallel_for_each(
+      count, [&](std::size_t i) { out[i] = fn(i); }, jobs);
+  return out;
+}
+
+/// Ordered map-reduce: maps [0, count) concurrently, then folds the mapped
+/// values into `init` strictly in index order (so floating-point reductions
+/// are bitwise-identical for any job count).
+template <typename Acc, typename Map, typename Fold>
+Acc parallel_reduce_ordered(std::size_t count, Acc init, Map&& map,
+                            Fold&& fold, int jobs = 0) {
+  auto mapped = parallel_map_ordered(count, std::forward<Map>(map), jobs);
+  for (auto& value : mapped) fold(init, std::move(value));
+  return init;
+}
+
+}  // namespace ecotune

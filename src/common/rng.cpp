@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/error.hpp"
+
 namespace ecotune {
 namespace {
 
@@ -53,8 +55,25 @@ double Rng::uniform(double lo, double hi) {
 }
 
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
-  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
-  return lo + static_cast<std::int64_t>((*this)() % span);
+  ensure(lo <= hi, "Rng::uniform_int: inverted bounds (lo > hi)");
+  // Difference in unsigned space so INT64_MIN..INT64_MAX cannot overflow.
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>((*this)());  // full range
+  // Lemire's multiply-shift draw with rejection of the biased low slice
+  // (a plain modulo over-selects the first 2^64 mod span values).
+  unsigned __int128 product =
+      static_cast<unsigned __int128>((*this)()) * span;
+  auto low = static_cast<std::uint64_t>(product);
+  if (low < span) {
+    const std::uint64_t threshold = (0 - span) % span;
+    while (low < threshold) {
+      product = static_cast<unsigned __int128>((*this)()) * span;
+      low = static_cast<std::uint64_t>(product);
+    }
+  }
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) +
+                                   static_cast<std::uint64_t>(product >> 64));
 }
 
 double Rng::normal(double mean, double stddev) {

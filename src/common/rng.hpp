@@ -37,7 +37,8 @@ class Rng {
   /// Uniform double in [lo, hi).
   [[nodiscard]] double uniform(double lo = 0.0, double hi = 1.0);
 
-  /// Uniform integer in [lo, hi] inclusive.
+  /// Uniform integer in [lo, hi] inclusive (unbiased Lemire rejection
+  /// draw; requires lo <= hi).
   [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
 
   /// Gaussian draw (Box-Muller, cached spare).

@@ -1,5 +1,9 @@
 #include "core/evaluation.hpp"
 
+#include <string>
+
+#include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "energymon/rapl.hpp"
 #include "energymon/sacct.hpp"
 #include "instr/scorep_runtime.hpp"
@@ -40,8 +44,13 @@ SavingsRow SavingsEvaluator::evaluate(const workload::Benchmark& app) {
   const SystemConfig default_config{spec.total_cores(), spec.default_core,
                                     spec.default_uncore};
 
-  // 1. Default reference.
+  // 1. Default reference. All savings below divide by it, so a degenerate
+  //    (zero-time or zero-energy) measurement must fail loudly here instead
+  //    of producing NaN/Inf percentages downstream.
   const Measured def = measure_static(app, default_config);
+  ensure(def.job_energy > 0 && def.cpu_energy > 0 && def.time > 0,
+         "SavingsEvaluator::evaluate: default run of '" + app.name() +
+             "' measured non-positive energy/time; savings undefined");
 
   // 2. Static tuning: exhaustive search, then re-measure at the optimum on
   //    the same node (paper Sec. V-D).
@@ -99,6 +108,39 @@ SavingsRow SavingsEvaluator::evaluate(const workload::Benchmark& app) {
       100.0 * (1.0 - config_only_time / def.time);
   row.overhead_pct = -100.0 * overhead_time / def.time;
   return row;
+}
+
+std::vector<SavingsRow> SavingsEvaluator::evaluate_all(
+    const std::vector<workload::Benchmark>& apps) {
+  const long call_tag = evaluate_calls_++;
+  struct RowOutcome {
+    SavingsRow row;
+    Seconds elapsed{0};
+  };
+  auto outcomes = parallel_map_ordered(
+      apps.size(),
+      [&](std::size_t i) {
+        hwsim::NodeSimulator node = node_.clone(
+            "savings-" + std::to_string(call_tag) + "-" +
+            std::to_string(i) + "-" + apps[i].name());
+        const Seconds t0 = node.now();
+        SavingsEvaluator row_evaluator(node, energy_model_, options_);
+        RowOutcome out;
+        out.row = row_evaluator.evaluate(apps[i]);
+        out.elapsed = node.now() - t0;
+        return out;
+      },
+      options_.jobs);
+
+  std::vector<SavingsRow> rows;
+  rows.reserve(outcomes.size());
+  Seconds total{0};
+  for (auto& out : outcomes) {
+    rows.push_back(std::move(out.row));
+    total += out.elapsed;
+  }
+  node_.idle(total);
+  return rows;
 }
 
 }  // namespace ecotune::core

@@ -43,6 +43,10 @@ struct SavingsOptions {
   baseline::StaticTunerOptions static_search;
   /// DTA plugin options.
   DvfsUfsPlugin::Options plugin;
+  /// Concurrent per-benchmark rows in evaluate_all(), each on its own node
+  /// clone (1 = serial, 0 = hardware concurrency). Row output is identical
+  /// for any value.
+  int jobs = 1;
 };
 
 /// Reproduces the paper's Sec. V-D measurement protocol on one node:
@@ -60,6 +64,12 @@ class SavingsEvaluator {
 
   [[nodiscard]] SavingsRow evaluate(const workload::Benchmark& app);
 
+  /// Evaluates one row per benchmark, rows concurrently on per-row node
+  /// clones whose noise streams are keyed by (row index, benchmark name).
+  /// Row order matches `apps`; output is identical for any `jobs` value.
+  [[nodiscard]] std::vector<SavingsRow> evaluate_all(
+      const std::vector<workload::Benchmark>& apps);
+
  private:
   struct Measured {
     double job_energy = 0.0;
@@ -73,6 +83,7 @@ class SavingsEvaluator {
   hwsim::NodeSimulator& node_;
   const model::EnergyModel& energy_model_;
   SavingsOptions options_;
+  long evaluate_calls_ = 0;  ///< decorrelates rows across evaluate_all()s
 };
 
 }  // namespace ecotune::core

@@ -29,6 +29,18 @@ NodeSimulator::NodeSimulator(CpuSpec spec, int node_id, const Rng& rng,
       uncore_freq_(static_cast<std::size_t>(spec_.sockets),
                    spec_.default_uncore) {}
 
+NodeSimulator NodeSimulator::clone() const {
+  NodeSimulator copy(*this);
+  copy.listeners_.clear();
+  return copy;
+}
+
+NodeSimulator NodeSimulator::clone(std::string_view noise_key) const {
+  NodeSimulator copy = clone();
+  copy.fork_noise(noise_key);
+  return copy;
+}
+
 void NodeSimulator::set_core_freq(int core, CoreFreq f) {
   ensure(core >= 0 && core < spec_.total_cores(),
          "NodeSimulator::set_core_freq: bad core index");

@@ -89,6 +89,20 @@ class NodeSimulator {
   void set_jitter(double relative_stddev) { jitter_ = relative_stddev; }
   [[nodiscard]] double jitter() const { return jitter_; }
 
+  /// Cheap value snapshot of the full node state (frequencies, clock,
+  /// variability, noise stream) with NO listeners attached. The parallel
+  /// sweep engines hand one clone to each task so concurrent evaluations
+  /// cannot race on the shared clock/noise stream.
+  [[nodiscard]] NodeSimulator clone() const;
+  /// Clone whose noise stream is forked by `noise_key`. Keying the fork by
+  /// task identity (not worker identity) is what makes parallel sweeps
+  /// bitwise-deterministic for any job count.
+  [[nodiscard]] NodeSimulator clone(std::string_view noise_key) const;
+
+  /// Replaces the jitter stream with an independent substream. All clones of
+  /// one node share noise state, so per-task streams must be re-keyed.
+  void fork_noise(std::string_view key) { noise_ = noise_.fork(key); }
+
  private:
   void emit(Seconds duration, const PowerBreakdown& p);
 

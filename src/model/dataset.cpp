@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "instr/scorep_runtime.hpp"
 #include "model/features.hpp"
 #include "pmc/counter_sampler.hpp"
@@ -186,49 +187,85 @@ DataAcquisition::collect_region_counter_rates(
   return rates;
 }
 
-EnergyDataset DataAcquisition::acquire(
-    const std::vector<workload::Benchmark>& benchmarks) {
+std::vector<EnergySample> DataAcquisition::acquire_benchmark(
+    const workload::Benchmark& benchmark) {
   const auto& spec = node_.spec();
-  EnergyDataset ds;
-  ds.feature_names = model::feature_names(paper_feature_events());
+  std::vector<EnergySample> samples;
+  const workload::Benchmark short_app =
+      benchmark.with_iterations(options_.phase_iterations);
+  for (int threads : options_.thread_counts) {
+    const auto rates =
+        collect_counter_rates(benchmark, threads, paper_feature_events());
 
-  for (const auto& benchmark : benchmarks) {
-    const workload::Benchmark short_app =
-        benchmark.with_iterations(options_.phase_iterations);
-    for (int threads : options_.thread_counts) {
-      const auto rates =
-          collect_counter_rates(benchmark, threads, paper_feature_events());
+    // Reference (calibration) energy for normalization.
+    const SweepPoint calib = traced_run(
+        short_app, SystemConfig{threads, spec.calibration_core,
+                                spec.calibration_uncore});
+    ensure(calib.energy.value() > 0,
+           "DataAcquisition: zero calibration energy");
 
-      // Reference (calibration) energy for normalization.
-      const SweepPoint calib = traced_run(
-          short_app, SystemConfig{threads, spec.calibration_core,
-                                  spec.calibration_uncore});
-      ensure(calib.energy.value() > 0,
-             "DataAcquisition: zero calibration energy");
-
-      for (std::size_t ci = 0; ci < spec.core_grid.size();
-           ci += static_cast<std::size_t>(options_.cf_stride)) {
-        const CoreFreq cf = spec.core_grid.at(ci);
-        for (std::size_t ui = 0; ui < spec.uncore_grid.size();
-             ui += static_cast<std::size_t>(options_.ucf_stride)) {
-          const UncoreFreq ucf = spec.uncore_grid.at(ui);
-          const SweepPoint p =
-              traced_run(short_app, SystemConfig{threads, cf, ucf});
-          EnergySample s;
-          s.benchmark = benchmark.name();
-          s.threads = threads;
-          s.cf = cf;
-          s.ucf = ucf;
-          s.features = build_features(rates, paper_feature_events(), cf, ucf);
-          s.normalized_energy = p.energy / calib.energy;
-          s.normalized_time = p.time / calib.time;
-          s.normalized_power =
-              s.normalized_energy / std::max(1e-12, s.normalized_time);
-          ds.samples.push_back(std::move(s));
-        }
+    for (std::size_t ci = 0; ci < spec.core_grid.size();
+         ci += static_cast<std::size_t>(options_.cf_stride)) {
+      const CoreFreq cf = spec.core_grid.at(ci);
+      for (std::size_t ui = 0; ui < spec.uncore_grid.size();
+           ui += static_cast<std::size_t>(options_.ucf_stride)) {
+        const UncoreFreq ucf = spec.uncore_grid.at(ui);
+        const SweepPoint p =
+            traced_run(short_app, SystemConfig{threads, cf, ucf});
+        EnergySample s;
+        s.benchmark = benchmark.name();
+        s.threads = threads;
+        s.cf = cf;
+        s.ucf = ucf;
+        s.features = build_features(rates, paper_feature_events(), cf, ucf);
+        s.normalized_energy = p.energy / calib.energy;
+        s.normalized_time = p.time / calib.time;
+        s.normalized_power =
+            s.normalized_energy / std::max(1e-12, s.normalized_time);
+        samples.push_back(std::move(s));
       }
     }
   }
+  return samples;
+}
+
+EnergyDataset DataAcquisition::acquire(
+    const std::vector<workload::Benchmark>& benchmarks) {
+  EnergyDataset ds;
+  ds.feature_names = model::feature_names(paper_feature_events());
+
+  // One task per benchmark, each sweeping on its own node clone with
+  // jitter keyed by (acquire() call, benchmark); samples are concatenated
+  // in benchmark order, so the dataset does not depend on the job count.
+  const long call_tag = acquire_calls_++;
+  struct BenchOutcome {
+    std::vector<EnergySample> samples;
+    long runs = 0;
+    Seconds elapsed{0};
+  };
+  auto outcomes = parallel_map_ordered(
+      benchmarks.size(),
+      [&](std::size_t i) {
+        hwsim::NodeSimulator node = node_.clone(
+            "acquire-" + std::to_string(call_tag) + "-" + std::to_string(i) +
+            "-" + benchmarks[i].name());
+        DataAcquisition acquisition(node, options_);
+        const Seconds t0 = node.now();
+        BenchOutcome out;
+        out.samples = acquisition.acquire_benchmark(benchmarks[i]);
+        out.runs = acquisition.runs_performed();
+        out.elapsed = node.now() - t0;
+        return out;
+      },
+      options_.jobs);
+
+  Seconds total{0};
+  for (auto& out : outcomes) {
+    for (auto& s : out.samples) ds.samples.push_back(std::move(s));
+    runs_ += out.runs;
+    total += out.elapsed;
+  }
+  node_.idle(total);
   return ds;
 }
 

@@ -66,6 +66,11 @@ struct AcquisitionOptions {
   /// Counter-read noise level.
   double counter_noise = 0.005;
   std::uint64_t seed = 0xACC5EEDULL;
+  /// Concurrent per-benchmark sweeps in acquire(), each on its own node
+  /// clone (1 = serial, 0 = hardware concurrency). The dataset is identical
+  /// for any value: noise streams are keyed by benchmark, samples merged in
+  /// benchmark order.
+  int jobs = 1;
 };
 
 /// Executes the Sec. IV-A data-acquisition pipeline on a simulated node:
@@ -111,11 +116,16 @@ class DataAcquisition {
   /// extracted from the trace.
   SweepPoint traced_run(const workload::Benchmark& benchmark,
                         const SystemConfig& config);
+  /// The full (threads x CF x UCF) sweep of one benchmark on this
+  /// acquisition's node (the per-task body of the parallel acquire()).
+  [[nodiscard]] std::vector<EnergySample> acquire_benchmark(
+      const workload::Benchmark& benchmark);
 
   hwsim::NodeSimulator& node_;
   AcquisitionOptions options_;
   Rng rng_;
   long runs_ = 0;
+  long acquire_calls_ = 0;  ///< decorrelates sweeps across acquire() calls
 };
 
 }  // namespace ecotune::model

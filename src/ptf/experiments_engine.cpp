@@ -3,62 +3,40 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 
 namespace ecotune::ptf {
-namespace {
 
-/// Listener that assigns one scenario per phase iteration: switches the
-/// configuration at phase enter and buckets region/phase measurements by the
-/// active scenario.
-class ScenarioScheduler final : public instr::RegionListener {
- public:
-  ScenarioScheduler(instr::ExecutionContext& ctx,
-                    const std::vector<std::pair<int, SystemConfig>>& schedule,
-                    std::map<int, ScenarioResult>& buckets, Rng& rng,
-                    double noise)
-      : ctx_(ctx),
-        schedule_(schedule),
-        buckets_(buckets),
-        rng_(rng),
-        noise_(noise) {}
-
-  void on_enter(const instr::RegionEnter& e) override {
-    if (e.type != instr::RegionType::kPhase) return;
-    const std::size_t i = static_cast<std::size_t>(e.iteration);
-    if (i >= schedule_.size()) return;
-    active_ = schedule_[i].first;
-    ctx_.apply(schedule_[i].second);
+void ScenarioScheduler::on_enter(const instr::RegionEnter& e) {
+  if (e.type != instr::RegionType::kPhase) return;
+  const std::size_t i = static_cast<std::size_t>(e.iteration);
+  if (i >= schedule_.size()) {
+    // Past the schedule: deactivate, or trailing iterations would silently
+    // be attributed to the previously active scenario.
+    active_ = -1;
+    return;
   }
+  active_ = schedule_[i].first;
+  ctx_.apply(schedule_[i].second);
+}
 
-  void on_exit(const instr::RegionExit& e) override {
-    if (active_ < 0) return;
-    auto it = buckets_.find(active_);
-    if (it == buckets_.end()) return;
-    Measurement m;
-    // HDEEM-plugin style measurement: exact value with small reading noise.
-    const double f =
-        noise_ > 0 ? std::max(0.0, rng_.normal(1.0, noise_)) : 1.0;
-    m.node_energy = e.node_energy * f;
-    m.cpu_energy = e.cpu_energy * f;
-    m.time = e.duration();
-    m.count = 1;
-    if (e.type == instr::RegionType::kPhase) {
-      it->second.phase += m;
-    } else {
-      it->second.regions[std::string(e.region)] += m;
-    }
+void ScenarioScheduler::on_exit(const instr::RegionExit& e) {
+  if (active_ < 0) return;
+  auto it = buckets_.find(active_);
+  if (it == buckets_.end()) return;
+  Measurement m;
+  // HDEEM-plugin style measurement: exact value with small reading noise.
+  const double f = noise_ > 0 ? std::max(0.0, rng_.normal(1.0, noise_)) : 1.0;
+  m.node_energy = e.node_energy * f;
+  m.cpu_energy = e.cpu_energy * f;
+  m.time = e.duration();
+  m.count = 1;
+  if (e.type == instr::RegionType::kPhase) {
+    it->second.phase += m;
+  } else {
+    it->second.regions[std::string(e.region)] += m;
   }
-
- private:
-  instr::ExecutionContext& ctx_;
-  const std::vector<std::pair<int, SystemConfig>>& schedule_;
-  std::map<int, ScenarioResult>& buckets_;
-  Rng& rng_;
-  double noise_;
-  int active_ = -1;
-};
-
-}  // namespace
+}
 
 ExperimentsEngine::ExperimentsEngine(hwsim::NodeSimulator& node,
                                      workload::Benchmark app,
@@ -75,49 +53,105 @@ std::vector<ScenarioResult> ExperimentsEngine::run(
   ensure(!scenarios.empty(), "ExperimentsEngine::run: no scenarios");
   ensure(options_.iterations_per_scenario >= 1,
          "ExperimentsEngine::run: iterations_per_scenario must be >= 1");
+  ensure(app_.phase_iterations() >= 1,
+         "ExperimentsEngine::run: application has no phase iterations");
 
   // Build the experiment schedule: each scenario occupies
   // `iterations_per_scenario` consecutive phase iterations.
-  std::vector<std::pair<int, SystemConfig>> schedule;
-  std::map<int, ScenarioResult> buckets;
+  ScenarioScheduler::Schedule schedule;
   for (const auto& s : scenarios) {
-    ScenarioResult r;
-    r.scenario = s;
-    r.config = scenario_to_config(s, base);
-    buckets.emplace(s.id, std::move(r));
     for (int i = 0; i < options_.iterations_per_scenario; ++i)
       schedule.emplace_back(s.id, scenario_to_config(s, base));
   }
+  std::map<std::int64_t, const Scenario*> by_id;
+  for (const auto& s : scenarios) by_id.emplace(s.id, &s);
 
   // Chunk the schedule into application runs: one run covers at most
   // `phase_iterations` scheduled slots.
   const auto per_run = static_cast<std::size_t>(app_.phase_iterations());
-  const Seconds t0 = node_.now();
-  std::size_t cursor = 0;
-  while (cursor < schedule.size()) {
+  struct Chunk {
+    std::size_t begin = 0;
+    std::size_t size = 0;
+  };
+  std::vector<Chunk> chunks;
+  for (std::size_t cursor = 0; cursor < schedule.size();) {
     const std::size_t n = std::min(per_run, schedule.size() - cursor);
-    const std::vector<std::pair<int, SystemConfig>> slice(
-        schedule.begin() + static_cast<std::ptrdiff_t>(cursor),
-        schedule.begin() + static_cast<std::ptrdiff_t>(cursor + n));
-    // Shorten the app so the run ends when its slice is exhausted.
-    const workload::Benchmark chunk =
-        app_.with_iterations(static_cast<int>(n));
-    instr::ExecutionContext ctx(node_);
-    ctx.apply(base);
-    ScenarioScheduler scheduler(ctx, slice, buckets, rng_,
-                                options_.measurement_noise);
-    instr::ScorepRuntime runtime(chunk, filter_);
-    runtime.add_listener(&scheduler);
-    runtime.execute(ctx);
-    ++app_runs_;
+    chunks.push_back({cursor, n});
     cursor += n;
   }
-  experiment_time_ += node_.now() - t0;
 
-  std::vector<ScenarioResult> out;
-  out.reserve(scenarios.size());
-  for (const auto& s : scenarios) out.push_back(buckets.at(s.id));
-  return out;
+  // Each chunk is an independent application run: it gets its own node
+  // clone and noise substreams keyed by (run call, chunk index), so the
+  // measured values do not depend on the number of concurrent jobs.
+  const long run_tag = run_calls_++;
+  struct ChunkOutcome {
+    std::map<std::int64_t, ScenarioResult> buckets;
+    Seconds elapsed{0};
+  };
+  const auto outcomes = parallel_map_ordered(
+      chunks.size(),
+      [&](std::size_t k) {
+        const Chunk& chunk = chunks[k];
+        const std::string key = "engine-run-" + std::to_string(run_tag) +
+                                "-chunk-" + std::to_string(k);
+        hwsim::NodeSimulator node = node_.clone(key);
+        Rng rng = rng_.fork(key);
+        const ScenarioScheduler::Schedule slice(
+            schedule.begin() + static_cast<std::ptrdiff_t>(chunk.begin),
+            schedule.begin() +
+                static_cast<std::ptrdiff_t>(chunk.begin + chunk.size));
+
+        ChunkOutcome out;
+        for (const auto& [id, config] : slice) {
+          if (out.buckets.count(id) != 0) continue;
+          ScenarioResult r;
+          r.scenario = *by_id.at(id);
+          r.config = config;
+          out.buckets.emplace(id, std::move(r));
+        }
+
+        const Seconds t0 = node.now();
+        // Shorten the app so the run ends when its slice is exhausted.
+        const workload::Benchmark run_app =
+            app_.with_iterations(static_cast<int>(chunk.size));
+        instr::ExecutionContext ctx(node);
+        ctx.apply(base);
+        ScenarioScheduler scheduler(ctx, slice, out.buckets, rng,
+                                    options_.measurement_noise);
+        instr::ScorepRuntime runtime(run_app, filter_);
+        runtime.add_listener(&scheduler);
+        runtime.execute(ctx);
+        out.elapsed = node.now() - t0;
+        return out;
+      },
+      options_.jobs);
+
+  // Ordered reduce: merge chunk buckets in schedule order (a scenario's
+  // iterations can straddle a chunk boundary) and account the simulated
+  // time the clones consumed on the parent node's timeline.
+  std::map<std::int64_t, ScenarioResult> merged;
+  Seconds total{0};
+  for (const auto& out : outcomes) {
+    for (const auto& [id, r] : out.buckets) {
+      auto it = merged.find(id);
+      if (it == merged.end()) {
+        merged.emplace(id, r);
+      } else {
+        it->second.phase += r.phase;
+        for (const auto& [region, m] : r.regions)
+          it->second.regions[region] += m;
+      }
+    }
+    total += out.elapsed;
+  }
+  app_runs_ += static_cast<long>(chunks.size());
+  experiment_time_ += total;
+  node_.idle(total);
+
+  std::vector<ScenarioResult> results;
+  results.reserve(scenarios.size());
+  for (const auto& s : scenarios) results.push_back(merged.at(s.id));
+  return results;
 }
 
 const ScenarioResult& ExperimentsEngine::best_phase(

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -32,6 +34,40 @@ struct EngineOptions {
   /// readings at region granularity).
   double measurement_noise = 0.004;
   std::uint64_t seed = 0xE61E5EEDULL;
+  /// Concurrent application runs (chunks) during scenario execution; each
+  /// run executes on its own NodeSimulator clone. 1 = serial, 0 = hardware
+  /// concurrency. Results are identical for any value.
+  int jobs = 1;
+};
+
+/// Listener that assigns one scenario per phase iteration: switches the
+/// configuration at phase enter and buckets region/phase measurements by the
+/// active scenario. Iterations outside the schedule deactivate measurement
+/// (they belong to no scenario). Exposed for direct testing; the engine is
+/// the intended user.
+class ScenarioScheduler final : public instr::RegionListener {
+ public:
+  using Schedule = std::vector<std::pair<std::int64_t, SystemConfig>>;
+
+  ScenarioScheduler(instr::ExecutionContext& ctx, const Schedule& schedule,
+                    std::map<std::int64_t, ScenarioResult>& buckets, Rng& rng,
+                    double noise)
+      : ctx_(ctx),
+        schedule_(schedule),
+        buckets_(buckets),
+        rng_(rng),
+        noise_(noise) {}
+
+  void on_enter(const instr::RegionEnter& e) override;
+  void on_exit(const instr::RegionExit& e) override;
+
+ private:
+  instr::ExecutionContext& ctx_;
+  const Schedule& schedule_;
+  std::map<std::int64_t, ScenarioResult>& buckets_;
+  Rng& rng_;
+  double noise_;
+  std::int64_t active_ = -1;
 };
 
 /// PTF experiments engine: executes scenarios on the instrumented
@@ -39,6 +75,11 @@ struct EngineOptions {
 /// application run evaluates many scenarios (the progressive-phase-loop
 /// exploitation of paper Sec. V-C). Configurations are switched at phase
 /// boundaries through the Parameter Control Plugins.
+///
+/// With jobs > 1 the independent application runs execute concurrently on
+/// per-run node clones; each run's jitter/measurement noise is keyed by its
+/// chunk index (not by worker), and measurements are merged in schedule
+/// order, so results are bitwise-identical for any job count.
 class ExperimentsEngine {
  public:
   /// The application is stored by value, so temporaries are safe to pass.
@@ -72,6 +113,7 @@ class ExperimentsEngine {
   instr::InstrumentationFilter filter_;
   EngineOptions options_;
   Rng rng_;
+  long run_calls_ = 0;  ///< disambiguates chunk noise keys across run()s
   long app_runs_ = 0;
   Seconds experiment_time_{0};
 };

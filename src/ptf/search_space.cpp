@@ -1,5 +1,7 @@
 #include "ptf/search_space.hpp"
 
+#include <limits>
+
 #include "common/error.hpp"
 
 namespace ecotune::ptf {
@@ -12,34 +14,61 @@ void SearchSpace::add_parameter(TuningParameter p) {
   params_.push_back(std::move(p));
 }
 
-std::size_t SearchSpace::size() const {
+std::uint64_t SearchSpace::size() const {
   if (params_.empty()) return 0;
-  std::size_t n = 1;
-  for (const auto& p : params_) n *= p.values.size();
+  std::uint64_t n = 1;
+  for (const auto& p : params_) {
+    const auto m = static_cast<std::uint64_t>(p.values.size());
+    ensure(n <= std::numeric_limits<std::uint64_t>::max() / m,
+           "SearchSpace::size: cartesian product overflows 64 bits");
+    n *= m;
+  }
   return n;
+}
+
+Scenario SearchSpace::scenario_at(std::uint64_t index) const {
+  ensure(index < size(), "SearchSpace::scenario_at: index out of range");
+  Scenario s;
+  s.id = static_cast<std::int64_t>(index);
+  std::uint64_t rem = index;
+  for (const auto& p : params_) {
+    const auto m = static_cast<std::uint64_t>(p.values.size());
+    s.values[p.name] = p.values[static_cast<std::size_t>(rem % m)];
+    rem /= m;
+  }
+  return s;
+}
+
+ScenarioCursor::ScenarioCursor(const SearchSpace& space)
+    : space_(space),
+      odometer_(space.parameters().size(), 0),
+      remaining_(space.size()) {}
+
+std::optional<Scenario> ScenarioCursor::next() {
+  if (remaining_ == 0) return std::nullopt;
+  const auto& params = space_.parameters();
+  Scenario s;
+  s.id = id_++;
+  for (std::size_t i = 0; i < params.size(); ++i)
+    s.values[params[i].name] = params[i].values[odometer_[i]];
+  --remaining_;
+  // Odometer increment, parameter 0 fastest (matches exhaustive()).
+  for (std::size_t i = 0; i < odometer_.size(); ++i) {
+    if (++odometer_[i] < params[i].values.size()) break;
+    odometer_[i] = 0;
+  }
+  return s;
 }
 
 std::vector<Scenario> SearchSpace::exhaustive() const {
   std::vector<Scenario> out;
   if (params_.empty()) return out;
-  out.reserve(size());
-  std::vector<std::size_t> idx(params_.size(), 0);
-  int id = 0;
-  while (true) {
-    Scenario s;
-    s.id = id++;
-    for (std::size_t i = 0; i < params_.size(); ++i)
-      s.values[params_[i].name] = params_[i].values[idx[i]];
-    out.push_back(std::move(s));
-    // Odometer increment.
-    std::size_t i = 0;
-    while (i < idx.size()) {
-      if (++idx[i] < params_[i].values.size()) break;
-      idx[i] = 0;
-      ++i;
-    }
-    if (i == idx.size()) break;
-  }
+  const std::uint64_t n = size();
+  ensure(n <= std::numeric_limits<std::size_t>::max() / sizeof(Scenario),
+         "SearchSpace::exhaustive: space too large to materialize; "
+         "use cursor()/for_each_scenario");
+  out.reserve(static_cast<std::size_t>(n));
+  for_each_scenario([&](Scenario s) { out.push_back(std::move(s)); });
   return out;
 }
 

@@ -45,7 +45,7 @@ SystemConfig scenario_to_config(const Scenario& s, const SystemConfig& base) {
   return c;
 }
 
-Scenario config_to_scenario(int id, const SystemConfig& c) {
+Scenario config_to_scenario(std::int64_t id, const SystemConfig& c) {
   Scenario s;
   s.id = id;
   s.values[std::string(kOmpThreadsParam)] = c.threads;

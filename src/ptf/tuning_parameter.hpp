@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -40,7 +41,8 @@ inline constexpr std::string_view kUncoreFreqParam = "uncore_freq";
 /// (paper Sec. III: "the tuning plugin creates scenarios ... which are then
 /// executed and evaluated by the experiments engine").
 struct Scenario {
-  int id = 0;
+  /// 64-bit: lazily enumerated search spaces can exceed INT_MAX scenarios.
+  std::int64_t id = 0;
   std::map<std::string, int> values;
 
   [[nodiscard]] bool has(std::string_view param) const {
@@ -55,6 +57,7 @@ struct Scenario {
                                               const SystemConfig& base);
 
 /// Builds a scenario from a SystemConfig (all three parameters set).
-[[nodiscard]] Scenario config_to_scenario(int id, const SystemConfig& c);
+[[nodiscard]] Scenario config_to_scenario(std::int64_t id,
+                                          const SystemConfig& c);
 
 }  // namespace ecotune::ptf

@@ -107,6 +107,52 @@ TEST(ExhaustiveTuner, RegionOptimaAreAtLeastAsGoodAsAppOptimum) {
   }
 }
 
+TEST(StaticTuner, JobCountDoesNotChangeResults) {
+  // Jitter stays ON: the per-config RNG keying is what's under test.
+  auto tune_with_jobs = [](int jobs) {
+    hwsim::NodeSimulator node(hwsim::haswell_ep_spec(), 0, Rng(7));
+    StaticTunerOptions opts = coarse_static();
+    opts.jobs = jobs;
+    StaticTuner tuner(node, opts);
+    return tuner.tune(workload::BenchmarkSuite::by_name("Lulesh"));
+  };
+  const auto serial = tune_with_jobs(1);
+  const auto wide = tune_with_jobs(8);
+  EXPECT_EQ(serial.best, wide.best);
+  EXPECT_EQ(serial.runs, wide.runs);
+  EXPECT_EQ(serial.search_time.value(), wide.search_time.value());  // bitwise
+  ASSERT_EQ(serial.evaluated.size(), wide.evaluated.size());
+  for (std::size_t i = 0; i < serial.evaluated.size(); ++i) {
+    EXPECT_EQ(serial.evaluated[i].config, wide.evaluated[i].config);
+    EXPECT_EQ(serial.evaluated[i].node_energy.value(),
+              wide.evaluated[i].node_energy.value());
+    EXPECT_EQ(serial.evaluated[i].cpu_energy.value(),
+              wide.evaluated[i].cpu_energy.value());
+    EXPECT_EQ(serial.evaluated[i].time.value(),
+              wide.evaluated[i].time.value());
+  }
+}
+
+TEST(ExhaustiveTuner, JobCountDoesNotChangeResults) {
+  auto tune_with_jobs = [](int jobs) {
+    hwsim::NodeSimulator node(hwsim::haswell_ep_spec(), 0, Rng(8));
+    ExhaustiveTunerOptions opts = coarse_exhaustive();
+    opts.jobs = jobs;
+    ExhaustiveTuner tuner(node, opts);
+    return tuner.tune(
+        workload::BenchmarkSuite::by_name("Mcb").with_iterations(1));
+  };
+  const auto serial = tune_with_jobs(1);
+  const auto wide = tune_with_jobs(8);
+  EXPECT_EQ(serial.app_best, wide.app_best);
+  EXPECT_EQ(serial.runs, wide.runs);
+  EXPECT_EQ(serial.search_time.value(), wide.search_time.value());
+  EXPECT_EQ(serial.formula_time.value(), wide.formula_time.value());
+  ASSERT_EQ(serial.region_best.size(), wide.region_best.size());
+  for (const auto& [region, cfg] : serial.region_best)
+    EXPECT_EQ(cfg, wide.region_best.at(region)) << region;
+}
+
 TEST(TuningTimeComparison, ModelBasedIsOrdersOfMagnitudeCheaper) {
   // Paper Sec. V-C: ours is (k + 1 + 9) experiments vs n*k*l*m runs.
   const int n_regions = 5;

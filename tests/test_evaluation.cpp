@@ -93,6 +93,49 @@ TEST_F(EvaluationTest, ObjectiveIsForwardedToThePlugin) {
   EXPECT_GE(row.dynamic_time_pct, energy_row.dynamic_time_pct - 1.0);
 }
 
+TEST_F(EvaluationTest, ZeroMeasurementFailsLoudlyInsteadOfNaN) {
+  SavingsEvaluator evaluator(*node_, *trained_, fast_options());
+  // A zero-iteration run measures zero time and energy; savings relative to
+  // it are undefined and must throw instead of propagating NaN/Inf.
+  EXPECT_THROW((void)evaluator.evaluate(
+                   workload::BenchmarkSuite::by_name("Lulesh")
+                       .with_iterations(0)),
+               PreconditionError);
+}
+
+TEST_F(EvaluationTest, JobCountDoesNotChangeRows) {
+  SavingsOptions opts = fast_options();
+  opts.repeats = 1;
+  std::vector<workload::Benchmark> apps{
+      workload::BenchmarkSuite::by_name("Lulesh").with_iterations(6),
+      workload::BenchmarkSuite::by_name("Mcb").with_iterations(6)};
+
+  opts.jobs = 1;
+  SavingsEvaluator serial_eval(*node_, *trained_, opts);
+  const auto serial = serial_eval.evaluate_all(apps);
+  opts.jobs = 4;
+  SavingsEvaluator wide_eval(*node_, *trained_, opts);
+  const auto wide = wide_eval.evaluate_all(apps);
+
+  ASSERT_EQ(serial.size(), 2u);
+  ASSERT_EQ(wide.size(), 2u);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].benchmark, wide[i].benchmark);
+    EXPECT_EQ(serial[i].static_config, wide[i].static_config);
+    // Bitwise-identical percentages: rows are noise-keyed by benchmark,
+    // not by worker or completion order.
+    EXPECT_EQ(serial[i].static_job_energy_pct, wide[i].static_job_energy_pct);
+    EXPECT_EQ(serial[i].static_cpu_energy_pct, wide[i].static_cpu_energy_pct);
+    EXPECT_EQ(serial[i].dynamic_job_energy_pct,
+              wide[i].dynamic_job_energy_pct);
+    EXPECT_EQ(serial[i].dynamic_cpu_energy_pct,
+              wide[i].dynamic_cpu_energy_pct);
+    EXPECT_EQ(serial[i].dynamic_time_pct, wide[i].dynamic_time_pct);
+    EXPECT_EQ(serial[i].overhead_pct, wide[i].overhead_pct);
+    EXPECT_EQ(serial[i].dynamic_switches, wide[i].dynamic_switches);
+  }
+}
+
 TEST_F(EvaluationTest, MoreRepeatsReduceJitterInReportedSavings) {
   SavingsOptions one = fast_options();
   one.repeats = 1;

@@ -107,6 +107,46 @@ TEST(NodeSimulator, ListenersSeeAllSegments) {
             listener.segments[0].node_power.value());
 }
 
+TEST(NodeSimulator, CloneSnapshotsFullState) {
+  NodeSimulator node(haswell_ep_spec(), 0, Rng(6));
+  node.set_jitter(0.01);
+  node.set_all_core_freqs(CoreFreq::mhz(1800));
+  node.set_uncore_freq(1, UncoreFreq::mhz(2200));
+  node.idle(Seconds(2.0));
+
+  NodeSimulator copy = node.clone();
+  EXPECT_EQ(copy.core_freq(5), CoreFreq::mhz(1800));
+  EXPECT_EQ(copy.uncore_freq(1), UncoreFreq::mhz(2200));
+  EXPECT_DOUBLE_EQ(copy.now().value(), node.now().value());
+  EXPECT_DOUBLE_EQ(copy.variability().leakage_factor,
+                   node.variability().leakage_factor);
+  // Same noise stream state: the next jittered run matches bitwise.
+  const auto ra = node.run_kernel(small_kernel(), 24);
+  const auto rb = copy.run_kernel(small_kernel(), 24);
+  EXPECT_EQ(ra.node_energy.value(), rb.node_energy.value());
+  EXPECT_EQ(ra.time.value(), rb.time.value());
+}
+
+TEST(NodeSimulator, CloneDropsListenersAndKeyedCloneDecorrelates) {
+  NodeSimulator node(haswell_ep_spec(), 0, Rng(6));
+  node.set_jitter(0.01);
+  RecordingListener listener;
+  node.add_listener(&listener);
+
+  NodeSimulator plain = node.clone();
+  NodeSimulator keyed_a = node.clone("task-0");
+  NodeSimulator keyed_b = node.clone("task-1");
+  plain.run_kernel(small_kernel(), 24);
+  EXPECT_TRUE(listener.segments.empty());  // clones observe nothing
+
+  // Distinct keys yield distinct (but per-key deterministic) jitter.
+  const auto a1 = keyed_a.run_kernel(small_kernel(), 24);
+  const auto b1 = keyed_b.run_kernel(small_kernel(), 24);
+  EXPECT_NE(a1.time.value(), b1.time.value());
+  const auto a2 = node.clone("task-0").run_kernel(small_kernel(), 24);
+  EXPECT_EQ(a1.time.value(), a2.time.value());
+}
+
 TEST(NodeSimulator, IdlePowerBelowLoadPower) {
   NodeSimulator node(haswell_ep_spec(), 0, Rng(1));
   node.set_jitter(0.0);

@@ -66,9 +66,87 @@ TEST(SearchSpace, EmptyAndDegenerate) {
   SearchSpace space;
   EXPECT_EQ(space.size(), 0u);
   EXPECT_TRUE(space.exhaustive().empty());
+  auto cursor = space.cursor();
+  EXPECT_EQ(cursor.remaining(), 0u);
+  EXPECT_FALSE(cursor.next().has_value());
   TuningParameter p;
   p.name = "x";
   EXPECT_THROW(space.add_parameter(p), PreconditionError);
+}
+
+TEST(SearchSpace, CursorMatchesExhaustiveElementForElement) {
+  SearchSpace space;
+  space.add_parameter(omp_threads_parameter(12, 24, 4));
+  space.add_parameter(core_freq_parameter(
+      {CoreFreq::mhz(2300), CoreFreq::mhz(2400), CoreFreq::mhz(2500)}));
+  space.add_parameter(
+      uncore_freq_parameter({UncoreFreq::mhz(1300), UncoreFreq::mhz(1400)}));
+
+  const auto all = space.exhaustive();
+  ASSERT_EQ(all.size(), space.size());
+  auto cursor = space.cursor();
+  EXPECT_EQ(cursor.remaining(), all.size());
+  for (const auto& expected : all) {
+    const auto got = cursor.next();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->id, expected.id);
+    EXPECT_EQ(got->values, expected.values);
+  }
+  EXPECT_FALSE(cursor.next().has_value());
+  EXPECT_EQ(cursor.remaining(), 0u);
+
+  // Random access and the lazy visitor agree with the materialized product.
+  std::size_t visited = 0;
+  space.for_each_scenario([&](const Scenario& s) {
+    ASSERT_LT(visited, all.size());
+    EXPECT_EQ(s.values, all[visited].values);
+    ++visited;
+  });
+  EXPECT_EQ(visited, all.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    EXPECT_EQ(space.scenario_at(i).id, all[i].id);
+    EXPECT_EQ(space.scenario_at(i).values, all[i].values);
+  }
+  EXPECT_THROW((void)space.scenario_at(all.size()), PreconditionError);
+}
+
+TEST(SearchSpace, SizeThrowsOnOverflowInsteadOfWrapping) {
+  SearchSpace space;
+  TuningParameter p;
+  p.values.assign(std::size_t{1} << 16, 0);  // 2^16 values per parameter
+  for (const char* name : {"p0", "p1", "p2", "p3"}) {
+    p.name = name;
+    space.add_parameter(p);
+  }
+  // 2^64 scenarios: one past what 64 bits hold.
+  EXPECT_THROW((void)space.size(), PreconditionError);
+  EXPECT_THROW((void)space.exhaustive(), PreconditionError);
+}
+
+TEST(SearchSpace, LazyCursorHandlesSpacesTooLargeToMaterialize) {
+  // ~69 billion scenarios: exhaustive() would need > 1 TB, the cursor and
+  // scenario_at() stream it fine.
+  SearchSpace space;
+  TuningParameter p;
+  p.values.resize(4096);
+  for (std::size_t i = 0; i < p.values.size(); ++i)
+    p.values[i] = static_cast<int>(i);
+  for (const char* name : {"p0", "p1", "p2"}) {
+    p.name = name;
+    space.add_parameter(p);
+  }
+  EXPECT_EQ(space.size(), std::uint64_t{4096} * 4096 * 4096);
+  auto cursor = space.cursor();
+  const auto first = cursor.next();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->id, 0);
+  // Scenario ids past INT_MAX survive (64-bit id).
+  const std::uint64_t far = std::uint64_t{3'000'000'000};
+  const Scenario s = space.scenario_at(far);
+  EXPECT_EQ(s.id, static_cast<std::int64_t>(far));
+  EXPECT_EQ(s.values.at("p0"), static_cast<int>(far % 4096));
+  EXPECT_EQ(s.values.at("p1"), static_cast<int>((far / 4096) % 4096));
+  EXPECT_EQ(s.values.at("p2"), static_cast<int>(far / 4096 / 4096));
 }
 
 TEST(Objectives, EvaluateAndOrdering) {
@@ -188,6 +266,101 @@ TEST_F(EngineTest, BestSelectorsUseObjective) {
           << region;
     }
   }
+}
+
+TEST_F(EngineTest, JobCountDoesNotChangeResults) {
+  // Default jitter and measurement noise stay ON so the per-chunk RNG
+  // keying is actually exercised; 8 scenarios over 6-iteration runs = 2
+  // concurrent chunks.
+  auto run_with_jobs = [](int jobs) {
+    hwsim::NodeSimulator node(hwsim::haswell_ep_spec(), 0, Rng(5));
+    const auto app =
+        workload::BenchmarkSuite::by_name("Lulesh").with_iterations(6);
+    SearchSpace space;
+    space.add_parameter(omp_threads_parameter(12, 24, 4));
+    space.add_parameter(
+        core_freq_parameter({CoreFreq::mhz(1600), CoreFreq::mhz(2500)}));
+    EngineOptions opts;
+    opts.jobs = jobs;
+    ExperimentsEngine engine(node, app,
+                             instr::InstrumentationFilter::instrument_all(),
+                             opts);
+    return engine.run(space.exhaustive(),
+                      SystemConfig{24, CoreFreq::mhz(2000),
+                                   UncoreFreq::mhz(1500)});
+  };
+  const auto serial = run_with_jobs(1);
+  const auto wide = run_with_jobs(8);
+  ASSERT_EQ(serial.size(), wide.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].scenario.id, wide[i].scenario.id);
+    // Bitwise-equal measurements, not just approximately equal.
+    EXPECT_EQ(serial[i].phase.node_energy.value(),
+              wide[i].phase.node_energy.value());
+    EXPECT_EQ(serial[i].phase.cpu_energy.value(),
+              wide[i].phase.cpu_energy.value());
+    EXPECT_EQ(serial[i].phase.time.value(), wide[i].phase.time.value());
+    ASSERT_EQ(serial[i].regions.size(), wide[i].regions.size());
+    for (const auto& [region, m] : serial[i].regions) {
+      const auto& w = wide[i].regions.at(region);
+      EXPECT_EQ(m.node_energy.value(), w.node_energy.value()) << region;
+      EXPECT_EQ(m.time.value(), w.time.value()) << region;
+      EXPECT_EQ(m.count, w.count) << region;
+    }
+  }
+}
+
+TEST(ScenarioSchedulerTest, ResetsActiveScenarioOutsideSchedule) {
+  hwsim::NodeSimulator node(hwsim::haswell_ep_spec(), 0, Rng(1));
+  node.set_jitter(0.0);
+  instr::ExecutionContext ctx(node);
+  const SystemConfig cfg{24, CoreFreq::mhz(2000), UncoreFreq::mhz(1500)};
+  ScenarioScheduler::Schedule schedule;
+  schedule.emplace_back(0, cfg);  // only iteration 0 is scheduled
+
+  std::map<std::int64_t, ScenarioResult> buckets;
+  ScenarioResult seed;
+  seed.scenario.id = 0;
+  seed.config = cfg;
+  buckets.emplace(0, seed);
+  Rng rng(1);
+  ScenarioScheduler scheduler(ctx, schedule, buckets, rng, 0.0);
+
+  auto phase_enter = [&](int iteration) {
+    instr::RegionEnter e;
+    e.region = "PHASE";
+    e.type = instr::RegionType::kPhase;
+    e.iteration = iteration;
+    scheduler.on_enter(e);
+  };
+  auto region_exit = [&](int iteration) {
+    instr::RegionExit e;
+    e.region = "work";
+    e.type = instr::RegionType::kFunction;
+    e.iteration = iteration;
+    e.enter_time = Seconds(0);
+    e.exit_time = Seconds(1);
+    e.node_energy = Joules(10);
+    e.cpu_energy = Joules(5);
+    scheduler.on_exit(e);
+  };
+
+  phase_enter(0);
+  region_exit(0);
+  ASSERT_EQ(buckets.at(0).regions.at("work").count, 1);
+
+  // Regression: an iteration past the schedule must deactivate measurement;
+  // previously its measurements were silently attributed to scenario 0.
+  phase_enter(1);
+  region_exit(1);
+  EXPECT_EQ(buckets.at(0).regions.at("work").count, 1);
+  EXPECT_DOUBLE_EQ(buckets.at(0).regions.at("work").node_energy.value(),
+                   10.0);
+
+  // Re-entering a scheduled iteration resumes bucketing.
+  phase_enter(0);
+  region_exit(0);
+  EXPECT_EQ(buckets.at(0).regions.at("work").count, 2);
 }
 
 TEST_F(EngineTest, AveragesOverRepeatedIterations) {

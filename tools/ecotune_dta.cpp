@@ -3,13 +3,15 @@
 // model for the RRL.
 //
 //   ecotune_dta --benchmark Lulesh [--objective energy] [--epochs 10]
-//               [--radius 1] [--per-region] [--seed 42]
+//               [--radius 1] [--per-region] [--seed 42] [--jobs N]
 //               [--output tuning_model.json] [--list]
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
 
+#include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "core/dvfs_ufs_plugin.hpp"
 #include "model/dataset.hpp"
@@ -27,6 +29,7 @@ struct CliOptions {
   int radius = 1;
   bool per_region = false;
   std::uint64_t seed = 42;
+  int jobs = 0;  // 0 = hardware concurrency
   bool list = false;
   bool help = false;
 };
@@ -46,6 +49,8 @@ void print_usage() {
       "  --radius <n>         verification neighborhood radius (default 1)\n"
       "  --per-region         per-region model-based prediction (Sec. VI)\n"
       "  --seed <n>           simulation seed (default 42)\n"
+      "  --jobs <n>           parallel sweep workers (default: hardware\n"
+      "                       concurrency; output is identical for any n)\n"
       "  --output <path>      write the tuning model JSON here\n"
       "  --list               list available benchmarks and exit\n"
       "  --help               this text\n";
@@ -81,6 +86,15 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
       const char* v = next("--seed");
       if (!v) return false;
       opts.seed = static_cast<std::uint64_t>(std::strtoull(v, nullptr, 0));
+    } else if (arg == "--jobs") {
+      const char* v = next("--jobs");
+      if (!v) return false;
+      char* end = nullptr;
+      opts.jobs = static_cast<int>(std::strtol(v, &end, 10));
+      if (end == v || *end != '\0') {
+        std::cerr << "error: --jobs expects an integer, got '" << v << "'\n";
+        return false;
+      }
     } else if (arg == "--output") {
       const char* v = next("--output");
       if (!v) return false;
@@ -126,11 +140,14 @@ int main(int argc, char** argv) {
   try {
     const auto& app = workload::BenchmarkSuite::by_name(opts.benchmark);
 
+    const int jobs = resolve_jobs(opts.jobs);
     std::cout << "training energy model (" << opts.epochs << " epochs)...\n";
     hwsim::NodeSimulator train_node(hwsim::haswell_ep_spec(), 0,
                                     Rng(opts.seed));
     train_node.set_jitter(0.002);
-    model::DataAcquisition acq(train_node, model::AcquisitionOptions{});
+    model::AcquisitionOptions acq_opts;
+    acq_opts.jobs = jobs;
+    model::DataAcquisition acq(train_node, acq_opts);
     model::EnergyModel energy_model;
     energy_model.train(
         acq.acquire(workload::BenchmarkSuite::training_set()), opts.epochs);
@@ -143,6 +160,7 @@ int main(int argc, char** argv) {
     plugin_opts.config.objective = opts.objective;
     plugin_opts.config.neighborhood_radius = opts.radius;
     plugin_opts.config.per_region_prediction = opts.per_region;
+    plugin_opts.engine.jobs = jobs;
     core::DvfsUfsPlugin plugin(energy_model, plugin_opts);
     const auto result = plugin.run_dta(app, node);
 
