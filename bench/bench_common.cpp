@@ -17,44 +17,95 @@ void banner(const std::string& title, const std::string& paper_reference) {
             << "================================================================\n\n";
 }
 
-int parse_jobs(int argc, char** argv) {
-  int jobs = 0;  // hardware concurrency
+namespace {
+
+int parse_jobs_value(const char* flag, const char* text) {
+  char* end = nullptr;
+  const long jobs = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0') {
+    std::cerr << "error: " << flag << " expects an integer, got '" << text
+              << "'\n";
+    std::exit(2);
+  }
+  return static_cast<int>(jobs);
+}
+
+[[noreturn]] void print_driver_usage(const char* argv0, int exit_code) {
+  std::cout
+      << "usage: " << argv0
+      << " [--jobs N] [--cache-dir DIR] [--cache-mode rw|ro|off]\n"
+      << "  --jobs N         parallel sweep workers (default: hardware "
+         "concurrency;\n                   output is identical for any N)\n"
+      << "  --cache-dir DIR  persistent measurement store; a warm rerun "
+         "answers seen\n                   measurements from the store and "
+         "prints byte-identical\n                   stdout\n"
+      << "  --cache-mode M   rw|ro|off (default: rw with --cache-dir, off "
+         "otherwise)\n";
+  std::exit(exit_code);
+}
+
+}  // namespace
+
+DriverOptions parse_driver_options(int argc, char** argv) {
+  DriverOptions opts;
+  int jobs = 0;
+  std::string cache_mode;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--jobs") == 0) {
+    auto next = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
-        std::cerr << "error: --jobs needs a value\n";
+        std::cerr << "error: " << flag << " needs a value\n";
         std::exit(2);
       }
-      char* end = nullptr;
-      jobs = static_cast<int>(std::strtol(argv[++i], &end, 10));
-      if (end == argv[i] || *end != '\0') {
-        std::cerr << "error: --jobs expects an integer, got '" << argv[i]
-                  << "'\n";
-        std::exit(2);
-      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--jobs") == 0) {
+      jobs = parse_jobs_value("--jobs", next("--jobs"));
+    } else if (std::strcmp(argv[i], "--cache-dir") == 0) {
+      opts.cache_dir = next("--cache-dir");
+    } else if (std::strcmp(argv[i], "--cache-mode") == 0) {
+      cache_mode = next("--cache-mode");
     } else if (std::strcmp(argv[i], "--help") == 0 ||
                std::strcmp(argv[i], "-h") == 0) {
-      std::cout << "usage: " << argv[0] << " [--jobs N]\n"
-                << "  --jobs N   parallel sweep workers (default: hardware "
-                   "concurrency;\n             output is identical for any "
-                   "N)\n";
-      std::exit(0);
+      print_driver_usage(argv[0], 0);
     } else {
       std::cerr << "error: unknown argument '" << argv[i]
                 << "' (try --help)\n";
       std::exit(2);
     }
   }
-  return resolve_jobs(jobs);
+  opts.jobs = resolve_jobs(jobs);
+  try {
+    opts.cache_mode = store::resolve_store_mode(cache_mode, opts.cache_dir);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    std::exit(2);
+  }
+  return opts;
 }
 
-model::AcquisitionOptions paper_acquisition_options(int jobs) {
+void open_store(store::MeasurementStore& store, const DriverOptions& opts,
+                const std::string& scope) {
+  try {
+    store.open(opts.cache_dir, opts.cache_mode, scope);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    std::exit(2);
+  }
+}
+
+void print_store_summary(const store::MeasurementStore& store) {
+  if (store.enabled()) std::cerr << store.summary() << '\n';
+}
+
+model::AcquisitionOptions paper_acquisition_options(
+    int jobs, store::MeasurementStore* store) {
   model::AcquisitionOptions opts;
   opts.thread_counts = {12, 16, 20, 24};
   opts.cf_stride = 1;
   opts.ucf_stride = 1;
   opts.phase_iterations = 2;
   opts.jobs = jobs;
+  opts.store = store;
   return opts;
 }
 
@@ -66,10 +117,11 @@ model::EnergyDataset acquire_dataset(
   return acq.acquire(benchmarks);
 }
 
-model::EnergyModel train_final_model(hwsim::NodeSimulator& node, int jobs) {
+model::EnergyModel train_final_model(hwsim::NodeSimulator& node, int jobs,
+                                     store::MeasurementStore* store) {
   const auto dataset = acquire_dataset(
       node, workload::BenchmarkSuite::training_set(),
-      paper_acquisition_options(jobs));
+      paper_acquisition_options(jobs, store));
   model::EnergyModel model;
   model.train(dataset, 10);
   return model;

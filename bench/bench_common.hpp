@@ -6,6 +6,7 @@
 #include "hwsim/cluster.hpp"
 #include "model/dataset.hpp"
 #include "model/energy_model.hpp"
+#include "store/measurement_store.hpp"
 #include "workload/suite.hpp"
 
 namespace ecotune::bench {
@@ -13,16 +14,38 @@ namespace ecotune::bench {
 /// Prints a banner identifying the reproduced paper artifact.
 void banner(const std::string& title, const std::string& paper_reference);
 
-/// Parses the drivers' shared `--jobs N` flag (0/omitted = hardware
-/// concurrency). Exits with usage on unknown arguments, so every table/fig
-/// driver gets a uniform CLI for free.
-[[nodiscard]] int parse_jobs(int argc, char** argv);
+/// Shared CLI of the cache-aware drivers: `--jobs N` plus the measurement
+/// store flags `--cache-dir DIR` and `--cache-mode rw|ro|off` (default: rw
+/// when --cache-dir is given, off otherwise).
+struct DriverOptions {
+  int jobs = 1;  ///< already resolved (never 0)
+  std::string cache_dir;
+  store::StoreMode cache_mode = store::StoreMode::kOff;
+};
+
+/// Parses DriverOptions; exits with usage on unknown arguments or a bad
+/// value, so every table/fig driver gets a uniform CLI for free.
+[[nodiscard]] DriverOptions parse_driver_options(int argc, char** argv);
+
+/// Opens `store` as the options request (no-op when the cache is off).
+/// `scope` is the driver's name: it namespaces the store's task keys so
+/// several drivers can share one --cache-dir without their identical task
+/// ids invalidating each other. Exits 2 with a clean message on failure
+/// (unwritable directory, ...), like every other CLI error.
+void open_store(store::MeasurementStore& store, const DriverOptions& opts,
+                const std::string& scope);
+
+/// Prints the store's hit/miss summary to stderr when it is enabled.
+/// Stderr, not stdout: driver stdout must stay byte-identical between cold
+/// and warm runs; the counters are the warm-restart diagnostics.
+void print_store_summary(const store::MeasurementStore& store);
 
 /// Paper-faithful acquisition options: threads 12..24 step 4, full CF x UCF
 /// grid, two phase iterations per acquisition run. `jobs` controls how many
-/// benchmarks acquire concurrently (output is jobs-invariant).
+/// benchmarks acquire concurrently (output is jobs-invariant); `store`
+/// optionally answers whole per-benchmark sweeps from a previous session.
 [[nodiscard]] model::AcquisitionOptions paper_acquisition_options(
-    int jobs = 1);
+    int jobs = 1, store::MeasurementStore* store = nullptr);
 
 /// Acquires the full training dataset over `benchmarks` on `node`.
 [[nodiscard]] model::EnergyDataset acquire_dataset(
@@ -31,8 +54,10 @@ void banner(const std::string& title, const std::string& paper_reference);
     model::AcquisitionOptions options);
 
 /// Trains the paper's final energy model: fit on the 14 training benchmarks
-/// for 10 epochs (Sec. V-B). Acquisition parallelizes over `jobs` workers.
-[[nodiscard]] model::EnergyModel train_final_model(hwsim::NodeSimulator& node,
-                                                   int jobs = 1);
+/// for 10 epochs (Sec. V-B). Acquisition parallelizes over `jobs` workers
+/// and consults `store` when given.
+[[nodiscard]] model::EnergyModel train_final_model(
+    hwsim::NodeSimulator& node, int jobs = 1,
+    store::MeasurementStore* store = nullptr);
 
 }  // namespace ecotune::bench

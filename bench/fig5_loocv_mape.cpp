@@ -18,7 +18,10 @@
 
 using namespace ecotune;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto driver_opts = bench::parse_driver_options(argc, argv);
+  store::MeasurementStore cache;
+  bench::open_store(cache, driver_opts, "fig5");
   bench::banner("Fig. 5 -- LOOCV MAPE of the energy model",
                 "19 benchmarks, all DVFS and UFS states (Sec. V-B)");
 
@@ -35,7 +38,7 @@ int main() {
                "12..24 step 4)...\n";
   const auto dataset = bench::acquire_dataset(
       node, workload::BenchmarkSuite::all(),
-      bench::paper_acquisition_options());
+      bench::paper_acquisition_options(driver_opts.jobs, &cache));
   std::cout << "  " << dataset.samples.size() << " samples acquired\n\n";
 
   // --- Fig. 5: LOOCV, 5 epochs per fold ---------------------------------
@@ -108,5 +111,6 @@ int main() {
   std::cout << "Final split (train 14, test Lulesh/Amg2013/miniMD/BEM4I/Mcb,"
                " 10 epochs):\n  test MAPE "
             << TextTable::num(final_mape, 2) << "   (paper: 7.80)\n";
+  bench::print_store_summary(cache);
   return 0;
 }

@@ -14,12 +14,14 @@ namespace {
 
 void tune_and_print(hwsim::NodeSimulator& node,
                     const model::EnergyModel& trained, int jobs,
+                    store::MeasurementStore& cache,
                     const std::string& bench_name, const std::string& title,
                     const std::string& paper_note) {
   const auto app = workload::BenchmarkSuite::by_name(bench_name)
                        .with_iterations(12);
   core::DvfsUfsPlugin::Options plugin_opts;
   plugin_opts.engine.jobs = jobs;
+  plugin_opts.engine.store = &cache;
   core::DvfsUfsPlugin plugin(trained, plugin_opts);
   const auto result = plugin.run_dta(app, node);
 
@@ -57,7 +59,10 @@ void tune_and_print(hwsim::NodeSimulator& node,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int jobs = bench::parse_jobs(argc, argv);
+  const auto driver_opts = bench::parse_driver_options(argc, argv);
+  store::MeasurementStore cache;
+  bench::open_store(cache, driver_opts, "table3_table4");
+  const int jobs = driver_opts.jobs;
   bench::banner("Tables III and IV -- Region-level tuning results",
                 "full DTA of the DVFS/UFS/OpenMP plugin on Lulesh and "
                 "Mcbenchmark (Sec. V-C)");
@@ -68,15 +73,16 @@ int main(int argc, char** argv) {
   std::cout << "Training the final energy model...\n";
   hwsim::NodeSimulator train_node(hwsim::haswell_ep_spec(), 0, Rng(0x7AB4));
   train_node.set_jitter(0.002);
-  const auto trained = bench::train_final_model(train_node, jobs);
+  const auto trained = bench::train_final_model(train_node, jobs, &cache);
 
-  tune_and_print(node, trained, jobs, "Lulesh", "Table III",
+  tune_and_print(node, trained, jobs, cache, "Lulesh", "Table III",
                  "(paper Table III: 5 regions, threads 20-24, CF 2.40-2.50, "
                  "UCF 2.00 --\nregion configs are clamped to the verified "
                  "neighborhood of the phase optimum)");
-  tune_and_print(node, trained, jobs, "Mcb", "Table IV",
+  tune_and_print(node, trained, jobs, cache, "Mcb", "Table IV",
                  "(paper Table IV: 5 regions, threads 20-24, CF 1.60-1.70, "
                  "UCF 2.20-2.30 --\nmemory-bound: low core frequency, high "
                  "uncore frequency)");
+  bench::print_store_summary(cache);
   return 0;
 }

@@ -11,7 +11,9 @@
 using namespace ecotune;
 
 int main(int argc, char** argv) {
-  const int jobs = bench::parse_jobs(argc, argv);
+  const auto driver_opts = bench::parse_driver_options(argc, argv);
+  store::MeasurementStore cache;
+  bench::open_store(cache, driver_opts, "table5");
   bench::banner("Table V -- Optimal static configuration",
                 "exhaustive (threads x CF x UCF) search per benchmark "
                 "(Sec. V-D)");
@@ -34,7 +36,8 @@ int main(int argc, char** argv) {
   table.header({"Benchmark", "thr", "CF", "UCF", "paper thr", "paper CF",
                 "paper UCF", "runs"});
   baseline::StaticTunerOptions opts;  // full grid
-  opts.jobs = jobs;
+  opts.jobs = driver_opts.jobs;
+  opts.store = &cache;
   baseline::StaticTuner tuner(node, opts);
   std::size_t i = 0;
   for (const auto& name : workload::BenchmarkSuite::evaluation_names()) {
@@ -53,5 +56,6 @@ int main(int argc, char** argv) {
   std::cout << "\nShape check vs paper: compute-bound (Lulesh, miniMD, "
                "BEM4I) at high CF / low UCF,\nmemory-bound (Mcb) at low CF "
                "/ high UCF, Amg2013 thread-limited at 16.\n";
+  bench::print_store_summary(cache);
   return 0;
 }

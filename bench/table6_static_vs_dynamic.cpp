@@ -13,7 +13,10 @@
 using namespace ecotune;
 
 int main(int argc, char** argv) {
-  const int jobs = bench::parse_jobs(argc, argv);
+  const auto driver_opts = bench::parse_driver_options(argc, argv);
+  store::MeasurementStore cache;
+  bench::open_store(cache, driver_opts, "table6");
+  const int jobs = driver_opts.jobs;
   bench::banner("Table VI -- Static and dynamic tuning results",
                 "savings relative to the 24 thr / 2.5|3.0 GHz default, "
                 "averaged over 5 runs (Sec. V-D/E)");
@@ -21,7 +24,7 @@ int main(int argc, char** argv) {
   std::cout << "Training the final energy model...\n";
   hwsim::NodeSimulator train_node(hwsim::haswell_ep_spec(), 0, Rng(0x7AB6));
   train_node.set_jitter(0.002);
-  const auto trained = bench::train_final_model(train_node, jobs);
+  const auto trained = bench::train_final_model(train_node, jobs, &cache);
 
   hwsim::NodeSimulator node(hwsim::haswell_ep_spec(), 0, Rng(0x7AB7));
   node.set_jitter(0.002);
@@ -29,6 +32,7 @@ int main(int argc, char** argv) {
   core::SavingsOptions opts;
   opts.repeats = 5;
   opts.jobs = jobs;  // benchmark rows run concurrently, output unchanged
+  opts.store = &cache;  // whole rows replay from a warm measurement store
   // Average two phase iterations per scenario during DTA verification so
   // the per-region selection is not driven by single-measurement noise.
   opts.plugin.engine.iterations_per_scenario = 2;
@@ -106,5 +110,6 @@ int main(int argc, char** argv) {
               << " switches per production run, static config "
               << to_string(r.static_config) << '\n';
   }
+  bench::print_store_summary(cache);
   return 0;
 }

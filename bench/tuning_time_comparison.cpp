@@ -15,7 +15,10 @@
 using namespace ecotune;
 
 int main(int argc, char** argv) {
-  const int jobs = bench::parse_jobs(argc, argv);
+  const auto driver_opts = bench::parse_driver_options(argc, argv);
+  store::MeasurementStore cache;
+  bench::open_store(cache, driver_opts, "tuning_time");
+  const int jobs = driver_opts.jobs;
   bench::banner("Sec. V-C -- Tuning-time comparison",
                 "model-based plugin (k+1+9 experiments) vs exhaustive "
                 "search (n x k x l x m runs)");
@@ -23,7 +26,7 @@ int main(int argc, char** argv) {
   std::cout << "Training the final energy model...\n";
   hwsim::NodeSimulator train_node(hwsim::haswell_ep_spec(), 0, Rng(0x77C0));
   train_node.set_jitter(0.002);
-  const auto trained = bench::train_final_model(train_node, jobs);
+  const auto trained = bench::train_final_model(train_node, jobs, &cache);
 
   hwsim::NodeSimulator node(hwsim::haswell_ep_spec(), 0, Rng(0x77C1));
   node.set_jitter(0.002);
@@ -50,6 +53,7 @@ int main(int argc, char** argv) {
   // --- Our plugin -------------------------------------------------------
   core::DvfsUfsPlugin::Options plugin_opts;
   plugin_opts.engine.jobs = jobs;
+  plugin_opts.engine.store = &cache;
   core::DvfsUfsPlugin plugin(trained, plugin_opts);
   const auto dta = plugin.run_dta(app, node);
   const int ours_experiments =
@@ -68,6 +72,7 @@ int main(int argc, char** argv) {
   ex_opts.cf_stride = 2;   // run a quarter of the grid, extrapolate cost
   ex_opts.ucf_stride = 2;
   ex_opts.jobs = jobs;
+  ex_opts.store = &cache;
   baseline::ExhaustiveTuner exhaustive(node, ex_opts);
   const auto ex = exhaustive.tune(app);
   const double grid_scale =
@@ -109,5 +114,6 @@ int main(int argc, char** argv) {
             << to_string(ex.app_best) << '\n'
             << "plugin phase best                        : "
             << to_string(dta.phase_best) << '\n';
+  bench::print_store_summary(cache);
   return 0;
 }

@@ -4,8 +4,11 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "common/fingerprint.hpp"
+#include "common/logging.hpp"
 #include "common/parallel.hpp"
 #include "instr/scorep_runtime.hpp"
+#include "store/measurement_store.hpp"
 
 namespace ecotune::baseline {
 namespace {
@@ -67,12 +70,48 @@ ExhaustiveTuningResult ExhaustiveTuner::tune(
     Seconds wall_time{0};
     Seconds elapsed{0};
   };
+  store::MeasurementStore* cache =
+      options_.store != nullptr && options_.store->enabled() ? options_.store
+                                                             : nullptr;
+  Fingerprint base_fp;
+  if (cache != nullptr) {
+    base_fp.add_digest("node", node_.state_fingerprint())
+        .add_digest("app", app.fingerprint_digest());
+  }
   const auto outcomes = parallel_map_ordered(
       configs.size(),
       [&](std::size_t i) {
-        hwsim::NodeSimulator node =
-            node_.clone("exhaustive-tuner-" + std::to_string(call_tag) +
-                        "-" + std::to_string(i));
+        const std::string noise_key = "exhaustive-tuner-" +
+                                      std::to_string(call_tag) + "-" +
+                                      std::to_string(i);
+        store::MeasurementKey cache_key;
+        if (cache != nullptr) {
+          Fingerprint fp = base_fp;
+          fp.add("noise_key", noise_key).add("config", configs[i]);
+          cache_key.task = "exhaustive/" + app.name() + "/" + noise_key;
+          cache_key.fingerprint = fp.digest();
+          if (const auto hit = cache->lookup(cache_key)) {
+            try {
+              RunOutcome out;
+              out.app = ptf::measurement_from_json(hit->at("app"));
+              for (const auto& [region, m] : hit->at("regions").as_object())
+                out.regions[region] = ptf::measurement_from_json(m);
+              // Every fully instrumented run measures all of the app's
+              // regions; fewer means the payload is from another schema.
+              ensure(out.regions.size() == app.regions().size(),
+                     "payload covers a different region set");
+              out.wall_time = Seconds(hit->at("wall_time").as_number());
+              out.elapsed = Seconds(hit->at("elapsed").as_number());
+              return out;
+            } catch (const std::exception& e) {
+              log::error("store")
+                  << "undecodable cache payload for '" << cache_key.task
+                  << "' (" << e.what() << "); re-simulating";
+            }
+          }
+        }
+
+        hwsim::NodeSimulator node = node_.clone(noise_key);
         const Seconds t0 = node.now();
         instr::ExecutionContext ctx(node);
         ctx.apply(configs[i]);
@@ -90,6 +129,18 @@ ExhaustiveTuningResult ExhaustiveTuner::tune(
         out.regions = collector.measurements();
         out.wall_time = run.wall_time;
         out.elapsed = node.now() - t0;
+
+        if (cache != nullptr) {
+          Json payload = Json::object();
+          payload["app"] = ptf::to_json(out.app);
+          Json regions = Json::object();
+          for (const auto& [region, m] : out.regions)
+            regions[region] = ptf::to_json(m);
+          payload["regions"] = std::move(regions);
+          payload["wall_time"] = out.wall_time.value();
+          payload["elapsed"] = out.elapsed.value();
+          cache->insert(cache_key, payload);
+        }
         return out;
       },
       options_.jobs);

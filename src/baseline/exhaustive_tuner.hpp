@@ -9,6 +9,10 @@
 #include "ptf/objectives.hpp"
 #include "workload/benchmark.hpp"
 
+namespace ecotune::store {
+class MeasurementStore;
+}
+
 namespace ecotune::baseline {
 
 /// Options of the exhaustive per-region search.
@@ -20,6 +24,10 @@ struct ExhaustiveTunerOptions {
   /// (1 = serial, 0 = hardware concurrency); output is identical for any
   /// value.
   int jobs = 1;
+  /// Optional persistent measurement store (not owned): answers individual
+  /// configuration runs from a previous session when benchmark, config, and
+  /// node-state fingerprint match. Jobs-invariant by construction.
+  store::MeasurementStore* store = nullptr;
 };
 
 /// Search result with both the actual simulated cost and the paper's cost

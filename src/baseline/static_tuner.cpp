@@ -4,8 +4,11 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "common/fingerprint.hpp"
+#include "common/logging.hpp"
 #include "common/parallel.hpp"
 #include "instr/scorep_runtime.hpp"
+#include "store/measurement_store.hpp"
 
 namespace ecotune::baseline {
 
@@ -41,21 +44,64 @@ StaticTuningResult StaticTuner::tune(const workload::Benchmark& app,
     StaticPoint point;
     Seconds elapsed{0};
   };
+  store::MeasurementStore* cache =
+      options_.store != nullptr && options_.store->enabled() ? options_.store
+                                                             : nullptr;
+  Fingerprint base_fp;
+  if (cache != nullptr) {
+    base_fp.add_digest("node", node_.state_fingerprint())
+        .add_digest("app", short_app.fingerprint_digest());
+  }
   const auto evaluated = parallel_map_ordered(
       configs.size(),
       [&](std::size_t i) {
-        hwsim::NodeSimulator node =
-            node_.clone("static-tuner-" + std::to_string(call_tag) + "-" +
-                        std::to_string(i));
-        const Seconds t0 = node.now();
+        const std::string noise_key = "static-tuner-" +
+                                      std::to_string(call_tag) + "-" +
+                                      std::to_string(i);
         Evaluated e;
         e.point.config = configs[i];
+
+        store::MeasurementKey cache_key;
+        if (cache != nullptr) {
+          Fingerprint fp = base_fp;
+          fp.add("noise_key", noise_key).add("config", configs[i]);
+          cache_key.task = "static/" + app.name() + "/" + noise_key;
+          cache_key.fingerprint = fp.digest();
+          if (const auto hit = cache->lookup(cache_key)) {
+            try {
+              Evaluated cached = e;
+              cached.point.node_energy =
+                  Joules(hit->at("node_energy").as_number());
+              cached.point.cpu_energy =
+                  Joules(hit->at("cpu_energy").as_number());
+              cached.point.time = Seconds(hit->at("time").as_number());
+              cached.elapsed = Seconds(hit->at("elapsed").as_number());
+              return cached;
+            } catch (const std::exception& ex) {
+              log::error("store")
+                  << "undecodable cache payload for '" << cache_key.task
+                  << "' (" << ex.what() << "); re-simulating";
+            }
+          }
+        }
+
+        hwsim::NodeSimulator node = node_.clone(noise_key);
+        const Seconds t0 = node.now();
         const auto run =
             instr::run_uninstrumented(short_app, node, e.point.config);
         e.point.node_energy = run.node_energy;
         e.point.cpu_energy = run.cpu_energy;
         e.point.time = run.wall_time;
         e.elapsed = node.now() - t0;
+
+        if (cache != nullptr) {
+          Json payload = Json::object();
+          payload["node_energy"] = e.point.node_energy.value();
+          payload["cpu_energy"] = e.point.cpu_energy.value();
+          payload["time"] = e.point.time.value();
+          payload["elapsed"] = e.elapsed.value();
+          cache->insert(cache_key, payload);
+        }
         return e;
       },
       options_.jobs);

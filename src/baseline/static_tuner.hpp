@@ -7,6 +7,10 @@
 #include "ptf/objectives.hpp"
 #include "workload/benchmark.hpp"
 
+namespace ecotune::store {
+class MeasurementStore;
+}
+
 namespace ecotune::baseline {
 
 /// Options of the whole-application (static) configuration search.
@@ -22,6 +26,10 @@ struct StaticTunerOptions {
   /// value: per-config jitter streams are keyed by sweep index and the
   /// winner is reduced in sweep order.
   int jobs = 1;
+  /// Optional persistent measurement store (not owned): answers individual
+  /// configuration evaluations from a previous session when benchmark,
+  /// config, and node-state fingerprint match. Jobs-invariant.
+  store::MeasurementStore* store = nullptr;
 };
 
 /// One evaluated configuration.

@@ -1,7 +1,7 @@
 #include "common/csv.hpp"
 
-#include <iomanip>
-#include <sstream>
+#include <charconv>
+#include <system_error>
 
 namespace ecotune {
 
@@ -14,13 +14,17 @@ void CsvWriter::row(const std::vector<std::string>& cells) {
 }
 
 void CsvWriter::row_numeric(const std::vector<double>& values) {
-  std::ostringstream tmp;
-  tmp << std::setprecision(17);
+  // std::to_chars: locale-independent shortest round-trip formatting. The
+  // previous default-locale operator<< emitted ',' decimal separators under
+  // e.g. de_DE, corrupting the CSV column structure outright.
+  std::string line;
+  char buf[32];
   for (std::size_t i = 0; i < values.size(); ++i) {
-    if (i) tmp << ',';
-    tmp << values[i];
+    if (i) line += ',';
+    const auto res = std::to_chars(buf, buf + sizeof(buf), values[i]);
+    line.append(buf, res.ptr);
   }
-  os_ << tmp.str() << '\n';
+  os_ << line << '\n';
 }
 
 std::string CsvWriter::escape(const std::string& cell) {

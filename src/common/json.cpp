@@ -1,9 +1,10 @@
 #include "common/json.hpp"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
-#include <sstream>
+#include <system_error>
 
 #include "common/error.hpp"
 
@@ -107,14 +108,13 @@ void dump_string(std::string& out, const std::string& s) {
 }
 
 void dump_number(std::string& out, double d) {
-  if (d == std::llround(d) && std::fabs(d) < 1e15) {
-    out += std::to_string(std::llround(d));
-  } else {
-    std::ostringstream os;
-    os.precision(17);
-    os << d;
-    out += os.str();
-  }
+  // std::to_chars: locale-independent shortest representation that parses
+  // back to exactly the same double. The default-locale operator<< path
+  // would emit ',' decimal separators under e.g. de_DE and break round
+  // trips (and the measurement store's byte-identical warm replays).
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), d);
+  out.append(buf, res.ptr);
 }
 
 }  // namespace
@@ -370,12 +370,17 @@ class Parser {
             text_[pos_] == '+' || text_[pos_] == '-'))
       ++pos_;
     ensure(pos_ > start, "Json::parse: bad number");
-    try {
-      return Json(std::stod(text_.substr(start, pos_ - start)));
-    } catch (const std::exception&) {
+    // std::from_chars is locale-independent (std::stod honors the process
+    // locale and misparses under ',' decimal separators).
+    double value = 0.0;
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    const auto res = std::from_chars(first, last, value);
+    if (res.ec != std::errc() || res.ptr != last) {
       throw Error("Json::parse: bad number '" +
                   text_.substr(start, pos_ - start) + "'");
     }
+    return Json(value);
   }
 
   const std::string& text_;

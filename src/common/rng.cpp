@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/fingerprint.hpp"
 
 namespace ecotune {
 namespace {
@@ -74,6 +75,14 @@ std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
   }
   return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) +
                                    static_cast<std::uint64_t>(product >> 64));
+}
+
+std::uint64_t Rng::state_hash() const {
+  Fingerprint fp;
+  for (std::uint64_t s : s_) fp.add("state", s);
+  fp.add("has_spare", has_spare_);
+  if (has_spare_) fp.add("spare", spare_);
+  return fp.digest();
 }
 
 double Rng::normal(double mean, double stddev) {

@@ -44,6 +44,12 @@ class Rng {
   /// Gaussian draw (Box-Muller, cached spare).
   [[nodiscard]] double normal(double mean = 0.0, double stddev = 1.0);
 
+  /// Order-sensitive hash of the full generator state (stream position and
+  /// the cached Box-Muller spare). Two generators with equal state_hash()
+  /// produce identical draw sequences; the measurement store folds this
+  /// into cache-entry fingerprints so stale noise streams cannot hit.
+  [[nodiscard]] std::uint64_t state_hash() const;
+
  private:
   explicit Rng(const std::uint64_t (&state)[4]);
   std::uint64_t s_[4];

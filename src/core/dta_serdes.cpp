@@ -1,0 +1,192 @@
+// JSON round trips for the design-time-analysis result and the Table VI
+// savings row, used by the measurement store to replay whole evaluations.
+// Every double goes through Json's std::to_chars/std::from_chars path, so
+// values survive bit-exactly and a warm replay is indistinguishable from a
+// cold simulation.
+#include "core/dvfs_ufs_plugin.hpp"
+#include "core/evaluation.hpp"
+#include "store/serdes.hpp"
+
+namespace ecotune::core {
+namespace {
+
+Json recommendation_to_json(const model::FrequencyRecommendation& r) {
+  Json j = Json::object();
+  j["cf_mhz"] = r.cf.as_mhz();
+  j["ucf_mhz"] = r.ucf.as_mhz();
+  j["predicted_normalized_energy"] = r.predicted_normalized_energy;
+  return j;
+}
+
+model::FrequencyRecommendation recommendation_from_json(const Json& j) {
+  model::FrequencyRecommendation r;
+  r.cf = CoreFreq::mhz(j.at("cf_mhz").as_int());
+  r.ucf = UncoreFreq::mhz(j.at("ucf_mhz").as_int());
+  r.predicted_normalized_energy =
+      j.at("predicted_normalized_energy").as_number();
+  return r;
+}
+
+Json dyn_report_to_json(const readex::DynDetectReport& r) {
+  Json j = Json::object();
+  Json significant = Json::array();
+  for (const auto& s : r.significant) {
+    Json sj = Json::object();
+    sj["name"] = s.name;
+    sj["mean_time"] = s.mean_time.value();
+    sj["count"] = static_cast<std::int64_t>(s.count);
+    sj["weight"] = s.weight;
+    sj["variation"] = s.variation;
+    significant.push_back(std::move(sj));
+  }
+  j["significant"] = std::move(significant);
+  Json insignificant = Json::array();
+  for (const auto& name : r.insignificant) insignificant.push_back(name);
+  j["insignificant"] = std::move(insignificant);
+  j["threshold"] = r.threshold.value();
+  j["phase_mean_time"] = r.phase_mean_time.value();
+  j["inter_region_dynamism"] = r.inter_region_dynamism;
+  return j;
+}
+
+readex::DynDetectReport dyn_report_from_json(const Json& j) {
+  readex::DynDetectReport r;
+  for (const Json& sj : j.at("significant").as_array()) {
+    readex::SignificantRegion s;
+    s.name = sj.at("name").as_string();
+    s.mean_time = Seconds(sj.at("mean_time").as_number());
+    s.count = static_cast<long>(sj.at("count").as_number());
+    s.weight = sj.at("weight").as_number();
+    s.variation = sj.at("variation").as_number();
+    r.significant.push_back(std::move(s));
+  }
+  for (const Json& name : j.at("insignificant").as_array())
+    r.insignificant.push_back(name.as_string());
+  r.threshold = Seconds(j.at("threshold").as_number());
+  r.phase_mean_time = Seconds(j.at("phase_mean_time").as_number());
+  r.inter_region_dynamism = j.at("inter_region_dynamism").as_number();
+  return r;
+}
+
+Json config_map_to_json(const std::map<std::string, SystemConfig>& m) {
+  Json j = Json::object();
+  for (const auto& [name, c] : m) j[name] = store::to_json(c);
+  return j;
+}
+
+std::map<std::string, SystemConfig> config_map_from_json(const Json& j) {
+  std::map<std::string, SystemConfig> m;
+  for (const auto& [name, c] : j.as_object())
+    m.emplace(name, store::config_from_json(c));
+  return m;
+}
+
+}  // namespace
+
+Json DtaResult::to_json() const {
+  Json j = Json::object();
+  // Autofilter: the filter itself round-trips through the Score-P filter
+  // file syntax it already serializes to.
+  Json autofilter_j = Json::object();
+  autofilter_j["filter"] = autofilter.filter.to_filter_file();
+  Json excluded = Json::array();
+  for (const auto& name : autofilter.excluded) excluded.push_back(name);
+  autofilter_j["excluded"] = std::move(excluded);
+  j["autofilter"] = std::move(autofilter_j);
+
+  j["dyn_report"] = dyn_report_to_json(dyn_report);
+  j["phase_threads"] = phase_threads;
+  Json region_threads_j = Json::object();
+  for (const auto& [name, threads] : region_threads)
+    region_threads_j[name] = threads;
+  j["region_threads"] = std::move(region_threads_j);
+
+  Json rates = Json::object();
+  for (const auto& [name, rate] : counter_rates) rates[name] = rate;
+  j["counter_rates"] = std::move(rates);
+  j["recommendation"] = recommendation_to_json(recommendation);
+  Json region_recs = Json::object();
+  for (const auto& [name, rec] : region_recommendations)
+    region_recs[name] = recommendation_to_json(rec);
+  j["region_recommendations"] = std::move(region_recs);
+  j["phase_best"] = store::to_json(phase_best);
+  j["region_best"] = config_map_to_json(region_best);
+
+  j["tuning_model"] = tuning_model.to_json();
+
+  j["thread_scenarios"] = thread_scenarios;
+  j["analysis_runs"] = analysis_runs;
+  j["frequency_scenarios"] = frequency_scenarios;
+  j["app_runs"] = static_cast<std::int64_t>(app_runs);
+  j["tuning_time"] = tuning_time.value();
+  return j;
+}
+
+DtaResult DtaResult::from_json(const Json& j) {
+  DtaResult r;
+  const Json& autofilter_j = j.at("autofilter");
+  r.autofilter.filter = instr::InstrumentationFilter::from_filter_file(
+      autofilter_j.at("filter").as_string());
+  for (const Json& name : autofilter_j.at("excluded").as_array())
+    r.autofilter.excluded.push_back(name.as_string());
+
+  r.dyn_report = dyn_report_from_json(j.at("dyn_report"));
+  r.phase_threads = j.at("phase_threads").as_int();
+  for (const auto& [name, threads] : j.at("region_threads").as_object())
+    r.region_threads.emplace(name, threads.as_int());
+
+  for (const auto& [name, rate] : j.at("counter_rates").as_object())
+    r.counter_rates.emplace(name, rate.as_number());
+  r.recommendation = recommendation_from_json(j.at("recommendation"));
+  for (const auto& [name, rec] :
+       j.at("region_recommendations").as_object())
+    r.region_recommendations.emplace(name, recommendation_from_json(rec));
+  r.phase_best = store::config_from_json(j.at("phase_best"));
+  r.region_best = config_map_from_json(j.at("region_best"));
+
+  r.tuning_model = readex::TuningModel::from_json(j.at("tuning_model"));
+
+  r.thread_scenarios = j.at("thread_scenarios").as_int();
+  r.analysis_runs = j.at("analysis_runs").as_int();
+  r.frequency_scenarios = j.at("frequency_scenarios").as_int();
+  r.app_runs = static_cast<long>(j.at("app_runs").as_number());
+  r.tuning_time = Seconds(j.at("tuning_time").as_number());
+  return r;
+}
+
+Json SavingsRow::to_json() const {
+  Json j = Json::object();
+  j["benchmark"] = benchmark;
+  j["static_config"] = store::to_json(static_config);
+  j["static_job_energy_pct"] = static_job_energy_pct;
+  j["static_cpu_energy_pct"] = static_cpu_energy_pct;
+  j["static_time_pct"] = static_time_pct;
+  j["dynamic_job_energy_pct"] = dynamic_job_energy_pct;
+  j["dynamic_cpu_energy_pct"] = dynamic_cpu_energy_pct;
+  j["dynamic_time_pct"] = dynamic_time_pct;
+  j["perf_reduction_config_pct"] = perf_reduction_config_pct;
+  j["overhead_pct"] = overhead_pct;
+  j["dynamic_switches"] = static_cast<std::int64_t>(dynamic_switches);
+  j["dta"] = dta.to_json();
+  return j;
+}
+
+SavingsRow SavingsRow::from_json(const Json& j) {
+  SavingsRow r;
+  r.benchmark = j.at("benchmark").as_string();
+  r.static_config = store::config_from_json(j.at("static_config"));
+  r.static_job_energy_pct = j.at("static_job_energy_pct").as_number();
+  r.static_cpu_energy_pct = j.at("static_cpu_energy_pct").as_number();
+  r.static_time_pct = j.at("static_time_pct").as_number();
+  r.dynamic_job_energy_pct = j.at("dynamic_job_energy_pct").as_number();
+  r.dynamic_cpu_energy_pct = j.at("dynamic_cpu_energy_pct").as_number();
+  r.dynamic_time_pct = j.at("dynamic_time_pct").as_number();
+  r.perf_reduction_config_pct =
+      j.at("perf_reduction_config_pct").as_number();
+  r.overhead_pct = j.at("overhead_pct").as_number();
+  r.dynamic_switches = static_cast<long>(j.at("dynamic_switches").as_number());
+  r.dta = DtaResult::from_json(j.at("dta"));
+  return r;
+}
+
+}  // namespace ecotune::core

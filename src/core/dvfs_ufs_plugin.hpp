@@ -44,6 +44,11 @@ struct DtaResult {
   int frequency_scenarios = 0;  ///< neighborhood size (9 for radius 1)
   long app_runs = 0;            ///< total simulated application runs
   Seconds tuning_time{0};       ///< simulated wall time of the whole DTA
+
+  /// Exact JSON round trip (doubles preserved bitwise) so the measurement
+  /// store can replay a whole design-time analysis without re-simulating.
+  [[nodiscard]] Json to_json() const;
+  [[nodiscard]] static DtaResult from_json(const Json& j);
 };
 
 /// The paper's contribution: a PTF tuning plugin that tunes OpenMP thread

@@ -3,18 +3,29 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "common/fingerprint.hpp"
+#include "common/logging.hpp"
 #include "common/parallel.hpp"
 #include "energymon/rapl.hpp"
 #include "energymon/sacct.hpp"
 #include "instr/scorep_runtime.hpp"
 #include "readex/rrl.hpp"
+#include "store/measurement_store.hpp"
 
 namespace ecotune::core {
 
 SavingsEvaluator::SavingsEvaluator(hwsim::NodeSimulator& node,
                                    const model::EnergyModel& energy_model,
                                    SavingsOptions options)
-    : node_(node), energy_model_(energy_model), options_(options) {}
+    : node_(node), energy_model_(energy_model), options_(options) {
+  // One flag threads the store everywhere: the inner static search and the
+  // DTA experiments engine see the same cache, so a cold row still reuses
+  // previously measured sweeps.
+  if (options_.store != nullptr) {
+    options_.static_search.store = options_.store;
+    options_.plugin.engine.store = options_.store;
+  }
+}
 
 SavingsEvaluator::Measured SavingsEvaluator::measure_static(
     const workload::Benchmark& app, const SystemConfig& config) {
@@ -117,17 +128,69 @@ std::vector<SavingsRow> SavingsEvaluator::evaluate_all(
     SavingsRow row;
     Seconds elapsed{0};
   };
+  store::MeasurementStore* cache =
+      options_.store != nullptr && options_.store->enabled() ? options_.store
+                                                             : nullptr;
+  Fingerprint base_fp;
+  if (cache != nullptr) {
+    base_fp.add_digest("node", node_.state_fingerprint())
+        .add("repeats", options_.repeats)
+        .add("plugin_config", options_.plugin.config.to_json().dump(-1))
+        .add("engine.iterations_per_scenario",
+             options_.plugin.engine.iterations_per_scenario)
+        .add("engine.measurement_noise",
+             options_.plugin.engine.measurement_noise)
+        .add("engine.seed", options_.plugin.engine.seed)
+        .add("static.cf_stride", options_.static_search.cf_stride)
+        .add("static.ucf_stride", options_.static_search.ucf_stride)
+        .add("static.phase_iterations",
+             options_.static_search.phase_iterations)
+        // The trained model determines the DTA's frequency recommendation,
+        // so its full weight state is part of the row identity.
+        .add("model", energy_model_.to_json().dump(-1));
+    for (int t : options_.static_search.thread_counts)
+      base_fp.add("static.thread_count", t);
+  }
   auto outcomes = parallel_map_ordered(
       apps.size(),
       [&](std::size_t i) {
-        hwsim::NodeSimulator node = node_.clone(
-            "savings-" + std::to_string(call_tag) + "-" +
-            std::to_string(i) + "-" + apps[i].name());
+        const std::string noise_key = "savings-" + std::to_string(call_tag) +
+                                      "-" + std::to_string(i) + "-" +
+                                      apps[i].name();
+        store::MeasurementKey cache_key;
+        if (cache != nullptr) {
+          Fingerprint fp = base_fp;
+          fp.add("noise_key", noise_key)
+              .add_digest("app", apps[i].fingerprint_digest());
+          cache_key.task = "savings/" + noise_key;
+          cache_key.fingerprint = fp.digest();
+          if (const auto hit = cache->lookup(cache_key)) {
+            try {
+              RowOutcome out;
+              out.row = SavingsRow::from_json(hit->at("row"));
+              out.elapsed = Seconds(hit->at("elapsed").as_number());
+              return out;
+            } catch (const std::exception& e) {
+              log::error("store")
+                  << "undecodable cache payload for '" << cache_key.task
+                  << "' (" << e.what() << "); re-evaluating";
+            }
+          }
+        }
+
+        hwsim::NodeSimulator node = node_.clone(noise_key);
         const Seconds t0 = node.now();
         SavingsEvaluator row_evaluator(node, energy_model_, options_);
         RowOutcome out;
         out.row = row_evaluator.evaluate(apps[i]);
         out.elapsed = node.now() - t0;
+
+        if (cache != nullptr) {
+          Json payload = Json::object();
+          payload["row"] = out.row.to_json();
+          payload["elapsed"] = out.elapsed.value();
+          cache->insert(cache_key, payload);
+        }
         return out;
       },
       options_.jobs);

@@ -8,6 +8,10 @@
 #include "model/energy_model.hpp"
 #include "workload/benchmark.hpp"
 
+namespace ecotune::store {
+class MeasurementStore;
+}
+
 namespace ecotune::core {
 
 /// One row of the paper's Table VI: static and dynamic tuning savings
@@ -33,6 +37,11 @@ struct SavingsRow {
 
   long dynamic_switches = 0;
   DtaResult dta;  ///< the design-time analysis behind the dynamic numbers
+
+  /// Exact JSON round trip (doubles preserved bitwise) for the measurement
+  /// store's per-benchmark row cache.
+  [[nodiscard]] Json to_json() const;
+  [[nodiscard]] static SavingsRow from_json(const Json& j);
 };
 
 /// Options of the evaluation protocol.
@@ -47,6 +56,12 @@ struct SavingsOptions {
   /// clone (1 = serial, 0 = hardware concurrency). Row output is identical
   /// for any value.
   int jobs = 1;
+  /// Optional persistent measurement store (not owned). evaluate_all()
+  /// answers whole benchmark rows from a previous session when benchmark,
+  /// protocol options, trained model, and node-state fingerprint match; the
+  /// constructor also threads the store into the inner static search and
+  /// DTA engine so even a cold row reuses cached sweeps. Jobs-invariant.
+  store::MeasurementStore* store = nullptr;
 };
 
 /// Reproduces the paper's Sec. V-D measurement protocol on one node:

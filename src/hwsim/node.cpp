@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "common/fingerprint.hpp"
 
 namespace ecotune::hwsim {
 
@@ -84,6 +85,52 @@ CoreFreq NodeSimulator::effective_core_freq(int threads) const {
   for (int c = 1; c < threads; ++c)
     f = std::min(f, core_freq_[static_cast<std::size_t>(c)]);
   return f;
+}
+
+std::uint64_t NodeSimulator::state_fingerprint() const {
+  Fingerprint fp;
+  fp.add("spec.name", spec_.name)
+      .add("spec.sockets", spec_.sockets)
+      .add("spec.cores_per_socket", spec_.cores_per_socket)
+      .add("spec.core_grid.min", spec_.core_grid.min().as_mhz())
+      .add("spec.core_grid.max", spec_.core_grid.max().as_mhz())
+      .add("spec.core_grid.step", spec_.core_grid.step_mhz())
+      .add("spec.uncore_grid.min", spec_.uncore_grid.min().as_mhz())
+      .add("spec.uncore_grid.max", spec_.uncore_grid.max().as_mhz())
+      .add("spec.uncore_grid.step", spec_.uncore_grid.step_mhz())
+      .add("spec.default_core", spec_.default_core.as_mhz())
+      .add("spec.default_uncore", spec_.default_uncore.as_mhz())
+      .add("spec.calibration_core", spec_.calibration_core.as_mhz())
+      .add("spec.calibration_uncore", spec_.calibration_uncore.as_mhz())
+      .add("spec.core_switch_latency", spec_.core_switch_latency.value())
+      .add("spec.uncore_switch_latency", spec_.uncore_switch_latency.value())
+      .add("spec.reference_clock", spec_.reference_clock.as_mhz());
+  fp.add("node_id", node_id_)
+      .add("var.leakage", var_.leakage_factor)
+      .add("var.dynamic", var_.dynamic_factor)
+      .add("var.base_offset", var_.base_offset_w);
+  const PerfParams& pp = perf_.params();
+  fp.add("perf.peak_bandwidth", pp.peak_bandwidth)
+      .add("perf.bw_freq_half", pp.bw_freq_half)
+      .add("perf.bw_threads_half", pp.bw_threads_half);
+  const PowerParams& wp = power_.params();
+  fp.add("power.v0", wp.v0)
+      .add("power.kv", wp.kv)
+      .add("power.cdyn", wp.cdyn)
+      .add("power.core_leak", wp.core_leak)
+      .add("power.idle_activity", wp.idle_activity)
+      .add("power.vu0", wp.vu0)
+      .add("power.kvu", wp.kvu)
+      .add("power.cunc", wp.cunc)
+      .add("power.uncore_leak", wp.uncore_leak)
+      .add("power.dram_idle", wp.dram_idle_per_socket)
+      .add("power.dram_per_gbs", wp.dram_per_gbs)
+      .add("power.node_base", wp.node_base);
+  fp.add("jitter", jitter_).add("now", now_.value());
+  fp.add_digest("noise", noise_.state_hash());
+  for (CoreFreq f : core_freq_) fp.add("core_freq", f.as_mhz());
+  for (UncoreFreq f : uncore_freq_) fp.add("uncore_freq", f.as_mhz());
+  return fp.digest();
 }
 
 KernelRunResult NodeSimulator::run_kernel(const KernelTraits& k, int threads) {

@@ -103,6 +103,14 @@ class NodeSimulator {
   /// one node share noise state, so per-task streams must be re-keyed.
   void fork_noise(std::string_view key) { noise_ = noise_.fork(key); }
 
+  /// Exact digest of everything a measurement on this node (or a clone of
+  /// it) depends on: spec, node identity, manufacturing variability, model
+  /// parameters, jitter level, the simulated clock, every frequency
+  /// register, and the position of the noise stream. The measurement store
+  /// folds this into cache keys so an entry recorded under one node state
+  /// can never answer a query made under another.
+  [[nodiscard]] std::uint64_t state_fingerprint() const;
+
  private:
   void emit(Seconds duration, const PowerBreakdown& p);
 

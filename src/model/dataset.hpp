@@ -11,6 +11,10 @@
 #include "stats/linalg.hpp"
 #include "workload/benchmark.hpp"
 
+namespace ecotune::store {
+class MeasurementStore;
+}
+
 namespace ecotune::model {
 
 /// One training/validation sample: features at one (CF, UCF) operating point
@@ -71,6 +75,10 @@ struct AcquisitionOptions {
   /// for any value: noise streams are keyed by benchmark, samples merged in
   /// benchmark order.
   int jobs = 1;
+  /// Optional persistent measurement store (not owned): acquire() answers a
+  /// whole per-benchmark sweep from a previous session when benchmark,
+  /// acquisition options, and node-state fingerprint match. Jobs-invariant.
+  store::MeasurementStore* store = nullptr;
 };
 
 /// Executes the Sec. IV-A data-acquisition pipeline on a simulated node:

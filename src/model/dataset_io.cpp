@@ -1,46 +1,59 @@
 #include "model/dataset_io.hpp"
 
+#include <charconv>
 #include <fstream>
 #include <sstream>
+#include <system_error>
 
 #include "common/csv.hpp"
 #include "common/error.hpp"
 
 namespace ecotune::model {
+namespace {
 
-void save_dataset_csv(const EnergyDataset& dataset, const std::string& path) {
-  std::ofstream os(path);
-  ensure(os.good(), "save_dataset_csv: cannot open '" + path + "'");
-  CsvWriter csv(os);
-
-  std::vector<std::string> header{"benchmark", "threads", "cf_mhz",
-                                  "ucf_mhz"};
-  for (const auto& f : dataset.feature_names) header.push_back(f);
-  header.insert(header.end(), {"normalized_energy", "normalized_power",
-                               "normalized_time"});
-  csv.row(header);
-
-  std::ostringstream num;
-  num.precision(17);
-  for (const auto& s : dataset.samples) {
-    std::vector<std::string> row{s.benchmark, std::to_string(s.threads),
-                                 std::to_string(s.cf.as_mhz()),
-                                 std::to_string(s.ucf.as_mhz())};
-    auto fmt = [&](double v) {
-      num.str("");
-      num << v;
-      return num.str();
-    };
-    for (double v : s.features) row.push_back(fmt(v));
-    row.push_back(fmt(s.normalized_energy));
-    row.push_back(fmt(s.normalized_power));
-    row.push_back(fmt(s.normalized_time));
-    csv.row(row);
-  }
-  ensure(os.good(), "save_dataset_csv: write failed");
+/// Locale-independent shortest round-trip formatting (the previous
+/// default-locale ostringstream emitted ',' decimal separators under e.g.
+/// de_DE, producing CSVs that could not be re-loaded).
+std::string format_double(double v) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  return std::string(buf, res.ptr);
 }
 
-namespace {
+/// Context carried into cell parsers so a malformed cell reports file, row
+/// and column instead of an uncontextualized std::invalid_argument.
+struct CellContext {
+  const std::string& path;
+  long line_no;  ///< 1-based physical line number in the file
+};
+
+[[noreturn]] void fail_cell(const CellContext& ctx,
+                            const std::string& column,
+                            const std::string& cell, const char* what) {
+  throw Error("load_dataset_csv: " + ctx.path + ':' +
+              std::to_string(ctx.line_no) + ": column '" + column + "': " +
+              what + " '" + cell + "'");
+}
+
+int parse_cell_int(const CellContext& ctx, const std::string& column,
+                   const std::string& cell) {
+  int value = 0;
+  const auto res =
+      std::from_chars(cell.data(), cell.data() + cell.size(), value);
+  if (res.ec != std::errc() || res.ptr != cell.data() + cell.size())
+    fail_cell(ctx, column, cell, "expected an integer, got");
+  return value;
+}
+
+double parse_cell_double(const CellContext& ctx, const std::string& column,
+                         const std::string& cell) {
+  double value = 0.0;
+  const auto res =
+      std::from_chars(cell.data(), cell.data() + cell.size(), value);
+  if (res.ec != std::errc() || res.ptr != cell.data() + cell.size())
+    fail_cell(ctx, column, cell, "expected a number, got");
+  return value;
+}
 
 std::vector<std::string> split_csv_line(const std::string& line) {
   // The dataset writer never emits quoted cells (names are alphanumeric),
@@ -57,12 +70,46 @@ std::vector<std::string> split_csv_line(const std::string& line) {
 
 }  // namespace
 
+void save_dataset_csv(const EnergyDataset& dataset, const std::string& path) {
+  std::ofstream os(path);
+  ensure(os.good(), "save_dataset_csv: cannot open '" + path + "'");
+  CsvWriter csv(os);
+
+  std::vector<std::string> header{"benchmark", "threads", "cf_mhz",
+                                  "ucf_mhz"};
+  for (const auto& f : dataset.feature_names) header.push_back(f);
+  header.insert(header.end(), {"normalized_energy", "normalized_power",
+                               "normalized_time"});
+  csv.row(header);
+
+  for (const auto& s : dataset.samples) {
+    std::vector<std::string> row{s.benchmark, std::to_string(s.threads),
+                                 std::to_string(s.cf.as_mhz()),
+                                 std::to_string(s.ucf.as_mhz())};
+    for (double v : s.features) row.push_back(format_double(v));
+    row.push_back(format_double(s.normalized_energy));
+    row.push_back(format_double(s.normalized_power));
+    row.push_back(format_double(s.normalized_time));
+    csv.row(row);
+  }
+  ensure(os.good(), "save_dataset_csv: write failed");
+}
+
 EnergyDataset load_dataset_csv(const std::string& path) {
   std::ifstream is(path);
   ensure(is.good(), "load_dataset_csv: cannot open '" + path + "'");
   std::string line;
-  ensure(static_cast<bool>(std::getline(is, line)),
-         "load_dataset_csv: empty file");
+  long line_no = 0;
+  // Accept CRLF files (Windows tooling, git autocrlf checkouts): strip the
+  // trailing '\r' getline leaves behind.
+  auto read_line = [&]() {
+    if (!std::getline(is, line)) return false;
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    return true;
+  };
+
+  ensure(read_line(), "load_dataset_csv: empty file");
   const auto header = split_csv_line(line);
   ensure(header.size() > 7, "load_dataset_csv: malformed header");
   ensure(header[0] == "benchmark" &&
@@ -72,22 +119,30 @@ EnergyDataset load_dataset_csv(const std::string& path) {
   EnergyDataset ds;
   ds.feature_names.assign(header.begin() + 4, header.end() - 3);
 
-  while (std::getline(is, line)) {
+  while (read_line()) {
     if (line.empty()) continue;
     const auto cells = split_csv_line(line);
     ensure(cells.size() == header.size(),
-           "load_dataset_csv: row width mismatch");
+           "load_dataset_csv: " + path + ':' + std::to_string(line_no) +
+               ": row width mismatch (expected " +
+               std::to_string(header.size()) + " cells, got " +
+               std::to_string(cells.size()) + ")");
+    const CellContext ctx{path, line_no};
     EnergySample s;
     std::size_t i = 0;
     s.benchmark = cells[i++];
-    s.threads = std::stoi(cells[i++]);
-    s.cf = CoreFreq::mhz(std::stoi(cells[i++]));
-    s.ucf = UncoreFreq::mhz(std::stoi(cells[i++]));
-    for (std::size_t f = 0; f < ds.feature_names.size(); ++f)
-      s.features.push_back(std::stod(cells[i++]));
-    s.normalized_energy = std::stod(cells[i++]);
-    s.normalized_power = std::stod(cells[i++]);
-    s.normalized_time = std::stod(cells[i++]);
+    s.threads = parse_cell_int(ctx, header[1], cells[i++]);
+    s.cf = CoreFreq::mhz(parse_cell_int(ctx, header[2], cells[i++]));
+    s.ucf = UncoreFreq::mhz(parse_cell_int(ctx, header[3], cells[i++]));
+    for (std::size_t f = 0; f < ds.feature_names.size(); ++f) {
+      s.features.push_back(
+          parse_cell_double(ctx, ds.feature_names[f], cells[i++]));
+    }
+    s.normalized_energy =
+        parse_cell_double(ctx, "normalized_energy", cells[i++]);
+    s.normalized_power =
+        parse_cell_double(ctx, "normalized_power", cells[i++]);
+    s.normalized_time = parse_cell_double(ctx, "normalized_time", cells[i++]);
     ds.samples.push_back(std::move(s));
   }
   return ds;

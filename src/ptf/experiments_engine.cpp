@@ -3,7 +3,10 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/fingerprint.hpp"
+#include "common/logging.hpp"
 #include "common/parallel.hpp"
+#include "store/measurement_store.hpp"
 
 namespace ecotune::ptf {
 
@@ -84,6 +87,25 @@ std::vector<ScenarioResult> ExperimentsEngine::run(
   // clone and noise substreams keyed by (run call, chunk index), so the
   // measured values do not depend on the number of concurrent jobs.
   const long run_tag = run_calls_++;
+
+  // Everything chunk-invariant the measured values depend on; each chunk
+  // extends a copy with its slice and noise key. The job count stays out of
+  // the fingerprint on purpose: chunking and noise keys are jobs-invariant,
+  // so a cache written at --jobs 1 answers a --jobs N run and vice versa.
+  store::MeasurementStore* cache =
+      options_.store != nullptr && options_.store->enabled() ? options_.store
+                                                             : nullptr;
+  Fingerprint base_fp;
+  if (cache != nullptr) {
+    base_fp.add_digest("node", node_.state_fingerprint())
+        .add_digest("app", app_.fingerprint_digest())
+        .add("base", base)
+        .add("iterations_per_scenario", options_.iterations_per_scenario)
+        .add("measurement_noise", options_.measurement_noise)
+        .add("seed", options_.seed)
+        .add("filter", filter_.to_filter_file());
+  }
+
   struct ChunkOutcome {
     std::map<std::int64_t, ScenarioResult> buckets;
     Seconds elapsed{0};
@@ -94,8 +116,6 @@ std::vector<ScenarioResult> ExperimentsEngine::run(
         const Chunk& chunk = chunks[k];
         const std::string key = "engine-run-" + std::to_string(run_tag) +
                                 "-chunk-" + std::to_string(k);
-        hwsim::NodeSimulator node = node_.clone(key);
-        Rng rng = rng_.fork(key);
         const ScenarioScheduler::Schedule slice(
             schedule.begin() + static_cast<std::ptrdiff_t>(chunk.begin),
             schedule.begin() +
@@ -110,6 +130,51 @@ std::vector<ScenarioResult> ExperimentsEngine::run(
           out.buckets.emplace(id, std::move(r));
         }
 
+        store::MeasurementKey cache_key;
+        if (cache != nullptr) {
+          Fingerprint fp = base_fp;
+          fp.add("chunk_key", key);
+          for (const auto& [id, config] : slice)
+            fp.add("slot", static_cast<std::int64_t>(id))
+                .add("slot_config", config);
+          cache_key.task =
+              "engine/" + app_.name() +
+              (options_.key_scope.empty() ? "" : "/" + options_.key_scope) +
+              "/" + key;
+          cache_key.fingerprint = fp.digest();
+          if (const auto hit = cache->lookup(cache_key)) {
+            // Decode into a copy: a payload from an older schema revision
+            // must fall back to simulation, not crash the worker or leave
+            // half-filled buckets behind.
+            try {
+              ChunkOutcome cached = out;
+              cached.elapsed = Seconds(hit->at("elapsed").as_number());
+              std::size_t decoded = 0;
+              for (const auto& [id_str, bucket] :
+                   hit->at("buckets").as_object()) {
+                auto& r = cached.buckets.at(std::stoll(id_str));
+                r.phase = measurement_from_json(bucket.at("phase"));
+                for (const auto& [region, m] :
+                     bucket.at("regions").as_object())
+                  r.regions[region] = measurement_from_json(m);
+                ++decoded;
+              }
+              // .at() above rejects payload ids outside the slice; this
+              // rejects payloads covering only a subset of it, which would
+              // otherwise return zero-initialized scenario measurements.
+              ensure(decoded == cached.buckets.size(),
+                     "payload covers a different scenario set");
+              return cached;
+            } catch (const std::exception& e) {
+              log::error("store")
+                  << "undecodable cache payload for '" << cache_key.task
+                  << "' (" << e.what() << "); re-simulating";
+            }
+          }
+        }
+
+        hwsim::NodeSimulator node = node_.clone(key);
+        Rng rng = rng_.fork(key);
         const Seconds t0 = node.now();
         // Shorten the app so the run ends when its slice is exhausted.
         const workload::Benchmark run_app =
@@ -122,6 +187,23 @@ std::vector<ScenarioResult> ExperimentsEngine::run(
         runtime.add_listener(&scheduler);
         runtime.execute(ctx);
         out.elapsed = node.now() - t0;
+
+        if (cache != nullptr) {
+          Json buckets = Json::object();
+          for (const auto& [id, r] : out.buckets) {
+            Json bucket = Json::object();
+            bucket["phase"] = to_json(r.phase);
+            Json regions = Json::object();
+            for (const auto& [region, m] : r.regions)
+              regions[region] = to_json(m);
+            bucket["regions"] = std::move(regions);
+            buckets[std::to_string(id)] = std::move(bucket);
+          }
+          Json payload = Json::object();
+          payload["elapsed"] = out.elapsed.value();
+          payload["buckets"] = std::move(buckets);
+          cache->insert(cache_key, payload);
+        }
         return out;
       },
       options_.jobs);

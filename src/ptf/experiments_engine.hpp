@@ -13,6 +13,10 @@
 #include "ptf/tuning_parameter.hpp"
 #include "workload/benchmark.hpp"
 
+namespace ecotune::store {
+class MeasurementStore;
+}
+
 namespace ecotune::ptf {
 
 /// What the engine measured for one scenario: the phase-region aggregate
@@ -38,6 +42,19 @@ struct EngineOptions {
   /// run executes on its own NodeSimulator clone. 1 = serial, 0 = hardware
   /// concurrency. Results are identical for any value.
   int jobs = 1;
+  /// Optional persistent measurement store (not owned). When set and
+  /// enabled, each application run (chunk) is answered from the store when
+  /// its key -- benchmark, schedule, options, seed, and node-state
+  /// fingerprint -- was measured before; values replayed from the store are
+  /// bit-exact, so warm results are identical to simulated ones. The job
+  /// count is deliberately NOT part of the key: entries written at one
+  /// --jobs value answer runs at any other.
+  store::MeasurementStore* store = nullptr;
+  /// Disambiguates store task keys between engine *instances* that would
+  /// otherwise count their run() calls from zero independently (the PTF
+  /// frontend builds one engine per tuning step). Cache-key-only: noise
+  /// keys are unaffected, so measured values do not depend on it.
+  std::string key_scope;
 };
 
 /// Listener that assigns one scenario per phase iteration: switches the

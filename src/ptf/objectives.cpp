@@ -15,4 +15,22 @@ std::unique_ptr<TuningObjective> make_objective(std::string_view name) {
                     std::string(name) + "'");
 }
 
+Json to_json(const Measurement& m) {
+  Json j = Json::object();
+  j["node_energy"] = m.node_energy.value();
+  j["cpu_energy"] = m.cpu_energy.value();
+  j["time"] = m.time.value();
+  j["count"] = static_cast<std::int64_t>(m.count);
+  return j;
+}
+
+Measurement measurement_from_json(const Json& j) {
+  Measurement m;
+  m.node_energy = Joules(j.at("node_energy").as_number());
+  m.cpu_energy = Joules(j.at("cpu_energy").as_number());
+  m.time = Seconds(j.at("time").as_number());
+  m.count = static_cast<long>(j.at("count").as_number());
+  return m;
+}
+
 }  // namespace ecotune::ptf

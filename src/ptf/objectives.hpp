@@ -3,6 +3,7 @@
 #include <memory>
 #include <string>
 
+#include "common/json.hpp"
 #include "common/units.hpp"
 
 namespace ecotune::ptf {
@@ -101,5 +102,11 @@ class TcoObjective final : public TuningObjective {
 /// Factory by name ("energy", "cpu_energy", "time", "edp", "ed2p", "tco").
 [[nodiscard]] std::unique_ptr<TuningObjective> make_objective(
     std::string_view name);
+
+/// JSON round trip of a Measurement for the measurement store. Doubles
+/// survive bit-exactly (Json serializes via std::to_chars), so replayed
+/// measurements are indistinguishable from freshly simulated ones.
+[[nodiscard]] Json to_json(const Measurement& m);
+[[nodiscard]] Measurement measurement_from_json(const Json& j);
 
 }  // namespace ecotune::ptf

@@ -1,5 +1,7 @@
 #include "ptf/tuning_plugin.hpp"
 
+#include <string>
+
 namespace ecotune::ptf {
 
 int Frontend::run(TuningPlugin& plugin, const workload::Benchmark& app,
@@ -8,13 +10,18 @@ int Frontend::run(TuningPlugin& plugin, const workload::Benchmark& app,
   plugin.initialize(ctx);
 
   int scenarios_executed = 0;
+  int step = 0;
   app_runs_ = 0;
   experiment_time_ = Seconds(0);
   while (plugin.has_next_tuning_step()) {
     const std::vector<Scenario> scenarios = plugin.create_scenarios();
     if (scenarios.empty()) continue;
+    // Each step gets its own engine (the filter may change between steps);
+    // scope their store keys so step N cannot shadow step N-1's entries.
+    EngineOptions step_options = engine_options_;
+    step_options.key_scope = "step-" + std::to_string(step++);
     ExperimentsEngine engine(node, app, plugin.instrumentation_filter(),
-                             engine_options_);
+                             step_options);
     const auto results = engine.run(scenarios, plugin.scenario_base());
     app_runs_ += engine.app_runs();
     experiment_time_ += engine.experiment_time();

@@ -1,0 +1,192 @@
+#include "store/measurement_store.hpp"
+
+#include <charconv>
+#include <filesystem>
+#include <sstream>
+#include <system_error>
+
+#include "common/error.hpp"
+#include "common/fingerprint.hpp"
+#include "common/logging.hpp"
+
+namespace ecotune::store {
+namespace {
+
+constexpr std::string_view kStoreFileName = "measurements.jsonl";
+
+/// Parses the fixed-width hex fingerprint written by Fingerprint::to_hex.
+std::optional<std::uint64_t> parse_hex_fingerprint(const std::string& text) {
+  if (text.empty() || text.size() > 16) return std::nullopt;
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value, 16);
+  if (ec != std::errc() || ptr != text.data() + text.size())
+    return std::nullopt;
+  return value;
+}
+
+}  // namespace
+
+StoreMode parse_store_mode(std::string_view text) {
+  if (text == "off") return StoreMode::kOff;
+  if (text == "ro") return StoreMode::kReadOnly;
+  if (text == "rw") return StoreMode::kReadWrite;
+  throw Error("parse_store_mode: expected off|ro|rw, got '" +
+              std::string(text) + "'");
+}
+
+std::string_view to_string(StoreMode mode) {
+  switch (mode) {
+    case StoreMode::kOff:
+      return "off";
+    case StoreMode::kReadOnly:
+      return "ro";
+    case StoreMode::kReadWrite:
+      return "rw";
+  }
+  return "off";
+}
+
+StoreMode resolve_store_mode(const std::string& mode_text,
+                             const std::string& cache_dir) {
+  const StoreMode mode = mode_text.empty()
+                             ? (cache_dir.empty() ? StoreMode::kOff
+                                                  : StoreMode::kReadWrite)
+                             : parse_store_mode(mode_text);
+  ensure(mode == StoreMode::kOff || !cache_dir.empty(),
+         "--cache-mode " + std::string(to_string(mode)) +
+             " requires --cache-dir");
+  return mode;
+}
+
+MeasurementStore::MeasurementStore(const std::string& cache_dir,
+                                   StoreMode mode) {
+  open(cache_dir, mode);
+}
+
+void MeasurementStore::open(const std::string& cache_dir, StoreMode mode,
+                            std::string scope) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ensure(!enabled(), "MeasurementStore::open: already open");
+  if (mode == StoreMode::kOff) return;
+  scope_ = std::move(scope);
+  ensure(!cache_dir.empty(),
+         "MeasurementStore::open: cache directory required for mode '" +
+             std::string(to_string(mode)) + "'");
+
+  namespace fs = std::filesystem;
+  if (mode == StoreMode::kReadWrite) {
+    std::error_code ec;
+    fs::create_directories(cache_dir, ec);
+    ensure(!ec, "MeasurementStore::open: cannot create cache directory '" +
+                    cache_dir + "': " + ec.message());
+  }
+
+  dir_ = cache_dir;
+  file_path_ = (fs::path(cache_dir) / kStoreFileName).string();
+  if (fs::exists(file_path_)) load_file(file_path_);
+
+  if (mode == StoreMode::kReadWrite) {
+    // Unbuffered stream + one write() per entry line (below): with the OS
+    // in append mode, concurrent writers sharing one cache directory
+    // cannot interleave partial lines inside each other's entries.
+    appender_.rdbuf()->pubsetbuf(nullptr, 0);
+    appender_.open(file_path_, std::ios::app);
+    ensure(appender_.good(),
+           "MeasurementStore::open: cannot append to '" + file_path_ + "'");
+  }
+  mode_ = mode;
+}
+
+void MeasurementStore::load_file(const std::string& path) {
+  std::ifstream is(path);
+  ensure(is.good(), "MeasurementStore: cannot read '" + path + "'");
+  std::string line;
+  long line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    try {
+      Json entry = Json::parse(line);
+      const std::string& task = entry.at("task").as_string();
+      const auto fp = parse_hex_fingerprint(entry.at("fp").as_string());
+      ensure(fp.has_value(), "bad fingerprint");
+      ensure(!task.empty(), "empty task");
+      entries_[task] = Entry{*fp, entry.at("payload")};
+    } catch (const std::exception& e) {
+      // Loud rejection: a corrupt entry must never silently answer a
+      // lookup, and the operator must learn the cache is damaged.
+      ++stats_.rejected;
+      log::error("store") << "rejecting corrupt cache entry " << path << ':'
+                          << line_no << " (" << e.what() << ')';
+    }
+  }
+}
+
+std::string MeasurementStore::scoped(const std::string& task) const {
+  return scope_.empty() ? task : scope_ + "/" + task;
+}
+
+std::optional<Json> MeasurementStore::lookup(const MeasurementKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (mode_ == StoreMode::kOff) return std::nullopt;
+  auto it = entries_.find(scoped(key.task));
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  if (it->second.fingerprint != key.fingerprint) {
+    // The context behind this task changed (different benchmark revision,
+    // seed, node state, options...): the stored value is stale. Drop it so
+    // a subsequent insert can replace it.
+    entries_.erase(it);
+    ++stats_.invalidated;
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  return it->second.payload;
+}
+
+void MeasurementStore::insert(const MeasurementKey& key, const Json& payload) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (mode_ != StoreMode::kReadWrite) return;
+  ensure(!key.task.empty(), "MeasurementStore::insert: empty task key");
+  const std::string task = scoped(key.task);
+  entries_[task] = Entry{key.fingerprint, payload};
+  Json line = Json::object();
+  line["task"] = task;
+  line["fp"] = Fingerprint::to_hex(key.fingerprint);
+  line["payload"] = payload;
+  // One write() call for the whole "entry\n" so appends stay atomic.
+  const std::string text = line.dump(-1) + '\n';
+  appender_.write(text.data(), static_cast<std::streamsize>(text.size()));
+  appender_.flush();
+  ensure(appender_.good(),
+         "MeasurementStore::insert: write to '" + file_path_ + "' failed");
+  ++stats_.writes;
+}
+
+StoreStats MeasurementStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t MeasurementStore::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::string MeasurementStore::summary() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << "[measurement-store] hits=" << stats_.hits
+     << " misses=" << stats_.misses << " invalidated=" << stats_.invalidated
+     << " rejected=" << stats_.rejected << " writes=" << stats_.writes
+     << " entries=" << entries_.size() << " (mode=" << to_string(mode_)
+     << ", dir=" << (dir_.empty() ? "-" : dir_) << ')';
+  return os.str();
+}
+
+}  // namespace ecotune::store

@@ -1,0 +1,130 @@
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "common/json.hpp"
+
+namespace ecotune::store {
+
+/// Access policy of the measurement store.
+enum class StoreMode {
+  kOff,        ///< store disabled: every lookup misses, inserts are dropped
+  kReadOnly,   ///< answer from the cache, never write anything
+  kReadWrite,  ///< answer from the cache and append fresh measurements
+};
+
+/// Parses "off" | "ro" | "rw"; throws Error on anything else.
+[[nodiscard]] StoreMode parse_store_mode(std::string_view text);
+[[nodiscard]] std::string_view to_string(StoreMode mode);
+
+/// Shared CLI semantics of --cache-mode/--cache-dir: empty mode text means
+/// rw when a cache dir is given and off otherwise; a non-off mode without a
+/// cache dir is an error. Throws Error with a user-facing message.
+[[nodiscard]] StoreMode resolve_store_mode(const std::string& mode_text,
+                                           const std::string& cache_dir);
+
+/// Identity of one cached measurement task.
+///
+/// `task` is the human-readable address used for lookup (e.g.
+/// "engine/Lulesh/run-0/chunk-3"); `fingerprint` is the exact content hash
+/// of everything the measured values depend on -- benchmark, configuration
+/// schedule, engine options, seed, and the node/CPU-spec state digest
+/// (hwsim::NodeSimulator::state_fingerprint). A lookup only hits when both
+/// match; a task match with a fingerprint mismatch invalidates the stale
+/// entry instead of answering with it.
+struct MeasurementKey {
+  std::string task;
+  std::uint64_t fingerprint = 0;
+};
+
+/// Hit/miss accounting, surfaced in driver summaries (on stderr, so driver
+/// stdout stays byte-identical between cold and warm runs).
+struct StoreStats {
+  long hits = 0;         ///< lookups answered from the store
+  long misses = 0;       ///< lookups that found nothing usable
+  long invalidated = 0;  ///< entries dropped on fingerprint mismatch
+  long rejected = 0;     ///< corrupt on-disk entries refused at load
+  long writes = 0;       ///< entries appended this session
+};
+
+/// Persistent, content-addressed measurement store.
+///
+/// In-memory map of task -> (fingerprint, payload) backed by an append-only
+/// JSON-lines file `<cache_dir>/measurements.jsonl`. Every measurement
+/// consumer (experiments engine, baseline tuners, data acquisition, savings
+/// evaluator) consults the store before simulating and appends what it
+/// measured, so a warm rerun of any driver answers already-seen scenario
+/// measurements from disk instead of re-simulating them. Payload values
+/// round-trip bit-exactly (Json serializes doubles via std::to_chars), which
+/// is what makes warm output byte-identical to a cold run.
+///
+/// Thread safety: lookup/insert are serialized by an internal mutex; the
+/// parallel sweep engines call them from concurrent tasks.
+class MeasurementStore {
+ public:
+  /// Constructs a disabled (kOff) store; open() activates it.
+  MeasurementStore() = default;
+
+  /// Convenience: construct and open.
+  MeasurementStore(const std::string& cache_dir, StoreMode mode);
+
+  /// Opens the backing directory (created if missing in rw mode) and loads
+  /// every valid entry of measurements.jsonl into memory. Corrupt lines are
+  /// rejected loudly (log::error with file and line number, counted in
+  /// stats().rejected) and never answer lookups. Later duplicates of a task
+  /// win, matching append-only semantics.
+  ///
+  /// `scope` namespaces every task key ("scope/task"); drivers pass their
+  /// own name so several drivers can share one cache directory without
+  /// colliding on identical task ids (which would ping-pong-invalidate each
+  /// other's entries, since their contexts fingerprint differently).
+  void open(const std::string& cache_dir, StoreMode mode,
+            std::string scope = {});
+
+  [[nodiscard]] bool enabled() const { return mode_ != StoreMode::kOff; }
+  [[nodiscard]] StoreMode mode() const { return mode_; }
+  [[nodiscard]] const std::string& cache_dir() const { return dir_; }
+
+  /// Returns the payload recorded for `key`, or nullopt on miss. A stored
+  /// entry whose fingerprint differs from key.fingerprint is stale (the
+  /// context changed); it is invalidated and the lookup misses.
+  [[nodiscard]] std::optional<Json> lookup(const MeasurementKey& key);
+
+  /// Records `payload` under `key`. No-op in ro/off mode. In rw mode the
+  /// entry is appended to disk immediately (one JSON line, flushed), so a
+  /// killed run still leaves a usable cache.
+  void insert(const MeasurementKey& key, const Json& payload);
+
+  [[nodiscard]] StoreStats stats() const;
+  [[nodiscard]] std::size_t size() const;
+
+  /// One-line, machine-greppable summary:
+  /// "[measurement-store] hits=H misses=M invalidated=I rejected=R writes=W
+  ///  entries=E (mode=rw, dir=...)". Drivers print it to stderr.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  struct Entry {
+    std::uint64_t fingerprint = 0;
+    Json payload;
+  };
+
+  void load_file(const std::string& path);
+  [[nodiscard]] std::string scoped(const std::string& task) const;
+
+  mutable std::mutex mutex_;
+  StoreMode mode_ = StoreMode::kOff;
+  std::string dir_;
+  std::string scope_;
+  std::string file_path_;
+  std::map<std::string, Entry> entries_;
+  std::ofstream appender_;
+  StoreStats stats_;
+};
+
+}  // namespace ecotune::store

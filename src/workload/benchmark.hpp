@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -63,6 +64,12 @@ class Benchmark {
 
   /// Sum of per-iteration instruction counts (weights for aggregation).
   [[nodiscard]] double instructions_per_iteration() const;
+
+  /// Exact digest of everything that defines this benchmark's simulated
+  /// behavior: identity, phase-iteration count, instrumentation overhead,
+  /// and every region's kernel traits. The measurement store folds it into
+  /// cache keys so editing a workload invalidates its cached measurements.
+  [[nodiscard]] std::uint64_t fingerprint_digest() const;
 
  private:
   std::string name_;

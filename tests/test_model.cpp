@@ -326,6 +326,49 @@ TEST(DatasetIo, RejectsMalformedFiles) {
   std::remove(path.c_str());
 }
 
+TEST(DatasetIo, AcceptsCrlfLineEndings) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ecotune_crlf.csv").string();
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "benchmark,threads,cf_mhz,ucf_mhz,f1,f2,f3,f4,"
+          "normalized_energy,normalized_power,normalized_time\r\n"
+       << "Lulesh,24,2500,3000,1.5,2.5,3.5,4.5,0.9,1.1,0.8\r\n";
+  }
+  const auto ds = load_dataset_csv(path);
+  std::remove(path.c_str());
+  ASSERT_EQ(ds.samples.size(), 1u);
+  EXPECT_EQ(ds.samples[0].benchmark, "Lulesh");
+  EXPECT_EQ(ds.samples[0].threads, 24);
+  EXPECT_EQ(ds.feature_names,
+            (std::vector<std::string>{"f1", "f2", "f3", "f4"}));
+  EXPECT_DOUBLE_EQ(ds.samples[0].normalized_time, 0.8);
+}
+
+TEST(DatasetIo, MalformedCellReportsFileRowAndColumn) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ecotune_badcell.csv")
+          .string();
+  {
+    std::ofstream os(path);
+    os << "benchmark,threads,cf_mhz,ucf_mhz,f1,f2,f3,f4,"
+          "normalized_energy,normalized_power,normalized_time\n"
+       << "Lulesh,24,2500,3000,1.5,2.5,3.5,4.5,0.9,1.1,0.8\n"
+       << "Lulesh,24,2500,3000,1.5,oops,3.5,4.5,0.9,1.1,0.8\n";
+  }
+  try {
+    (void)load_dataset_csv(path);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+    EXPECT_NE(what.find(":3"), std::string::npos) << what;      // row
+    EXPECT_NE(what.find("'f2'"), std::string::npos) << what;    // column
+    EXPECT_NE(what.find("'oops'"), std::string::npos) << what;  // cell
+  }
+  std::remove(path.c_str());
+}
+
 TEST(RegressionEnergyModel, PredictsProductOfLinearModels) {
   EnergyDataset ds;
   ds.feature_names = {"x", "cf", "ucf"};

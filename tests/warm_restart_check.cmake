@@ -1,0 +1,59 @@
+# Warm-restart equivalence check for the measurement store.
+#
+# Runs DRIVER twice against a shared --cache-dir: a cold run at --jobs 1
+# that populates the store, then a warm run at --jobs 4 that must answer
+# every measurement from it. Fails when
+#   - either run fails,
+#   - the two stdouts are not byte-identical, or
+#   - the warm run's store summary reports any miss (i.e. it simulated a
+#     scenario the cold run had already measured).
+#
+# Usage:
+#   cmake -DDRIVER=<exe> [-DDRIVER_ARGS=<args>] -DWORK_DIR=<dir>
+#         -P warm_restart_check.cmake
+
+if(NOT DEFINED DRIVER OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "warm_restart_check: DRIVER and WORK_DIR are required")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+separate_arguments(ARGS_LIST UNIX_COMMAND "${DRIVER_ARGS}")
+
+foreach(phase cold warm)
+  if(phase STREQUAL "cold")
+    set(jobs 1)
+  else()
+    set(jobs 4)
+  endif()
+  execute_process(
+    COMMAND "${DRIVER}" ${ARGS_LIST} --jobs ${jobs}
+            --cache-dir "${WORK_DIR}/cache"
+    OUTPUT_FILE "${WORK_DIR}/${phase}.out"
+    ERROR_FILE "${WORK_DIR}/${phase}.err"
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "warm_restart_check: ${phase} run of ${DRIVER} failed (rc=${rc}); "
+      "see ${WORK_DIR}/${phase}.err")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E compare_files
+          "${WORK_DIR}/cold.out" "${WORK_DIR}/warm.out"
+  RESULT_VARIABLE differs)
+if(NOT differs EQUAL 0)
+  message(FATAL_ERROR
+    "warm_restart_check: warm stdout differs from cold stdout "
+    "(${WORK_DIR}/cold.out vs ${WORK_DIR}/warm.out)")
+endif()
+
+file(READ "${WORK_DIR}/warm.err" warm_err)
+if(NOT warm_err MATCHES "\\[measurement-store\\] hits=[0-9]+ misses=0 ")
+  message(FATAL_ERROR
+    "warm_restart_check: warm run was not fully answered from the store:\n"
+    "${warm_err}")
+endif()
+
+message(STATUS "warm_restart_check: byte-identical, zero warm misses")

@@ -4,17 +4,19 @@
 //
 //   ecotune_dta --benchmark Lulesh [--objective energy] [--epochs 10]
 //               [--radius 1] [--per-region] [--seed 42] [--jobs N]
+//               [--cache-dir DIR] [--cache-mode rw|ro|off]
 //               [--output tuning_model.json] [--list]
+#include <charconv>
 #include <cstdint>
-#include <cstdlib>
-#include <cstring>
 #include <iostream>
 #include <string>
+#include <system_error>
 
 #include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "core/dvfs_ufs_plugin.hpp"
 #include "model/dataset.hpp"
+#include "store/measurement_store.hpp"
 #include "workload/suite.hpp"
 
 using namespace ecotune;
@@ -25,6 +27,8 @@ struct CliOptions {
   std::string benchmark;
   std::string objective = "energy";
   std::string output;
+  std::string cache_dir;
+  std::string cache_mode;  // empty = rw when --cache-dir given, else off
   int epochs = 10;
   int radius = 1;
   bool per_region = false;
@@ -51,9 +55,37 @@ void print_usage() {
       "  --seed <n>           simulation seed (default 42)\n"
       "  --jobs <n>           parallel sweep workers (default: hardware\n"
       "                       concurrency; output is identical for any n)\n"
+      "  --cache-dir <dir>    persistent measurement store; a warm rerun\n"
+      "                       answers seen measurements from the store and\n"
+      "                       prints byte-identical output on stdout\n"
+      "  --cache-mode <m>     rw|ro|off (default: rw with --cache-dir,\n"
+      "                       off otherwise)\n"
       "  --output <path>      write the tuning model JSON here\n"
       "  --list               list available benchmarks and exit\n"
       "  --help               this text\n";
+}
+
+/// Strict integer parsing: the whole value must be a base-10 integer within
+/// [min_value, max]. std::atoi silently returned 0 on garbage, which turned
+/// e.g. "--epochs ten" into a zero-epoch (untrained) model.
+template <class T>
+bool parse_strict_int(const char* flag, const std::string& text, T min_value,
+                      T& out) {
+  T value{};
+  const auto res =
+      std::from_chars(text.data(), text.data() + text.size(), value, 10);
+  if (res.ec != std::errc() || res.ptr != text.data() + text.size()) {
+    std::cerr << "error: " << flag << " expects an integer, got '" << text
+              << "'\n";
+    return false;
+  }
+  if (value < min_value) {
+    std::cerr << "error: " << flag << " must be >= " << +min_value
+              << ", got " << +value << '\n';
+    return false;
+  }
+  out = value;
+  return true;
 }
 
 bool parse_args(int argc, char** argv, CliOptions& opts) {
@@ -76,25 +108,28 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
       opts.objective = v;
     } else if (arg == "--epochs") {
       const char* v = next("--epochs");
-      if (!v) return false;
-      opts.epochs = std::atoi(v);
+      if (!v || !parse_strict_int("--epochs", v, 1, opts.epochs))
+        return false;
     } else if (arg == "--radius") {
       const char* v = next("--radius");
-      if (!v) return false;
-      opts.radius = std::atoi(v);
+      if (!v || !parse_strict_int("--radius", v, 0, opts.radius))
+        return false;
     } else if (arg == "--seed") {
       const char* v = next("--seed");
-      if (!v) return false;
-      opts.seed = static_cast<std::uint64_t>(std::strtoull(v, nullptr, 0));
+      if (!v ||
+          !parse_strict_int("--seed", v, std::uint64_t{0}, opts.seed))
+        return false;
     } else if (arg == "--jobs") {
       const char* v = next("--jobs");
+      if (!v || !parse_strict_int("--jobs", v, 0, opts.jobs)) return false;
+    } else if (arg == "--cache-dir") {
+      const char* v = next("--cache-dir");
       if (!v) return false;
-      char* end = nullptr;
-      opts.jobs = static_cast<int>(std::strtol(v, &end, 10));
-      if (end == v || *end != '\0') {
-        std::cerr << "error: --jobs expects an integer, got '" << v << "'\n";
-        return false;
-      }
+      opts.cache_dir = v;
+    } else if (arg == "--cache-mode") {
+      const char* v = next("--cache-mode");
+      if (!v) return false;
+      opts.cache_mode = v;
     } else if (arg == "--output") {
       const char* v = next("--output");
       if (!v) return false;
@@ -137,6 +172,19 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Persistent measurement store: --cache-dir alone means rw. Open failures
+  // (bad mode, missing dir, unwritable path) are CLI errors: exit 2 with a
+  // clean message, like every other flag-validation path.
+  store::MeasurementStore cache;
+  try {
+    cache.open(opts.cache_dir,
+               store::resolve_store_mode(opts.cache_mode, opts.cache_dir),
+               "ecotune_dta");
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 2;
+  }
+
   try {
     const auto& app = workload::BenchmarkSuite::by_name(opts.benchmark);
 
@@ -147,6 +195,7 @@ int main(int argc, char** argv) {
     train_node.set_jitter(0.002);
     model::AcquisitionOptions acq_opts;
     acq_opts.jobs = jobs;
+    acq_opts.store = &cache;
     model::DataAcquisition acq(train_node, acq_opts);
     model::EnergyModel energy_model;
     energy_model.train(
@@ -161,6 +210,7 @@ int main(int argc, char** argv) {
     plugin_opts.config.neighborhood_radius = opts.radius;
     plugin_opts.config.per_region_prediction = opts.per_region;
     plugin_opts.engine.jobs = jobs;
+    plugin_opts.engine.store = &cache;
     core::DvfsUfsPlugin plugin(energy_model, plugin_opts);
     const auto result = plugin.run_dta(app, node);
 
@@ -195,6 +245,9 @@ int main(int argc, char** argv) {
       result.tuning_model.save(opts.output);
       std::cout << "\ntuning model written to " << opts.output << '\n';
     }
+    // Hit/miss accounting goes to stderr so stdout stays byte-identical
+    // between cold and warm runs.
+    if (cache.enabled()) std::cerr << cache.summary() << '\n';
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
