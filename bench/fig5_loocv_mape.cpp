@@ -10,6 +10,7 @@
 #include <numeric>
 
 #include "bench_common.hpp"
+#include "common/parallel.hpp"
 #include "common/table.hpp"
 #include "model/energy_model.hpp"
 #include "model/regression_model.hpp"
@@ -48,17 +49,22 @@ int main(int argc, char** argv) {
 
   TextTable table("Fig. 5: MAPE (%) per held-out benchmark (LOOCV, 5 epochs)");
   table.header({"benchmark", "MAPE (%)"});
-  std::vector<double> mapes;
-  for (std::size_t f = 0; f < splits.size(); ++f) {
-    model::EnergyModelConfig cfg;
-    cfg.epochs = 5;
-    model::EnergyModel fold(cfg);
-    fold.train(dataset.subset(splits[f].train));
-    const auto test = dataset.subset(splits[f].test);
-    const double err = stats::mape(test.labels(), fold.predict_all(test));
-    mapes.push_back(err);
-    table.row({labels[f], TextTable::num(err, 2)});
-  }
+  // The folds are independent (each trains its own model from fixed seeds),
+  // so they spread over the thread pool; the ordered reduction prints rows
+  // in fold order, keeping stdout byte-identical for any --jobs.
+  const std::vector<double> mapes = parallel_map_ordered(
+      splits.size(),
+      [&](std::size_t f) {
+        model::EnergyModelConfig cfg;
+        cfg.epochs = 5;
+        model::EnergyModel fold(cfg);
+        fold.train(dataset.subset(splits[f].train));
+        const auto test = dataset.subset(splits[f].test);
+        return stats::mape(test.labels(), fold.predict_all(test));
+      },
+      driver_opts.jobs);
+  for (std::size_t f = 0; f < splits.size(); ++f)
+    table.row({labels[f], TextTable::num(mapes[f], 2)});
   table.print(std::cout);
 
   const double avg =
@@ -75,14 +81,16 @@ int main(int argc, char** argv) {
   // --- Regression baseline: 10-fold CV with random indexing -------------
   Rng cv_rng(0xCF01);
   const auto folds = stats::kfold(dataset.samples.size(), 10, cv_rng);
-  std::vector<double> reg_mapes, nn_mapes;
-  for (const auto& fold : folds) {
-    const auto train = dataset.subset(fold.train);
-    const auto test = dataset.subset(fold.test);
-    model::RegressionEnergyModel reg;
-    reg.train(train);
-    reg_mapes.push_back(stats::mape(test.labels(), reg.predict_all(test)));
-  }
+  const std::vector<double> reg_mapes = parallel_map_ordered(
+      folds.size(),
+      [&](std::size_t f) {
+        const auto train = dataset.subset(folds[f].train);
+        const auto test = dataset.subset(folds[f].test);
+        model::RegressionEnergyModel reg;
+        reg.train(train);
+        return stats::mape(test.labels(), reg.predict_all(test));
+      },
+      driver_opts.jobs);
   const double reg_avg =
       std::accumulate(reg_mapes.begin(), reg_mapes.end(), 0.0) /
       reg_mapes.size();
@@ -104,6 +112,7 @@ int main(int argc, char** argv) {
   }
   model::EnergyModelConfig final_cfg;
   final_cfg.epochs = 10;
+  final_cfg.jobs = driver_opts.jobs;
   model::EnergyModel final_model(final_cfg);
   final_model.train(train);
   const double final_mape =

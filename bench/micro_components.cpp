@@ -4,6 +4,7 @@
 // of the reproduction substrate itself.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "hwsim/node.hpp"
 #include "instr/scorep_runtime.hpp"
 #include "model/energy_model.hpp"
@@ -75,6 +76,42 @@ void BM_MlpTrainSample(benchmark::State& state) {
 }
 BENCHMARK(BM_MlpTrainSample);
 
+void BM_MlpTrainEpoch(benchmark::State& state) {
+  // One epoch of per-sample ADAM over a fig5-fold-sized standardized
+  // dataset; the dominant cost of EnergyModel::train.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  stats::Matrix x;
+  std::vector<double> y;
+  bench::synthetic_training_data(n, x, y);
+  Rng rng(42);
+  nn::Mlp net(nn::MlpConfig{}, rng);
+  Rng shuffle(43);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.train_epoch(x, y, shuffle));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_MlpTrainEpoch)->Arg(2048)->Arg(19152);
+
+void BM_MlpForwardBatch(benchmark::State& state) {
+  // Batched inference over one 14x18 frequency grid (252 rows); bitwise
+  // identical to 252 scalar predict() calls.
+  Rng rng(2);
+  const nn::Mlp net(nn::MlpConfig{}, rng);
+  const stats::Matrix x = bench::synthetic_grid_batch();
+  const std::size_t grid = x.rows();
+  nn::Workspace ws;
+  std::vector<double> out(grid);
+  for (auto _ : state) {
+    net.forward_batch(x, std::span<double>(out), ws);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(grid));
+}
+BENCHMARK(BM_MlpForwardBatch);
+
 void BM_GridArgminSweep(benchmark::State& state) {
   // Cost of predicting the full 14x18 frequency grid (the plugin's
   // search-space reduction step).
@@ -95,6 +132,19 @@ void BM_GridArgminSweep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GridArgminSweep);
+
+void BM_GridRecommendBatched(benchmark::State& state) {
+  // EnergyModel::recommend on the batched path: one scaled 252-row sweep
+  // per ensemble member instead of 252 per-point forwards per member.
+  const auto model = bench::untrained_ensemble_model(5);
+  const hwsim::CpuSpec spec = hwsim::haswell_ep_spec();
+  const std::map<std::string, double> rates = bench::synthetic_counter_rates();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        model.recommend(rates, spec).predicted_normalized_energy);
+  }
+}
+BENCHMARK(BM_GridRecommendBatched);
 
 void BM_TracedApplicationRun(benchmark::State& state) {
   hwsim::NodeSimulator node(hwsim::haswell_ep_spec(), 0, Rng(5));

@@ -131,12 +131,20 @@ std::vector<ptf::Scenario> DvfsUfsPlugin::create_scenarios() {
         static_cast<int>(acquisition.runs_performed());
     result_.app_runs += acquisition.runs_performed();
     result_.tuning_time += node_->now() - t1;
+    // One batched sweep covers every region's grid: the model scales and
+    // forwards all (region, CF, UCF) rows in a single pass instead of one
+    // per-point forward per grid cell per region.
+    std::vector<std::string> region_names;
+    std::vector<std::map<std::string, double>> region_rates;
     for (const auto& sig : result_.dyn_report.significant) {
       auto it = per_region.find(sig.name);
       if (it == per_region.end()) continue;
-      result_.region_recommendations[sig.name] =
-          energy_model_.recommend(it->second, spec);
+      region_names.push_back(sig.name);
+      region_rates.push_back(it->second);
     }
+    const auto region_recs = energy_model_.recommend_many(region_rates, spec);
+    for (std::size_t k = 0; k < region_names.size(); ++k)
+      result_.region_recommendations[region_names[k]] = region_recs[k];
     // Verification space: union of every region's neighborhood (plus the
     // phase recommendation's), deduplicated.
     std::map<std::pair<int, int>, ptf::Scenario> unique;

@@ -2,11 +2,32 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
+#include <utility>
 
 #include "common/error.hpp"
+#include "common/parallel.hpp"
 #include "model/features.hpp"
 
 namespace ecotune::model {
+
+namespace {
+
+/// Per-thread scratch of the batched prediction path: scaled feature matrix,
+/// per-member prediction buffer and the NN workspace. Thread-local so a
+/// shared trained model can serve concurrent sweep tasks allocation-free.
+struct PredictScratch {
+  stats::Matrix scaled;
+  std::vector<double> member;
+  nn::Workspace ws;
+};
+
+PredictScratch& predict_scratch() {
+  thread_local PredictScratch scratch;
+  return scratch;
+}
+
+}  // namespace
 
 EnergyModel::EnergyModel(EnergyModelConfig config) : config_(config) {
   ensure(config_.ensemble >= 1, "EnergyModel: ensemble must be >= 1");
@@ -30,18 +51,28 @@ void EnergyModel::train(const EnergyDataset& train, int epochs) {
   // ReLU-output network can die on an unlucky initialization (all-zero
   // output, zero gradient), and averaging a few healthy members stabilizes
   // the argmin over the nearly flat energy surface.
+  //
+  // The candidates are embarrassingly independent (per-attempt init and
+  // shuffle seeds), so they train concurrently over config_.jobs workers;
+  // the ordered reduction keeps the pool in attempt order, which makes the
+  // result bitwise identical for any job count.
   const int pool_size = config_.ensemble + 3;
+  auto candidates = parallel_map_ordered(
+      static_cast<std::size_t>(pool_size),
+      [&](std::size_t attempt) {
+        Rng init_rng(config_.seed + 0x9E3779B9ULL * attempt);
+        nn::Mlp candidate(config_.mlp, init_rng);
+        Rng shuffle_rng((config_.seed ^ 0x5A5A5A5AULL) + attempt);
+        double loss = 0.0;
+        for (int e = 0; e < epochs; ++e)
+          loss = candidate.train_epoch(x, y, shuffle_rng);
+        return std::optional<std::pair<double, nn::Mlp>>(
+            std::in_place, loss, std::move(candidate));
+      },
+      config_.jobs);
   std::vector<std::pair<double, nn::Mlp>> pool;
   pool.reserve(static_cast<std::size_t>(pool_size));
-  for (int attempt = 0; attempt < pool_size; ++attempt) {
-    Rng init_rng(config_.seed + 0x9E3779B9ULL * attempt);
-    nn::Mlp candidate(config_.mlp, init_rng);
-    Rng shuffle_rng((config_.seed ^ 0x5A5A5A5AULL) + attempt);
-    double loss = 0.0;
-    for (int e = 0; e < epochs; ++e)
-      loss = candidate.train_epoch(x, y, shuffle_rng);
-    pool.emplace_back(loss, std::move(candidate));
-  }
+  for (auto& c : candidates) pool.push_back(std::move(*c));
   std::sort(pool.begin(), pool.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
 
@@ -59,55 +90,133 @@ void EnergyModel::train(const EnergyDataset& train, int epochs) {
   trained_ = true;
 }
 
+void EnergyModel::predict_rows(const stats::Matrix& raw,
+                               std::span<double> out) const {
+  ensure(trained_, "EnergyModel::predict: model not trained");
+  ensure(out.size() == raw.rows(),
+         "EnergyModel::predict_rows: output size mismatch");
+  const std::size_t n = raw.rows();
+  if (n == 0) return;
+  PredictScratch& s = predict_scratch();
+  scaler_.transform_into(raw, s.scaled);
+  if (s.member.size() < n) s.member.resize(n);
+  std::fill(out.begin(), out.end(), 0.0);
+  // Ensemble mean accumulated in member order per row — the same summation
+  // order as the historical per-point loop over nets_.
+  const std::span<double> member(s.member.data(), n);
+  for (const auto& net : nets_) {
+    net.forward_batch(s.scaled, member, s.ws);
+    for (std::size_t r = 0; r < n; ++r) out[r] += member[r];
+  }
+  const double count = static_cast<double>(nets_.size());
+  for (std::size_t r = 0; r < n; ++r) out[r] /= count;
+}
+
 double EnergyModel::predict(const std::vector<double>& features) const {
   ensure(trained_, "EnergyModel::predict: model not trained");
-  std::vector<double> scaled = features;
-  scaler_.transform_row(scaled);
-  double sum = 0.0;
-  for (const auto& net : nets_) sum += net.predict(scaled);
-  return sum / static_cast<double>(nets_.size());
+  thread_local stats::Matrix one;
+  if (one.rows() != 1 || one.cols() != features.size())
+    one = stats::Matrix(1, features.size());
+  std::copy(features.begin(), features.end(), one.row_span(0).begin());
+  double out = 0.0;
+  predict_rows(one, std::span<double>(&out, 1));
+  return out;
+}
+
+std::vector<double> EnergyModel::predict_batch(
+    const stats::Matrix& raw) const {
+  std::vector<double> out(raw.rows());
+  predict_rows(raw, std::span<double>(out));
+  return out;
 }
 
 std::vector<double> EnergyModel::predict_all(const EnergyDataset& ds) const {
-  std::vector<double> out;
-  out.reserve(ds.samples.size());
-  for (const auto& s : ds.samples) out.push_back(predict(s.features));
-  return out;
+  if (ds.samples.empty()) return {};
+  return predict_batch(ds.feature_matrix());
+}
+
+void EnergyModel::fill_grid_features(
+    const std::map<std::string, double>& counter_rates,
+    const hwsim::CpuSpec& spec, stats::Matrix& rows,
+    std::size_t first_row) const {
+  // Resolve the counter rates once instead of one map walk per grid cell.
+  const auto base =
+      build_features(counter_rates, paper_feature_events(),
+                     spec.core_grid.values().front(),
+                     spec.uncore_grid.values().front());
+  const std::size_t k = base.size();
+  ensure(rows.cols() == k, "EnergyModel: grid feature width mismatch");
+  std::size_t r = first_row;
+  for (auto cf : spec.core_grid.values()) {
+    for (auto ucf : spec.uncore_grid.values()) {
+      auto row = rows.row_span(r++);
+      std::copy(base.begin(), base.end(), row.begin());
+      row[k - 2] = cf.as_ghz();
+      row[k - 1] = ucf.as_ghz();
+    }
+  }
 }
 
 FrequencyRecommendation EnergyModel::recommend(
     const std::map<std::string, double>& counter_rates,
     const hwsim::CpuSpec& spec) const {
   ensure(trained_, "EnergyModel::recommend: model not trained");
-  FrequencyRecommendation best;
-  best.predicted_normalized_energy = std::numeric_limits<double>::max();
-  for (auto cf : spec.core_grid.values()) {
-    for (auto ucf : spec.uncore_grid.values()) {
-      const auto f =
-          build_features(counter_rates, paper_feature_events(), cf, ucf);
-      const double e = predict(f);
-      if (e < best.predicted_normalized_energy) {
-        best = {cf, ucf, e};
+  return recommend_many({counter_rates}, spec).front();
+}
+
+std::vector<FrequencyRecommendation> EnergyModel::recommend_many(
+    const std::vector<std::map<std::string, double>>& rate_sets,
+    const hwsim::CpuSpec& spec) const {
+  ensure(trained_, "EnergyModel::recommend: model not trained");
+  if (rate_sets.empty()) return {};
+  const auto& cfs = spec.core_grid.values();
+  const auto& ucfs = spec.uncore_grid.values();
+  const std::size_t grid = cfs.size() * ucfs.size();
+  const std::size_t width = paper_feature_events().size() + 2;
+  stats::Matrix rows(rate_sets.size() * grid, width);
+  for (std::size_t s = 0; s < rate_sets.size(); ++s)
+    fill_grid_features(rate_sets[s], spec, rows, s * grid);
+  const std::vector<double> energy = predict_batch(rows);
+
+  // Per-signature argmin over its grid slice, scanned in the same CF-major
+  // order (and with the same strict '<') as the historical per-point sweep.
+  std::vector<FrequencyRecommendation> recs;
+  recs.reserve(rate_sets.size());
+  for (std::size_t s = 0; s < rate_sets.size(); ++s) {
+    FrequencyRecommendation best;
+    best.predicted_normalized_energy = std::numeric_limits<double>::max();
+    std::size_t r = s * grid;
+    for (auto cf : cfs) {
+      for (auto ucf : ucfs) {
+        const double e = energy[r++];
+        if (e < best.predicted_normalized_energy) {
+          best = {cf, ucf, e};
+        }
       }
     }
+    recs.push_back(best);
   }
-  return best;
+  return recs;
 }
 
 std::vector<std::vector<double>> EnergyModel::predict_surface(
     const std::map<std::string, double>& counter_rates,
     const hwsim::CpuSpec& spec) const {
   ensure(trained_, "EnergyModel::predict_surface: model not trained");
+  const auto& cfs = spec.core_grid.values();
+  const auto& ucfs = spec.uncore_grid.values();
+  const std::size_t width = paper_feature_events().size() + 2;
+  stats::Matrix rows(cfs.size() * ucfs.size(), width);
+  fill_grid_features(counter_rates, spec, rows, 0);
+  const std::vector<double> energy = predict_batch(rows);
   std::vector<std::vector<double>> surface;
-  surface.reserve(spec.core_grid.size());
-  for (auto cf : spec.core_grid.values()) {
-    std::vector<double> row;
-    row.reserve(spec.uncore_grid.size());
-    for (auto ucf : spec.uncore_grid.values()) {
-      row.push_back(
-          predict(build_features(counter_rates, paper_feature_events(), cf,
-                                 ucf)));
-    }
+  surface.reserve(cfs.size());
+  std::size_t r = 0;
+  for (std::size_t ci = 0; ci < cfs.size(); ++ci) {
+    std::vector<double> row(energy.begin() + static_cast<std::ptrdiff_t>(r),
+                            energy.begin() +
+                                static_cast<std::ptrdiff_t>(r + ucfs.size()));
+    r += ucfs.size();
     surface.push_back(std::move(row));
   }
   return surface;

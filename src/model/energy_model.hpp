@@ -1,6 +1,7 @@
 #pragma once
 
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,11 @@ struct EnergyModelConfig {
   /// paper-exact single-network setup.
   int ensemble = 5;
   std::uint64_t seed = 0x4E4EULL;
+  /// Concurrent candidate trainings in train() (1 = serial, 0 = hardware
+  /// concurrency). Every candidate is seeded independently and the pool is
+  /// reduced in candidate order, so the trained model is bitwise identical
+  /// for any value.
+  int jobs = 1;
 };
 
 /// Recommendation produced by sweeping the model over the frequency grids.
@@ -39,6 +45,11 @@ struct FrequencyRecommendation {
 /// seven counter rates plus the core and uncore frequency. Sweeping all
 /// frequency combinations through the network and taking the argmin yields
 /// the plugin's global frequency recommendation (Sec. III-C).
+///
+/// All prediction entry points funnel through one batched path: the feature
+/// matrix is scaled once, each ensemble member sweeps every layer over the
+/// whole batch, and the ensemble mean accumulates in member order — bitwise
+/// identical to scaling and forwarding each point by itself.
 class EnergyModel {
  public:
   explicit EnergyModel(EnergyModelConfig config = {});
@@ -53,6 +64,11 @@ class EnergyModel {
   /// Predicts normalized energy for one raw (unscaled) feature vector.
   [[nodiscard]] double predict(const std::vector<double>& features) const;
 
+  /// Batched prediction: one normalized energy per row of `raw` (raw,
+  /// unscaled features). Bitwise identical to predict() on each row.
+  [[nodiscard]] std::vector<double> predict_batch(
+      const stats::Matrix& raw) const;
+
   /// Predictions for a whole dataset (validation convenience).
   [[nodiscard]] std::vector<double> predict_all(
       const EnergyDataset& ds) const;
@@ -62,6 +78,13 @@ class EnergyModel {
   /// energy-minimal point.
   [[nodiscard]] FrequencyRecommendation recommend(
       const std::map<std::string, double>& counter_rates,
+      const hwsim::CpuSpec& spec) const;
+
+  /// recommend() for several counter-rate signatures at once (the plugin's
+  /// per-region mode): all grids are swept in a single batch. Entry k of
+  /// the result corresponds to rate_sets[k].
+  [[nodiscard]] std::vector<FrequencyRecommendation> recommend_many(
+      const std::vector<std::map<std::string, double>>& rate_sets,
       const hwsim::CpuSpec& spec) const;
 
   /// Full predicted surface over the grids (for Figs. 6-7 style heatmaps):
@@ -75,6 +98,16 @@ class EnergyModel {
   [[nodiscard]] static EnergyModel from_json(const Json& j);
 
  private:
+  /// The shared batched core: scales `raw` (n x features) once and writes
+  /// the ensemble-mean prediction per row into `out` (out.size() == n).
+  void predict_rows(const stats::Matrix& raw, std::span<double> out) const;
+  /// Builds the CF x UCF grid feature matrix (CF-major, UCF-minor row
+  /// order) for one counter-rate signature into `rows` starting at
+  /// `first_row`.
+  void fill_grid_features(const std::map<std::string, double>& counter_rates,
+                          const hwsim::CpuSpec& spec, stats::Matrix& rows,
+                          std::size_t first_row) const;
+
   EnergyModelConfig config_;
   stats::StandardScaler scaler_;
   std::vector<nn::Mlp> nets_;  ///< ensemble members (>= 1 when trained)

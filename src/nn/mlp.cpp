@@ -2,11 +2,50 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <numeric>
 
 #include "common/error.hpp"
 
 namespace ecotune::nn {
+
+namespace {
+
+/// Flushes denormal optimizer state to zero. Long trainings park the ADAM
+/// moments of near-dead weights in the denormal range, where every touch
+/// takes a microcode assist (~2x on the whole epoch, measured); a denormal
+/// moment cannot move a normal-range weight by even one ULP (the largest
+/// step it can induce is lr * DBL_TRUE_MIN / epsilon ~= 1e-303), so zeroing
+/// it keeps the training trajectory intact and the arithmetic fast.
+inline double flush_denormal(double v) {
+  return (v < std::numeric_limits<double>::min() &&
+          v > -std::numeric_limits<double>::min())
+             ? 0.0
+             : v;
+}
+
+}  // namespace
+
+void Workspace::bind(const std::vector<std::size_t>& sizes) {
+  if (shape_ == sizes) return;
+  shape_ = sizes;
+  max_width_ = *std::max_element(sizes.begin(), sizes.end());
+  act_.resize(sizes.size());
+  for (std::size_t l = 0; l < sizes.size(); ++l) act_[l].resize(sizes[l]);
+  pre_.resize(sizes.size() - 1);
+  for (std::size_t l = 0; l + 1 < sizes.size(); ++l)
+    pre_[l].resize(sizes[l + 1]);
+  delta_.resize(max_width_);
+  prev_delta_.resize(max_width_);
+  batch_rows_ = 0;  // batch buffers are sized per (shape, rows)
+}
+
+void Workspace::bind_batch(std::size_t rows) {
+  if (rows <= batch_rows_) return;
+  batch_rows_ = rows;
+  batch_a_.resize(rows * max_width_);
+  batch_b_.resize(rows * max_width_);
+}
 
 Mlp::Mlp(MlpConfig config) : config_(std::move(config)) {
   ensure(config_.layer_sizes.size() >= 2, "Mlp: need at least two layers");
@@ -22,6 +61,7 @@ Mlp::Mlp(MlpConfig config, Rng& rng) : Mlp(std::move(config)) {
     for (std::size_t i = 0; i < out; ++i)
       for (std::size_t j = 0; j < in; ++j)
         layer.w(i, j) = rng.normal(0.0, 1.0) * he;
+    layer.wt = layer.w.transpose();
     layer.b.assign(out, 0.0);
     layer.mw = stats::Matrix(out, in);
     layer.vw = stats::Matrix(out, in);
@@ -33,117 +73,234 @@ Mlp::Mlp(MlpConfig config, Rng& rng) : Mlp(std::move(config)) {
   }
 }
 
-std::vector<double> Mlp::forward(const std::vector<double>& x) const {
+void Mlp::forward(std::span<const double> x, std::span<double> out,
+                  Workspace& ws) const {
   ensure(x.size() == input_size(), "Mlp::forward: input size mismatch");
-  std::vector<double> a = x;
-  for (const auto& layer : layers_) {
-    std::vector<double> z(layer.b);
-    for (std::size_t i = 0; i < layer.w.rows(); ++i) {
-      double acc = z[i];
-      for (std::size_t j = 0; j < layer.w.cols(); ++j)
-        acc += layer.w(i, j) * a[j];
-      z[i] = acc;
+  ensure(out.size() == output_size(), "Mlp::forward: output size mismatch");
+  ws.bind(config_.layer_sizes);
+  std::copy(x.begin(), x.end(), ws.act_[0].begin());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    const double* a = ws.act_[l].data();
+    std::vector<double>& z = ws.act_[l + 1];
+    const std::size_t rows = layer.w.rows();
+    const std::size_t cols = layer.w.cols();
+    const double* wr = layer.w.data().data();
+    for (std::size_t i = 0; i < rows; ++i, wr += cols) {
+      double acc = layer.b[i];
+      for (std::size_t j = 0; j < cols; ++j) acc += wr[j] * a[j];
+      z[i] = layer.relu ? std::max(0.0, acc) : acc;
     }
-    if (layer.relu)
-      for (auto& v : z) v = std::max(0.0, v);
-    a = std::move(z);
   }
-  return a;
+  const std::vector<double>& last = ws.act_.back();
+  std::copy(last.begin(), last.end(), out.begin());
+}
+
+std::vector<double> Mlp::forward(const std::vector<double>& x) const {
+  thread_local Workspace ws;
+  std::vector<double> out(output_size());
+  forward(std::span<const double>(x), std::span<double>(out), ws);
+  return out;
+}
+
+double Mlp::predict(std::span<const double> x, Workspace& ws) const {
+  ensure(output_size() == 1, "Mlp::predict: network is not scalar-valued");
+  double out = 0.0;
+  forward(x, std::span<double>(&out, 1), ws);
+  return out;
 }
 
 double Mlp::predict(const std::vector<double>& x) const {
-  ensure(output_size() == 1, "Mlp::predict: network is not scalar-valued");
-  return forward(x)[0];
+  thread_local Workspace ws;
+  return predict(std::span<const double>(x), ws);
 }
 
-double Mlp::train_sample(const std::vector<double>& x,
-                         const std::vector<double>& y) {
+void Mlp::forward_batch(const stats::Matrix& x, std::span<double> out,
+                        Workspace& ws) const {
+  ensure(output_size() == 1, "Mlp::forward_batch: network is not "
+                             "scalar-valued");
+  ensure(x.cols() == input_size(),
+         "Mlp::forward_batch: input size mismatch");
+  ensure(out.size() == x.rows(), "Mlp::forward_batch: output size mismatch");
+  const std::size_t n = x.rows();
+  if (n == 0) return;
+  ws.bind(config_.layer_sizes);
+  ws.bind_batch(n);
+
+  // Ping-pong the batch through the layers; each row's dot products run in
+  // the same operand order as the per-point forward pass, so the results
+  // are bitwise identical.
+  double* a = ws.batch_a_.data();
+  double* z = ws.batch_b_.data();
+  std::size_t width = input_size();
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto row = x.row_span(r);
+    std::copy(row.begin(), row.end(), a + r * width);
+  }
+  for (const Layer& layer : layers_) {
+    const std::size_t out_w = layer.w.rows();
+    const double* w0 = layer.w.data().data();
+    for (std::size_t r = 0; r < n; ++r) {
+      const double* ar = a + r * width;
+      double* zr = z + r * out_w;
+      const double* wr = w0;
+      for (std::size_t i = 0; i < out_w; ++i, wr += width) {
+        double acc = layer.b[i];
+        for (std::size_t j = 0; j < width; ++j) acc += wr[j] * ar[j];
+        zr[i] = layer.relu ? std::max(0.0, acc) : acc;
+      }
+    }
+    std::swap(a, z);
+    width = out_w;
+  }
+  for (std::size_t r = 0; r < n; ++r) out[r] = a[r];
+}
+
+std::vector<double> Mlp::forward_batch(const stats::Matrix& x,
+                                       Workspace& ws) const {
+  std::vector<double> out(x.rows());
+  forward_batch(x, std::span<double>(out), ws);
+  return out;
+}
+
+double Mlp::train_sample(std::span<const double> x,
+                         std::span<const double> y) {
   ensure(x.size() == input_size(), "Mlp::train_sample: input size mismatch");
   ensure(y.size() == output_size(), "Mlp::train_sample: label size mismatch");
+  train_ws_.bind(config_.layer_sizes);
+  return train_sample_bound(x.data(), y.data());
+}
+
+double Mlp::train_sample_bound(const double* x, const double* y) {
+  Workspace& ws = train_ws_;
 
   // Forward pass, caching pre-activations and activations.
-  std::vector<std::vector<double>> activations{x};  // a[0] = input
-  std::vector<std::vector<double>> pre;             // z per layer
-  for (const auto& layer : layers_) {
-    const auto& a = activations.back();
-    std::vector<double> z(layer.b);
-    for (std::size_t i = 0; i < layer.w.rows(); ++i) {
-      double acc = z[i];
-      for (std::size_t j = 0; j < layer.w.cols(); ++j)
-        acc += layer.w(i, j) * a[j];
-      z[i] = acc;
+  std::copy(x, x + input_size(), ws.act_[0].begin());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    const double* a = ws.act_[l].data();
+    std::vector<double>& pre = ws.pre_[l];
+    std::vector<double>& act = ws.act_[l + 1];
+    const std::size_t rows = layer.w.rows();
+    const std::size_t cols = layer.w.cols();
+    const double* wr = layer.w.data().data();
+    for (std::size_t i = 0; i < rows; ++i, wr += cols) {
+      double acc = layer.b[i];
+      for (std::size_t j = 0; j < cols; ++j) acc += wr[j] * a[j];
+      pre[i] = acc;
+      act[i] = layer.relu ? std::max(0.0, acc) : acc;
     }
-    pre.push_back(z);
-    if (layer.relu)
-      for (auto& v : z) v = std::max(0.0, v);
-    activations.push_back(std::move(z));
   }
 
   // MSE loss and output gradient: L = mean_i (a_i - y_i)^2.
-  const auto& out = activations.back();
+  const std::vector<double>& out = ws.act_.back();
+  const std::size_t out_n = out.size();
   double loss = 0.0;
-  std::vector<double> delta(out.size());
-  for (std::size_t i = 0; i < out.size(); ++i) {
+  for (std::size_t i = 0; i < out_n; ++i) {
     const double diff = out[i] - y[i];
     loss += diff * diff;
-    delta[i] = 2.0 * diff / static_cast<double>(out.size());
+    ws.delta_[i] = 2.0 * diff / static_cast<double>(out_n);
   }
-  loss /= static_cast<double>(out.size());
+  loss /= static_cast<double>(out_n);
 
-  // Backward pass.
+  // Backward pass: propagate delta, then fused ADAM update per layer.
   for (std::size_t li = layers_.size(); li-- > 0;) {
     Layer& layer = layers_[li];
-    // Through the activation.
+    const std::size_t rows = layer.w.rows();
+    const std::size_t cols = layer.w.cols();
     if (layer.relu) {
-      for (std::size_t i = 0; i < delta.size(); ++i)
-        if (pre[li][i] <= 0.0) delta[i] = 0.0;
+      const std::vector<double>& pre = ws.pre_[li];
+      for (std::size_t i = 0; i < rows; ++i)
+        if (pre[i] <= 0.0) ws.delta_[i] = 0.0;
     }
-    const auto& a_in = activations[li];
-    stats::Matrix grad_w(layer.w.rows(), layer.w.cols());
-    for (std::size_t i = 0; i < layer.w.rows(); ++i)
-      for (std::size_t j = 0; j < layer.w.cols(); ++j)
-        grad_w(i, j) = delta[i] * a_in[j];
-    const std::vector<double>& grad_b = delta;
-
-    // Gradient w.r.t. the previous activation (before updating weights).
-    std::vector<double> prev_delta(layer.w.cols(), 0.0);
-    for (std::size_t j = 0; j < layer.w.cols(); ++j) {
-      double acc = 0.0;
-      for (std::size_t i = 0; i < layer.w.rows(); ++i)
-        acc += layer.w(i, j) * delta[i];
-      prev_delta[j] = acc;
+    // Gradient w.r.t. the previous activation (before updating weights),
+    // read row-contiguously off the cached transpose. The innermost sum
+    // runs over i for fixed j, exactly as the historical column walk did.
+    if (li > 0) {
+      const double* d = ws.delta_.data();
+      const double* wtr = layer.wt.data().data();
+      for (std::size_t j = 0; j < cols; ++j, wtr += rows) {
+        double acc = 0.0;
+        for (std::size_t i = 0; i < rows; ++i) acc += wtr[i] * d[i];
+        // A denormal delta can only spawn denormal gradients and moments
+        // (which are flushed anyway); zero it before it poisons the
+        // downstream arithmetic with microcode assists.
+        ws.prev_delta_[j] = flush_denormal(acc);
+      }
     }
-
-    adam_step(layer, grad_w, grad_b);
-    delta = std::move(prev_delta);
+    adam_step(layer, std::span<const double>(ws.delta_.data(), rows),
+              std::span<const double>(ws.act_[li]), li > 0);
+    std::swap(ws.delta_, ws.prev_delta_);
   }
   return loss;
 }
 
-void Mlp::adam_step(Layer& layer, const stats::Matrix& grad_w,
-                    const std::vector<double>& grad_b) {
+double Mlp::train_sample(const std::vector<double>& x,
+                         const std::vector<double>& y) {
+  return train_sample(std::span<const double>(x), std::span<const double>(y));
+}
+
+void Mlp::adam_step(Layer& layer, std::span<const double> delta,
+                    std::span<const double> a_in, bool maintain_transpose) {
   ++timestep_;
   const double b1 = config_.beta1;
   const double b2 = config_.beta2;
-  const double bc1 = 1.0 - std::pow(b1, static_cast<double>(timestep_));
-  const double bc2 = 1.0 - std::pow(b2, static_cast<double>(timestep_));
+  // Bias corrections. Saturation shortcut: once 1 - beta^t == 1.0 exactly,
+  // monotonicity of beta^t (for 0 <= beta < 1) keeps it exactly 1.0 for
+  // every later t, so the pow() is skipped; and x / 1.0 == x bitwise, so
+  // the per-parameter divisions by a saturated correction are skipped too.
+  // Both shortcuts are bit-exact no-ops; they only avoid redundant work.
+  double bc1 = 1.0;
+  if (!bc1_saturated_) {
+    bc1 = 1.0 - std::pow(b1, static_cast<double>(timestep_));
+    bc1_saturated_ = (bc1 == 1.0 && b1 >= 0.0 && b1 < 1.0);
+  }
+  double bc2 = 1.0;
+  if (!bc2_saturated_) {
+    bc2 = 1.0 - std::pow(b2, static_cast<double>(timestep_));
+    bc2_saturated_ = (bc2 == 1.0 && b2 >= 0.0 && b2 < 1.0);
+  }
+  const bool correct1 = (bc1 != 1.0);
+  const bool correct2 = (bc2 != 1.0);
   const double lr = config_.learning_rate;
 
-  for (std::size_t i = 0; i < layer.w.rows(); ++i) {
-    for (std::size_t j = 0; j < layer.w.cols(); ++j) {
-      const double g = grad_w(i, j);
-      layer.mw(i, j) = b1 * layer.mw(i, j) + (1 - b1) * g;
-      layer.vw(i, j) = b2 * layer.vw(i, j) + (1 - b2) * g * g;
-      const double mhat = layer.mw(i, j) / bc1;
-      const double vhat = layer.vw(i, j) / bc2;
-      layer.w(i, j) -= lr * mhat / (std::sqrt(vhat) + config_.epsilon);
+  const std::size_t rows = layer.w.rows();
+  const std::size_t cols = layer.w.cols();
+  const double eps = config_.epsilon;
+  double* w = layer.w.data().data();
+  double* wt = layer.wt.data().data();
+  double* mw = layer.mw.data().data();
+  double* vw = layer.vw.data().data();
+  for (std::size_t i = 0; i < rows; ++i, w += cols, mw += cols, vw += cols) {
+    const double d = delta[i];
+    if (!correct1 && !correct2) {
+      // Steady state (both corrections saturated at 1.0): a branch- and
+      // division-by-correction-free elementwise loop the compiler can
+      // vectorize. Bit-identical to the general form below.
+      for (std::size_t j = 0; j < cols; ++j) {
+        const double g = d * a_in[j];
+        mw[j] = flush_denormal(b1 * mw[j] + (1 - b1) * g);
+        vw[j] = flush_denormal(b2 * vw[j] + (1 - b2) * g * g);
+        w[j] -= lr * mw[j] / (std::sqrt(vw[j]) + eps);
+      }
+    } else {
+      for (std::size_t j = 0; j < cols; ++j) {
+        const double g = d * a_in[j];
+        mw[j] = flush_denormal(b1 * mw[j] + (1 - b1) * g);
+        vw[j] = flush_denormal(b2 * vw[j] + (1 - b2) * g * g);
+        const double mhat = correct1 ? mw[j] / bc1 : mw[j];
+        const double vhat = correct2 ? vw[j] / bc2 : vw[j];
+        w[j] -= lr * mhat / (std::sqrt(vhat) + eps);
+      }
     }
-    const double g = grad_b[i];
-    layer.mb[i] = b1 * layer.mb[i] + (1 - b1) * g;
-    layer.vb[i] = b2 * layer.vb[i] + (1 - b2) * g * g;
-    const double mhat = layer.mb[i] / bc1;
-    const double vhat = layer.vb[i] / bc2;
-    layer.b[i] -= lr * mhat / (std::sqrt(vhat) + config_.epsilon);
+    if (maintain_transpose)
+      for (std::size_t j = 0; j < cols; ++j) wt[j * rows + i] = w[j];
+    const double g = d;
+    layer.mb[i] = flush_denormal(b1 * layer.mb[i] + (1 - b1) * g);
+    layer.vb[i] = flush_denormal(b2 * layer.vb[i] + (1 - b2) * g * g);
+    const double mhat = correct1 ? layer.mb[i] / bc1 : layer.mb[i];
+    const double vhat = correct2 ? layer.vb[i] / bc2 : layer.vb[i];
+    layer.b[i] -= lr * mhat / (std::sqrt(vhat) + eps);
   }
 }
 
@@ -151,6 +308,7 @@ double Mlp::train_epoch(const stats::Matrix& x, const std::vector<double>& y,
                         Rng& shuffle_rng) {
   ensure(x.rows() == y.size(), "Mlp::train_epoch: sample count mismatch");
   ensure(output_size() == 1, "Mlp::train_epoch: expects scalar labels");
+  ensure(x.cols() == input_size(), "Mlp::train_epoch: input size mismatch");
   std::vector<std::size_t> order(x.rows());
   std::iota(order.begin(), order.end(), 0);
   for (std::size_t i = order.size(); i-- > 1;) {
@@ -158,9 +316,12 @@ double Mlp::train_epoch(const stats::Matrix& x, const std::vector<double>& y,
         shuffle_rng.uniform_int(0, static_cast<std::int64_t>(i)));
     std::swap(order[i], order[j]);
   }
+  train_ws_.bind(config_.layer_sizes);
+  const double* data = x.data().data();
+  const std::size_t stride = x.cols();
   double total = 0.0;
   for (const auto idx : order)
-    total += train_sample(x.row(idx), {y[idx]});
+    total += train_sample_bound(data + idx * stride, &y[idx]);
   return total / static_cast<double>(x.rows());
 }
 
@@ -171,6 +332,34 @@ std::size_t Mlp::parameter_count() const {
   return n;
 }
 
+namespace {
+
+Json matrix_to_json(const stats::Matrix& m) {
+  Json rows = Json::array();
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    Json row = Json::array();
+    for (std::size_t j = 0; j < m.cols(); ++j) row.push_back(m(i, j));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+stats::Matrix matrix_from_json(const Json& j, std::size_t rows,
+                               std::size_t cols, const char* what) {
+  const auto& rj = j.as_array();
+  ensure(rj.size() == rows, std::string("Mlp::from_json: ") + what +
+                                " row count mismatch");
+  stats::Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    const auto& row = rj[i].as_array();
+    ensure(row.size() == cols, std::string("Mlp::from_json: ragged ") + what);
+    for (std::size_t jj = 0; jj < cols; ++jj) m(i, jj) = row[jj].as_number();
+  }
+  return m;
+}
+
+}  // namespace
+
 Json Mlp::to_json() const {
   Json j = Json::object();
   Json sizes = Json::array();
@@ -178,21 +367,28 @@ Json Mlp::to_json() const {
   j["layer_sizes"] = std::move(sizes);
   j["relu_output"] = config_.relu_output;
   j["learning_rate"] = config_.learning_rate;
+  j["beta1"] = config_.beta1;
+  j["beta2"] = config_.beta2;
+  j["epsilon"] = config_.epsilon;
+  j["timestep"] = timestep_;
   Json layers = Json::array();
   for (const auto& layer : layers_) {
     Json lj = Json::object();
-    Json w = Json::array();
-    for (std::size_t i = 0; i < layer.w.rows(); ++i) {
-      Json row = Json::array();
-      for (std::size_t jj = 0; jj < layer.w.cols(); ++jj)
-        row.push_back(layer.w(i, jj));
-      w.push_back(std::move(row));
-    }
     Json b = Json::array();
     for (double v : layer.b) b.push_back(v);
-    lj["w"] = std::move(w);
+    lj["w"] = matrix_to_json(layer.w);
     lj["b"] = std::move(b);
     lj["relu"] = layer.relu;
+    // ADAM moments: without them a restored network silently resumes with a
+    // reset optimizer (cold moments, wrong bias correction).
+    lj["mw"] = matrix_to_json(layer.mw);
+    lj["vw"] = matrix_to_json(layer.vw);
+    Json mb = Json::array();
+    for (double v : layer.mb) mb.push_back(v);
+    Json vb = Json::array();
+    for (double v : layer.vb) vb.push_back(v);
+    lj["mb"] = std::move(mb);
+    lj["vb"] = std::move(vb);
     layers.push_back(std::move(lj));
   }
   j["layers"] = std::move(layers);
@@ -206,27 +402,41 @@ Mlp Mlp::from_json(const Json& j) {
     config.layer_sizes.push_back(static_cast<std::size_t>(s.as_int()));
   config.relu_output = j.at("relu_output").as_bool();
   config.learning_rate = j.at("learning_rate").as_number();
+  // Optimizer hyper-parameters: absent in files written before they were
+  // serialized; fall back to the historical defaults.
+  if (j.contains("beta1")) config.beta1 = j.at("beta1").as_number();
+  if (j.contains("beta2")) config.beta2 = j.at("beta2").as_number();
+  if (j.contains("epsilon")) config.epsilon = j.at("epsilon").as_number();
 
   Mlp net(config);
+  if (j.contains("timestep")) net.timestep_ = j.at("timestep").as_int();
   for (const auto& lj : j.at("layers").as_array()) {
     const auto& wj = lj.at("w").as_array();
     const auto& bj = lj.at("b").as_array();
     Layer layer;
     const std::size_t out = wj.size();
     const std::size_t in = out ? wj[0].as_array().size() : 0;
-    layer.w = stats::Matrix(out, in);
-    for (std::size_t i = 0; i < out; ++i) {
-      const auto& row = wj[i].as_array();
-      ensure(row.size() == in, "Mlp::from_json: ragged weight matrix");
-      for (std::size_t jj = 0; jj < in; ++jj)
-        layer.w(i, jj) = row[jj].as_number();
-    }
+    layer.w = matrix_from_json(lj.at("w"), out, in, "weight matrix");
+    layer.wt = layer.w.transpose();
     for (const auto& v : bj) layer.b.push_back(v.as_number());
     ensure(layer.b.size() == out, "Mlp::from_json: bias size mismatch");
-    layer.mw = stats::Matrix(out, in);
-    layer.vw = stats::Matrix(out, in);
-    layer.mb.assign(out, 0.0);
-    layer.vb.assign(out, 0.0);
+    if (lj.contains("mw")) {
+      layer.mw = matrix_from_json(lj.at("mw"), out, in, "mw moments");
+      layer.vw = matrix_from_json(lj.at("vw"), out, in, "vw moments");
+      layer.mb.clear();
+      for (const auto& v : lj.at("mb").as_array())
+        layer.mb.push_back(v.as_number());
+      layer.vb.clear();
+      for (const auto& v : lj.at("vb").as_array())
+        layer.vb.push_back(v.as_number());
+      ensure(layer.mb.size() == out && layer.vb.size() == out,
+             "Mlp::from_json: bias moment size mismatch");
+    } else {
+      layer.mw = stats::Matrix(out, in);
+      layer.vw = stats::Matrix(out, in);
+      layer.mb.assign(out, 0.0);
+      layer.vb.assign(out, 0.0);
+    }
     layer.relu = lj.at("relu").as_bool();
     net.layers_.push_back(std::move(layer));
   }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "common/json.hpp"
@@ -25,8 +26,42 @@ struct MlpConfig {
   double epsilon = 1e-8;
 };
 
+class Mlp;
+
+/// Reusable scratch buffers for Mlp forward/backward passes. A workspace
+/// binds lazily to a network's layer geometry on first use and is reused
+/// allocation-free afterwards (rebinding to a different geometry regrows the
+/// buffers). Workspaces are not thread-safe: give each thread its own.
+class Workspace {
+ public:
+  Workspace() = default;
+
+ private:
+  friend class Mlp;
+
+  /// Grows the per-point buffers to `sizes` (the network's layer widths).
+  void bind(const std::vector<std::size_t>& sizes);
+  /// Grows the two batch ping-pong buffers to `rows` x max layer width.
+  void bind_batch(std::size_t rows);
+
+  std::vector<std::size_t> shape_;            ///< bound layer widths
+  std::size_t max_width_ = 0;
+  std::vector<std::vector<double>> act_;      ///< activations a[0..L]
+  std::vector<std::vector<double>> pre_;      ///< pre-activations z[0..L-1]
+  std::vector<double> delta_, prev_delta_;    ///< backprop buffers
+  std::vector<double> batch_a_, batch_b_;     ///< batched layer ping-pong
+  std::size_t batch_rows_ = 0;
+};
+
 /// Fully connected feed-forward network trained by per-sample stochastic
 /// gradient descent with ADAM on a mean-squared-error objective.
+///
+/// The hot paths are allocation-free: training reuses an internal Workspace
+/// and walks dataset rows through stats::Matrix::row_span; inference routes
+/// through a caller-supplied (or thread-local) Workspace. Batched inference
+/// (forward_batch) sweeps each layer over a whole feature matrix and is
+/// bitwise identical to the per-point path: every dot product accumulates
+/// in the same operand order.
 class Mlp {
  public:
   /// Initializes weights ~ N(0,1) * sqrt(2/n_in) (He et al.), biases zero.
@@ -44,20 +79,40 @@ class Mlp {
   [[nodiscard]] std::vector<double> forward(
       const std::vector<double>& x) const;
 
+  /// Allocation-free forward pass into `out` (out.size() == output_size()).
+  void forward(std::span<const double> x, std::span<double> out,
+               Workspace& ws) const;
+
   /// Scalar prediction convenience (single-output networks).
   [[nodiscard]] double predict(const std::vector<double>& x) const;
+
+  /// Allocation-free scalar prediction through a caller-owned workspace.
+  [[nodiscard]] double predict(std::span<const double> x,
+                               Workspace& ws) const;
+
+  /// Batched forward for scalar-output networks: one prediction per row of
+  /// `x` (x.cols() == input_size()), written into `out` (out.size() ==
+  /// x.rows()). Bitwise identical to predict() on each row.
+  void forward_batch(const stats::Matrix& x, std::span<double> out,
+                     Workspace& ws) const;
+  [[nodiscard]] std::vector<double> forward_batch(const stats::Matrix& x,
+                                                  Workspace& ws) const;
 
   /// One forward/backward pass and ADAM update on a single sample; returns
   /// the sample's squared-error loss before the update.
   double train_sample(const std::vector<double>& x,
                       const std::vector<double>& y);
+  double train_sample(std::span<const double> x, std::span<const double> y);
 
   /// One epoch of per-sample SGD over (x, y) in shuffled order; returns the
-  /// mean loss.
+  /// mean loss. Allocation-free: rows are visited via row_span and all
+  /// scratch lives in the network's internal workspace.
   double train_epoch(const stats::Matrix& x, const std::vector<double>& y,
                      Rng& shuffle_rng);
 
-  /// Serializes weights, biases and config (optimizer state excluded).
+  /// Serializes weights, biases, config and ADAM optimizer state (moments,
+  /// timestep, beta1/beta2/epsilon), so a restored network resumes training
+  /// exactly where the original left off.
   [[nodiscard]] Json to_json() const;
   [[nodiscard]] static Mlp from_json(const Json& j);
 
@@ -67,6 +122,9 @@ class Mlp {
  private:
   struct Layer {
     stats::Matrix w;         ///< out x in
+    stats::Matrix wt;        ///< in x out: cached transpose of w, kept in
+                             ///< sync by every update; the backward pass
+                             ///< reads it row-contiguously
     std::vector<double> b;   ///< out
     stats::Matrix mw, vw;    ///< ADAM first/second moments for w
     std::vector<double> mb, vb;
@@ -74,12 +132,28 @@ class Mlp {
   };
 
   explicit Mlp(MlpConfig config);  // uninitialized (for from_json)
-  void adam_step(Layer& layer, const stats::Matrix& grad_w,
-                 const std::vector<double>& grad_b);
+  /// train_sample with sizes validated and the workspace already bound (the
+  /// per-row body of train_epoch).
+  double train_sample_bound(const double* x, const double* y);
+  /// Fused backward step for one layer: ADAM update of (w, b) from the
+  /// layer's delta and input activation. Operand order matches the
+  /// historical grad-then-adam_step formulation bit for bit. When
+  /// `maintain_transpose` is set the cached transpose is refreshed after
+  /// the row update (the input layer's transpose is never read by the
+  /// backward pass, so training skips it).
+  void adam_step(Layer& layer, std::span<const double> delta,
+                 std::span<const double> a_in, bool maintain_transpose);
 
   MlpConfig config_;
   std::vector<Layer> layers_;
   long timestep_ = 0;
+  /// Set once 1 - beta^timestep rounds to exactly 1.0. For 0 <= beta < 1
+  /// the power is monotone decreasing, so the correction stays exactly 1.0
+  /// for every later timestep and the pow() and the division by it can be
+  /// skipped without changing a single bit of the update.
+  bool bc1_saturated_ = false;
+  bool bc2_saturated_ = false;
+  Workspace train_ws_;  ///< scratch for the training hot path
 };
 
 }  // namespace ecotune::nn

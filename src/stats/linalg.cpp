@@ -37,6 +37,16 @@ std::vector<double> Matrix::row(std::size_t r) const {
           data_.begin() + static_cast<std::ptrdiff_t>((r + 1) * cols_)};
 }
 
+std::span<const double> Matrix::row_span(std::size_t r) const {
+  ensure(r < rows_, "Matrix::row_span: out of range");
+  return {data_.data() + r * cols_, cols_};
+}
+
+std::span<double> Matrix::row_span(std::size_t r) {
+  ensure(r < rows_, "Matrix::row_span: out of range");
+  return {data_.data() + r * cols_, cols_};
+}
+
 std::vector<double> Matrix::col(std::size_t c) const {
   ensure(c < cols_, "Matrix::col: out of range");
   std::vector<double> out(rows_);

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <initializer_list>
+#include <span>
 #include <vector>
 
 namespace ecotune::stats {
@@ -34,6 +35,12 @@ class Matrix {
 
   /// One row as a vector copy.
   [[nodiscard]] std::vector<double> row(std::size_t r) const;
+  /// One row as a non-owning view into the row-major storage. The view is
+  /// invalidated by any operation that reallocates the matrix; it exists so
+  /// per-sample hot paths (the NN training loop) can walk rows without a
+  /// heap allocation per visit.
+  [[nodiscard]] std::span<const double> row_span(std::size_t r) const;
+  [[nodiscard]] std::span<double> row_span(std::size_t r);
   /// One column as a vector copy.
   [[nodiscard]] std::vector<double> col(std::size_t c) const;
 

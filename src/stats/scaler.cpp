@@ -25,13 +25,19 @@ void StandardScaler::transform_row(std::vector<double>& row) const {
 }
 
 Matrix StandardScaler::transform(const Matrix& x) const {
+  Matrix out;
+  transform_into(x, out);
+  return out;
+}
+
+void StandardScaler::transform_into(const Matrix& x, Matrix& out) const {
   ensure(fitted(), "StandardScaler: not fitted");
   ensure(x.cols() == mean_.size(), "StandardScaler: column mismatch");
-  Matrix out = x;
+  if (out.rows() != x.rows() || out.cols() != x.cols())
+    out = Matrix(x.rows(), x.cols());
   for (std::size_t i = 0; i < x.rows(); ++i)
     for (std::size_t j = 0; j < x.cols(); ++j)
       out(i, j) = (x(i, j) - mean_[j]) / scale_[j];
-  return out;
 }
 
 void StandardScaler::inverse_transform_row(std::vector<double>& row) const {

@@ -22,6 +22,10 @@ class StandardScaler {
   void transform_row(std::vector<double>& row) const;
   /// Standardizes a copy of the whole matrix.
   [[nodiscard]] Matrix transform(const Matrix& x) const;
+  /// Standardizes `x` into `out`, reusing out's storage when the shape
+  /// already matches (the batched-prediction hot path). Elementwise
+  /// identical to transform()/transform_row().
+  void transform_into(const Matrix& x, Matrix& out) const;
   /// Undoes the transform for one row.
   void inverse_transform_row(std::vector<double>& row) const;
 

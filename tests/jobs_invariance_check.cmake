@@ -1,0 +1,43 @@
+# Jobs-invariance check: a driver's stdout must be byte-identical for any
+# --jobs value (the determinism contract of the parallel sweep engine, the
+# parallel model training and the parallel cross-validation loops).
+#
+# Runs DRIVER at --jobs 1 and --jobs 3 with no measurement store and
+# compares the stdouts byte for byte.
+#
+# Usage:
+#   cmake -DDRIVER=<exe> [-DDRIVER_ARGS=<args>] -DWORK_DIR=<dir>
+#         -P jobs_invariance_check.cmake
+
+if(NOT DEFINED DRIVER OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "jobs_invariance_check: DRIVER and WORK_DIR are required")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+separate_arguments(ARGS_LIST UNIX_COMMAND "${DRIVER_ARGS}")
+
+foreach(jobs 1 3)
+  execute_process(
+    COMMAND "${DRIVER}" ${ARGS_LIST} --jobs ${jobs}
+    OUTPUT_FILE "${WORK_DIR}/jobs${jobs}.out"
+    ERROR_FILE "${WORK_DIR}/jobs${jobs}.err"
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "jobs_invariance_check: --jobs ${jobs} run of ${DRIVER} failed "
+      "(rc=${rc}); see ${WORK_DIR}/jobs${jobs}.err")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E compare_files
+          "${WORK_DIR}/jobs1.out" "${WORK_DIR}/jobs3.out"
+  RESULT_VARIABLE differs)
+if(NOT differs EQUAL 0)
+  message(FATAL_ERROR
+    "jobs_invariance_check: stdout differs between --jobs 1 and --jobs 3 "
+    "(${WORK_DIR}/jobs1.out vs ${WORK_DIR}/jobs3.out)")
+endif()
+
+message(STATUS "jobs_invariance_check: byte-identical for --jobs 1 and 3")

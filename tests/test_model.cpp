@@ -250,6 +250,60 @@ TEST_F(EnergyModelTest, SerializationRoundTripPreservesPredictions) {
   }
 }
 
+TEST_F(EnergyModelTest, PredictBatchMatchesScalarBitwise) {
+  // The whole-dataset batched path (one scaling pass, layer sweeps over the
+  // full batch, ordered ensemble mean) must equal per-sample prediction
+  // exactly, not approximately.
+  EnergyModel model;
+  model.train(dataset_, 5);
+  const auto batch = model.predict_batch(dataset_.feature_matrix());
+  ASSERT_EQ(batch.size(), dataset_.samples.size());
+  const std::size_t check = std::min<std::size_t>(batch.size(), 100);
+  for (std::size_t i = 0; i < check; ++i) {
+    EXPECT_EQ(batch[i], model.predict(dataset_.samples[i].features))
+        << "sample " << i;
+  }
+}
+
+TEST_F(EnergyModelTest, RecommendManyMatchesIndividualRecommends) {
+  EnergyModel model;
+  model.train(dataset_, 10);
+  AcquisitionOptions opts;
+  opts.phase_iterations = 2;
+  DataAcquisition acq(node_, opts);
+  std::vector<std::map<std::string, double>> rate_sets;
+  for (const char* name : {"Lulesh", "Mcb", "miniMD"}) {
+    rate_sets.push_back(acq.collect_counter_rates(
+        workload::BenchmarkSuite::by_name(name), 24,
+        paper_feature_events()));
+  }
+  const auto many = model.recommend_many(rate_sets, node_.spec());
+  ASSERT_EQ(many.size(), rate_sets.size());
+  for (std::size_t k = 0; k < rate_sets.size(); ++k) {
+    const auto one = model.recommend(rate_sets[k], node_.spec());
+    EXPECT_EQ(many[k].cf, one.cf) << k;
+    EXPECT_EQ(many[k].ucf, one.ucf) << k;
+    EXPECT_EQ(many[k].predicted_normalized_energy,
+              one.predicted_normalized_energy)
+        << k;
+  }
+  EXPECT_TRUE(model.recommend_many({}, node_.spec()).empty());
+}
+
+TEST_F(EnergyModelTest, ParallelCandidateTrainingIsJobsInvariant) {
+  // The candidate pool reduces in attempt order, so the trained ensemble
+  // (weights, moments, member selection) is bitwise identical for any job
+  // count — the serialized form is the strictest witness.
+  EnergyModelConfig serial;
+  serial.jobs = 1;
+  EnergyModelConfig parallel;
+  parallel.jobs = 4;
+  EnergyModel m1(serial), m4(parallel);
+  m1.train(dataset_, 5);
+  m4.train(dataset_, 5);
+  EXPECT_EQ(m1.to_json().dump(), m4.to_json().dump());
+}
+
 TEST_F(EnergyModelTest, UntrainedModelThrows) {
   EnergyModel model;
   EXPECT_THROW((void)model.predict(std::vector<double>(9, 0.0)),

@@ -174,5 +174,143 @@ TEST(Mlp, RejectsDegenerateConfig) {
   EXPECT_THROW(Mlp(cfg, rng), PreconditionError);
 }
 
+TEST(Mlp, ForwardBatchMatchesScalarBitwise) {
+  // The batched path must be indistinguishable from per-point forwards:
+  // exact equality (EXPECT_EQ on doubles), across shapes and activation
+  // configurations.
+  const std::vector<std::vector<std::size_t>> shapes{
+      {9, 5, 5, 1}, {4, 8, 1}, {2, 3, 3, 3, 1}};
+  for (std::size_t s = 0; s < shapes.size(); ++s) {
+    for (bool relu_out : {true, false}) {
+      MlpConfig cfg;
+      cfg.layer_sizes = shapes[s];
+      cfg.relu_output = relu_out;
+      Rng rng(100 + 10 * s + (relu_out ? 1 : 0));
+      const Mlp net(cfg, rng);
+      Rng data(200 + s);
+      stats::Matrix x(64, shapes[s].front());
+      for (std::size_t r = 0; r < x.rows(); ++r)
+        for (std::size_t c = 0; c < x.cols(); ++c)
+          x(r, c) = data.normal(0.0, 2.0);
+      Workspace ws;
+      std::vector<double> batch(x.rows());
+      net.forward_batch(x, std::span<double>(batch), ws);
+      for (std::size_t r = 0; r < x.rows(); ++r) {
+        EXPECT_EQ(batch[r], net.predict(x.row(r)))
+            << "shape " << s << " relu_out " << relu_out << " row " << r;
+      }
+    }
+  }
+}
+
+TEST(Mlp, TrainEpochGoldenLossSequence) {
+  // Golden values captured from the pre-workspace (PR-3) implementation:
+  // the allocation-free refactor must reproduce the training trajectory
+  // bit for bit (same shuffles, same per-dot-product operation order).
+  const std::size_t n = 2048;
+  Rng data_rng(0xDA7A);
+  stats::Matrix x(n, 9);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < 9; ++j) x(i, j) = data_rng.normal(0.0, 1.0);
+    y[i] = data_rng.uniform(0.5, 1.5);
+  }
+  Rng rng(0x60D1);
+  Mlp net(MlpConfig{}, rng);
+  Rng shuffle(0x60D2);
+  const double golden[6] = {
+      0.59483072942753357,  0.10501934169583924, 0.091494347610431057,
+      0.087954805496645874, 0.08665858603551152, 0.085485810282438013};
+  for (int e = 0; e < 6; ++e) {
+    EXPECT_EQ(net.train_epoch(x, y, shuffle), golden[e]) << "epoch " << e;
+  }
+}
+
+TEST(Mlp, AdamStateSurvivesSerializationRoundTrip) {
+  // A restored network must resume training exactly where the original
+  // left off: optimizer moments, timestep and hyper-parameters all travel
+  // through JSON (they used to be dropped, silently resetting ADAM).
+  MlpConfig cfg;
+  cfg.layer_sizes = {4, 6, 1};
+  cfg.beta1 = 0.85;  // non-defaults must round-trip too
+  cfg.epsilon = 1e-7;
+  Rng rng(31);
+  Mlp net(cfg, rng);
+  stats::Matrix x(64, 4);
+  std::vector<double> y(64);
+  Rng d(32);
+  for (std::size_t i = 0; i < 64; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) x(i, j) = d.normal(0.0, 1.0);
+    y[i] = d.uniform(0.0, 2.0);
+  }
+  Rng shuffle(33);
+  for (int e = 0; e < 3; ++e) net.train_epoch(x, y, shuffle);
+
+  Mlp restored = Mlp::from_json(Json::parse(net.to_json().dump()));
+  EXPECT_EQ(restored.config().beta1, cfg.beta1);
+  EXPECT_EQ(restored.config().epsilon, cfg.epsilon);
+  Rng sa(34), sb(34);
+  for (int e = 0; e < 3; ++e) {
+    EXPECT_EQ(net.train_epoch(x, y, sa), restored.train_epoch(x, y, sb))
+        << "diverged at continued epoch " << e;
+  }
+  for (std::size_t i = 0; i < 8; ++i)
+    EXPECT_EQ(restored.predict(x.row(i)), net.predict(x.row(i)));
+}
+
+TEST(Mlp, LoadsLegacyJsonWithoutOptimizerState) {
+  // Files written before the optimizer state was serialized carry only
+  // weights/biases; they must load with default ADAM hyper-parameters and
+  // cold moments.
+  Rng rng(41);
+  Mlp net(MlpConfig{}, rng);
+  const Json full = net.to_json();
+  Json legacy = Json::object();
+  legacy["layer_sizes"] = full.at("layer_sizes");
+  legacy["relu_output"] = full.at("relu_output");
+  legacy["learning_rate"] = full.at("learning_rate");
+  Json layers = Json::array();
+  for (const auto& lj : full.at("layers").as_array()) {
+    Json l = Json::object();
+    l["w"] = lj.at("w");
+    l["b"] = lj.at("b");
+    l["relu"] = lj.at("relu");
+    layers.push_back(std::move(l));
+  }
+  legacy["layers"] = std::move(layers);
+
+  Mlp restored = Mlp::from_json(legacy);
+  EXPECT_EQ(restored.config().beta1, MlpConfig{}.beta1);
+  EXPECT_EQ(restored.config().beta2, MlpConfig{}.beta2);
+  EXPECT_EQ(restored.config().epsilon, MlpConfig{}.epsilon);
+  Rng probe(42);
+  for (int i = 0; i < 16; ++i) {
+    std::vector<double> p(9);
+    for (auto& v : p) v = probe.normal(0.0, 1.0);
+    EXPECT_EQ(restored.predict(p), net.predict(p));
+  }
+  // And it still trains (cold optimizer, but functional).
+  EXPECT_GE(restored.train_sample(std::vector<double>(9, 0.2), {1.0}), 0.0);
+}
+
+TEST(Mlp, WorkspaceRebindsAcrossNetworkShapes) {
+  // One caller-owned workspace serving networks of different geometry must
+  // regrow transparently and stay correct.
+  MlpConfig small;
+  small.layer_sizes = {2, 3, 1};
+  MlpConfig big;
+  big.layer_sizes = {9, 5, 5, 1};
+  Rng r1(51), r2(52);
+  const Mlp a(small, r1);
+  const Mlp b(big, r2);
+  Workspace ws;
+  const std::vector<double> xa{0.4, -0.7};
+  const std::vector<double> xb(9, 0.3);
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_EQ(a.predict(std::span<const double>(xa), ws), a.predict(xa));
+    EXPECT_EQ(b.predict(std::span<const double>(xb), ws), b.predict(xb));
+  }
+}
+
 }  // namespace
 }  // namespace ecotune::nn

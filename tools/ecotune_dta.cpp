@@ -197,7 +197,10 @@ int main(int argc, char** argv) {
     acq_opts.jobs = jobs;
     acq_opts.store = &cache;
     model::DataAcquisition acq(train_node, acq_opts);
-    model::EnergyModel energy_model;
+    model::EnergyModelConfig model_cfg;
+    model_cfg.jobs = jobs;  // candidate pool trains concurrently, bitwise
+                            // identical for any value
+    model::EnergyModel energy_model(model_cfg);
     energy_model.train(
         acq.acquire(workload::BenchmarkSuite::training_set()), opts.epochs);
 

@@ -1,0 +1,251 @@
+// Machine-readable performance report of the model/NN hot path: the
+// components every table/figure driver funnels through (MLP training,
+// scalar vs batched inference, the full-grid frequency recommendation).
+// Emits JSON so the perf trajectory can be tracked across PRs
+// (BENCH_*.json at the repo root).
+//
+//   perf_report [--out FILE] [--repeats N] [--quick]
+//               [--extra key=value]...
+//
+// Workloads mirror the reproduction pipeline: the training benchmark runs
+// at fig5 scale (19152 x 9 standardized samples, 10 consecutive epochs on
+// one network, running ADAM timestep), inference sweeps the 14 x 18
+// Haswell-EP frequency grid. Each metric reports the minimum over
+// --repeats runs (the standard robust microbenchmark estimator).
+#include <algorithm>
+#include <charconv>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <system_error>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/json.hpp"
+#include "common/rng.hpp"
+#include "hwsim/cpu_spec.hpp"
+#include "model/energy_model.hpp"
+#include "model/features.hpp"
+#include "nn/mlp.hpp"
+#include "stats/linalg.hpp"
+
+using namespace ecotune;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct Options {
+  std::string out;
+  int repeats = 3;
+  bool quick = false;
+  std::vector<std::pair<std::string, std::string>> extra;
+};
+
+[[noreturn]] void usage(int code) {
+  std::cout << "usage: perf_report [--out FILE] [--repeats N] [--quick]\n"
+               "                   [--extra key=value]...\n"
+               "  --out FILE       write the JSON report here (default: "
+               "stdout)\n"
+               "  --repeats N      repetitions per metric; the minimum is "
+               "reported (default 3)\n"
+               "  --quick          smaller workloads (CI smoke test)\n"
+               "  --extra k=v      attach an externally measured metric "
+               "(e.g. fig5_wall_seconds=12)\n";
+  std::exit(code);
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "error: " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--out") == 0) {
+      o.out = next("--out");
+    } else if (std::strcmp(argv[i], "--repeats") == 0) {
+      // Strict parse (repo convention since the PR-3 CLI hardening):
+      // garbage or out-of-range values exit 2 instead of being coerced.
+      const std::string v = next("--repeats");
+      int repeats = 0;
+      const auto res =
+          std::from_chars(v.data(), v.data() + v.size(), repeats, 10);
+      if (res.ec != std::errc() || res.ptr != v.data() + v.size() ||
+          repeats < 1) {
+        std::cerr << "error: --repeats expects an integer >= 1, got '" << v
+                  << "'\n";
+        std::exit(2);
+      }
+      o.repeats = repeats;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      o.quick = true;
+    } else if (std::strcmp(argv[i], "--extra") == 0) {
+      const std::string kv = next("--extra");
+      const auto eq = kv.find('=');
+      if (eq == std::string::npos) {
+        std::cerr << "error: --extra expects key=value, got '" << kv << "'\n";
+        std::exit(2);
+      }
+      o.extra.emplace_back(kv.substr(0, eq), kv.substr(eq + 1));
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      usage(0);
+    } else {
+      std::cerr << "error: unknown argument '" << argv[i] << "'\n";
+      usage(2);
+    }
+  }
+  return o;
+}
+
+double min_of(int repeats, double (*fn)(const Options&), const Options& o) {
+  double best = fn(o);
+  for (int r = 1; r < repeats; ++r) best = std::min(best, fn(o));
+  return best;
+}
+
+double bench_train_epoch(const Options& o) {
+  const std::size_t n = o.quick ? 2048 : 19152;
+  const int epochs = o.quick ? 3 : 10;
+  stats::Matrix x;
+  std::vector<double> y;
+  bench::synthetic_training_data(n, x, y);
+  Rng rng(42);
+  nn::Mlp net(nn::MlpConfig{}, rng);
+  Rng shuffle(43);
+  const auto t0 = Clock::now();
+  for (int e = 0; e < epochs; ++e) net.train_epoch(x, y, shuffle);
+  return seconds_since(t0) / epochs / static_cast<double>(n) * 1e9;
+}
+
+double bench_forward_scalar(const Options& o) {
+  const int iters = o.quick ? 100000 : 1000000;
+  Rng rng(7);
+  const nn::Mlp net(nn::MlpConfig{}, rng);
+  std::vector<double> x(9, 0.3);
+  double acc = 0.0;
+  const auto t0 = Clock::now();
+  for (int i = 0; i < iters; ++i) {
+    x[8] = static_cast<double>(i % 17) * 0.1;
+    acc += net.predict(x);
+  }
+  const double ns = seconds_since(t0) / iters * 1e9;
+  if (acc == 0.12345) std::cerr << "";  // keep the accumulator alive
+  return ns;
+}
+
+double bench_forward_batch(const Options& o) {
+  const int iters = o.quick ? 1000 : 10000;
+  Rng rng(7);
+  const nn::Mlp net(nn::MlpConfig{}, rng);
+  const stats::Matrix x = bench::synthetic_grid_batch();
+  const std::size_t grid = x.rows();
+  nn::Workspace ws;
+  std::vector<double> out(grid);
+  double acc = 0.0;
+  const auto t0 = Clock::now();
+  for (int i = 0; i < iters; ++i) {
+    net.forward_batch(x, std::span<double>(out), ws);
+    acc += out[static_cast<std::size_t>(i) % grid];
+  }
+  const double ns =
+      seconds_since(t0) / iters / static_cast<double>(grid) * 1e9;
+  if (acc == 0.12345) std::cerr << "";
+  return ns;
+}
+
+double bench_grid_recommend(const Options& o) {
+  const int iters = o.quick ? 200 : 2000;
+  const model::EnergyModel m = bench::untrained_ensemble_model(5);
+  const hwsim::CpuSpec spec = hwsim::haswell_ep_spec();
+  const std::map<std::string, double> rates = bench::synthetic_counter_rates();
+  double acc = 0.0;
+  const auto t0 = Clock::now();
+  for (int i = 0; i < iters; ++i) {
+    acc += m.recommend(rates, spec).predicted_normalized_energy;
+  }
+  const double us = seconds_since(t0) / iters * 1e6;
+  if (acc == 0.12345) std::cerr << "";
+  return us;
+}
+
+double bench_model_predict(const Options& o) {
+  const int iters = o.quick ? 50000 : 500000;
+  const model::EnergyModel m = bench::untrained_ensemble_model(5);
+  std::vector<double> f(9, 0.5);
+  double acc = 0.0;
+  const auto t0 = Clock::now();
+  for (int i = 0; i < iters; ++i) {
+    f[8] = static_cast<double>(i % 13) * 0.2;
+    acc += m.predict(f);
+  }
+  const double ns = seconds_since(t0) / iters * 1e9;
+  if (acc == 0.12345) std::cerr << "";
+  return ns;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+
+  Json results = Json::object();
+  results["mlp_train_epoch_ns_per_sample"] =
+      min_of(o.repeats, bench_train_epoch, o);
+  results["mlp_forward_scalar_ns_per_point"] =
+      min_of(o.repeats, bench_forward_scalar, o);
+  results["mlp_forward_batch_ns_per_point"] =
+      min_of(o.repeats, bench_forward_batch, o);
+  results["grid_recommend_us_per_call"] =
+      min_of(o.repeats, bench_grid_recommend, o);
+  results["energy_model_predict_ns_per_call"] =
+      min_of(o.repeats, bench_model_predict, o);
+  for (const auto& [k, v] : o.extra) {
+    char* end = nullptr;
+    const double num = std::strtod(v.c_str(), &end);
+    if (end != v.c_str() && *end == '\0') {
+      results[k] = num;
+    } else {
+      results[k] = v;
+    }
+  }
+
+  Json report = Json::object();
+  report["schema"] = std::string("ecotune-perf-report/1");
+  Json workloads = Json::object();
+  workloads["mlp_train_epoch"] = std::string(
+      o.quick ? "2048x9 samples, 3 epochs, 9-5-5-1 MLP, per-sample ADAM"
+              : "19152x9 samples, 10 epochs, 9-5-5-1 MLP, per-sample ADAM "
+                "(one fig5 candidate training)");
+  workloads["mlp_forward"] =
+      std::string("9-5-5-1 MLP, single point vs 252-row batch (14x18 grid)");
+  workloads["grid_recommend"] = std::string(
+      "EnergyModel (5-member ensemble) argmin over the 14x18 CF/UCF grid");
+  report["workloads"] = std::move(workloads);
+  report["estimator"] =
+      std::string("min over " + std::to_string(o.repeats) + " repeats");
+  report["results"] = std::move(results);
+
+  const std::string text = report.dump(2) + "\n";
+  if (o.out.empty()) {
+    std::cout << text;
+  } else {
+    std::ofstream f(o.out);
+    if (!f) {
+      std::cerr << "error: cannot write " << o.out << '\n';
+      return 2;
+    }
+    f << text;
+    std::cout << "perf report written to " << o.out << '\n';
+  }
+  return 0;
+}
