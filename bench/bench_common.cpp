@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/cli.hpp"
 #include "common/parallel.hpp"
 #include "model/features.hpp"
 
@@ -19,17 +20,6 @@ void banner(const std::string& title, const std::string& paper_reference) {
 }
 
 namespace {
-
-int parse_jobs_value(const char* flag, const char* text) {
-  char* end = nullptr;
-  const long jobs = std::strtol(text, &end, 10);
-  if (end == text || *end != '\0') {
-    std::cerr << "error: " << flag << " expects an integer, got '" << text
-              << "'\n";
-    std::exit(2);
-  }
-  return static_cast<int>(jobs);
-}
 
 [[noreturn]] void print_driver_usage(const char* argv0, int exit_code) {
   std::cout
@@ -50,21 +40,18 @@ int parse_jobs_value(const char* flag, const char* text) {
 DriverOptions parse_driver_options(int argc, char** argv) {
   DriverOptions opts;
   int jobs = 0;
-  std::string cache_mode;
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
-      if (i + 1 >= argc) {
-        std::cerr << "error: " << flag << " needs a value\n";
-        std::exit(2);
-      }
-      return argv[++i];
+      const char* value = cli::next_arg_value(argc, argv, i, flag);
+      if (value == nullptr) std::exit(2);
+      return value;
     };
     if (std::strcmp(argv[i], "--jobs") == 0) {
-      jobs = parse_jobs_value("--jobs", next("--jobs"));
+      jobs = cli::parse_strict_int_or_exit("--jobs", next("--jobs"), 0);
     } else if (std::strcmp(argv[i], "--cache-dir") == 0) {
       opts.cache_dir = next("--cache-dir");
     } else if (std::strcmp(argv[i], "--cache-mode") == 0) {
-      cache_mode = next("--cache-mode");
+      opts.cache_mode = next("--cache-mode");
     } else if (std::strcmp(argv[i], "--help") == 0 ||
                std::strcmp(argv[i], "-h") == 0) {
       print_driver_usage(argv[0], 0);
@@ -75,27 +62,7 @@ DriverOptions parse_driver_options(int argc, char** argv) {
     }
   }
   opts.jobs = resolve_jobs(jobs);
-  try {
-    opts.cache_mode = store::resolve_store_mode(cache_mode, opts.cache_dir);
-  } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << '\n';
-    std::exit(2);
-  }
   return opts;
-}
-
-void open_store(store::MeasurementStore& store, const DriverOptions& opts,
-                const std::string& scope) {
-  try {
-    store.open(opts.cache_dir, opts.cache_mode, scope);
-  } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << '\n';
-    std::exit(2);
-  }
-}
-
-void print_store_summary(const store::MeasurementStore& store) {
-  if (store.enabled()) std::cerr << store.summary() << '\n';
 }
 
 model::AcquisitionOptions paper_acquisition_options(

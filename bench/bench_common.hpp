@@ -15,30 +15,21 @@ namespace ecotune::bench {
 void banner(const std::string& title, const std::string& paper_reference);
 
 /// Shared CLI of the cache-aware drivers: `--jobs N` plus the measurement
-/// store flags `--cache-dir DIR` and `--cache-mode rw|ro|off` (default: rw
-/// when --cache-dir is given, off otherwise).
+/// store flags `--cache-dir DIR` and `--cache-mode rw|ro|off`. The cache
+/// mode is kept as raw text; resolution (and the exit-2 error path) happens
+/// once, inside api::open_session_or_exit, when the driver opens its
+/// Session.
 struct DriverOptions {
   int jobs = 1;  ///< already resolved (never 0)
   std::string cache_dir;
-  store::StoreMode cache_mode = store::StoreMode::kOff;
+  std::string cache_mode;  ///< raw --cache-mode text (empty = default)
 };
 
 /// Parses DriverOptions; exits with usage on unknown arguments or a bad
-/// value, so every table/fig driver gets a uniform CLI for free.
+/// value, so every table/fig driver gets a uniform CLI for free. Numeric
+/// flags go through cli::parse_strict_int: "--jobs ten" fails loudly here
+/// exactly as it does in ecotune_dta.
 [[nodiscard]] DriverOptions parse_driver_options(int argc, char** argv);
-
-/// Opens `store` as the options request (no-op when the cache is off).
-/// `scope` is the driver's name: it namespaces the store's task keys so
-/// several drivers can share one --cache-dir without their identical task
-/// ids invalidating each other. Exits 2 with a clean message on failure
-/// (unwritable directory, ...), like every other CLI error.
-void open_store(store::MeasurementStore& store, const DriverOptions& opts,
-                const std::string& scope);
-
-/// Prints the store's hit/miss summary to stderr when it is enabled.
-/// Stderr, not stdout: driver stdout must stay byte-identical between cold
-/// and warm runs; the counters are the warm-restart diagnostics.
-void print_store_summary(const store::MeasurementStore& store);
 
 /// Paper-faithful acquisition options: threads 12..24 step 4, full CF x UCF
 /// grid, two phase iterations per acquisition run. `jobs` controls how many

@@ -9,6 +9,7 @@
 #include <iostream>
 #include <numeric>
 
+#include "api/session.hpp"
 #include "bench_common.hpp"
 #include "common/parallel.hpp"
 #include "common/table.hpp"
@@ -21,13 +22,14 @@ using namespace ecotune;
 
 int main(int argc, char** argv) {
   const auto driver_opts = bench::parse_driver_options(argc, argv);
-  store::MeasurementStore cache;
-  bench::open_store(cache, driver_opts, "fig5");
+  auto session = api::open_session_or_exit(
+      api::SessionConfig{}
+          .train_seed(0xF165)
+          .jobs(driver_opts.jobs)
+          .cache(driver_opts.cache_dir, driver_opts.cache_mode)
+          .scope("fig5"));
   bench::banner("Fig. 5 -- LOOCV MAPE of the energy model",
                 "19 benchmarks, all DVFS and UFS states (Sec. V-B)");
-
-  hwsim::NodeSimulator node(hwsim::haswell_ep_spec(), 0, Rng(0xF165));
-  node.set_jitter(0.002);
 
   std::cout << "Table II benchmark suite:\n";
   for (const auto& b : workload::BenchmarkSuite::all())
@@ -37,9 +39,8 @@ int main(int argc, char** argv) {
 
   std::cout << "\nAcquiring training data (full CF x UCF grid, threads "
                "12..24 step 4)...\n";
-  const auto dataset = bench::acquire_dataset(
-      node, workload::BenchmarkSuite::all(),
-      bench::paper_acquisition_options(driver_opts.jobs, &cache));
+  const auto dataset =
+      session->acquire_dataset(workload::BenchmarkSuite::all());
   std::cout << "  " << dataset.samples.size() << " samples acquired\n\n";
 
   // --- Fig. 5: LOOCV, 5 epochs per fold ---------------------------------
@@ -112,7 +113,7 @@ int main(int argc, char** argv) {
   }
   model::EnergyModelConfig final_cfg;
   final_cfg.epochs = 10;
-  final_cfg.jobs = driver_opts.jobs;
+  final_cfg.jobs = session->jobs();
   model::EnergyModel final_model(final_cfg);
   final_model.train(train);
   const double final_mape =
@@ -120,6 +121,6 @@ int main(int argc, char** argv) {
   std::cout << "Final split (train 14, test Lulesh/Amg2013/miniMD/BEM4I/Mcb,"
                " 10 epochs):\n  test MAPE "
             << TextTable::num(final_mape, 2) << "   (paper: 7.80)\n";
-  bench::print_store_summary(cache);
+  session->print_store_summary();
   return 0;
 }

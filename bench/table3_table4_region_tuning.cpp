@@ -2,28 +2,24 @@
 // plugin finds for every significant region of Lulesh and Mcbenchmark --
 // the full design-time analysis (pre-processing, exhaustive OpenMP-thread
 // step, model-based frequency prediction, 3x3 neighborhood verification).
+// Thin shim over api::Session: one trained model, sequential DTAs on the
+// session's persistent tuning node.
 #include <iostream>
 
+#include "api/session.hpp"
 #include "bench_common.hpp"
 #include "common/table.hpp"
-#include "core/dvfs_ufs_plugin.hpp"
 
 using namespace ecotune;
 
 namespace {
 
-void tune_and_print(hwsim::NodeSimulator& node,
-                    const model::EnergyModel& trained, int jobs,
-                    store::MeasurementStore& cache,
-                    const std::string& bench_name, const std::string& title,
-                    const std::string& paper_note) {
+void tune_and_print(api::Session& session, const std::string& bench_name,
+                    const std::string& title, const std::string& paper_note) {
   const auto app = workload::BenchmarkSuite::by_name(bench_name)
                        .with_iterations(12);
-  core::DvfsUfsPlugin::Options plugin_opts;
-  plugin_opts.engine.jobs = jobs;
-  plugin_opts.engine.store = &cache;
-  core::DvfsUfsPlugin plugin(trained, plugin_opts);
-  const auto result = plugin.run_dta(app, node);
+  const api::DtaReport report = session.run_dta(app);
+  const core::DtaResult& result = report.result;
 
   std::cout << "--- " << title << ": " << bench_name << " ---\n"
             << "significant regions      : "
@@ -60,29 +56,29 @@ void tune_and_print(hwsim::NodeSimulator& node,
 
 int main(int argc, char** argv) {
   const auto driver_opts = bench::parse_driver_options(argc, argv);
-  store::MeasurementStore cache;
-  bench::open_store(cache, driver_opts, "table3_table4");
-  const int jobs = driver_opts.jobs;
+  auto session = api::open_session_or_exit(
+      api::SessionConfig{}
+          .train_seed(0x7AB4)
+          .tuning_seed(0x7AB3)
+          .tuning_node_id(0)
+          .jobs(driver_opts.jobs)
+          .cache(driver_opts.cache_dir, driver_opts.cache_mode)
+          .scope("table3_table4"));
   bench::banner("Tables III and IV -- Region-level tuning results",
                 "full DTA of the DVFS/UFS/OpenMP plugin on Lulesh and "
                 "Mcbenchmark (Sec. V-C)");
 
-  hwsim::NodeSimulator node(hwsim::haswell_ep_spec(), 0, Rng(0x7AB3));
-  node.set_jitter(0.002);
-
   std::cout << "Training the final energy model...\n";
-  hwsim::NodeSimulator train_node(hwsim::haswell_ep_spec(), 0, Rng(0x7AB4));
-  train_node.set_jitter(0.002);
-  const auto trained = bench::train_final_model(train_node, jobs, &cache);
+  session->train_model();
 
-  tune_and_print(node, trained, jobs, cache, "Lulesh", "Table III",
+  tune_and_print(*session, "Lulesh", "Table III",
                  "(paper Table III: 5 regions, threads 20-24, CF 2.40-2.50, "
                  "UCF 2.00 --\nregion configs are clamped to the verified "
                  "neighborhood of the phase optimum)");
-  tune_and_print(node, trained, jobs, cache, "Mcb", "Table IV",
+  tune_and_print(*session, "Mcb", "Table IV",
                  "(paper Table IV: 5 regions, threads 20-24, CF 1.60-1.70, "
                  "UCF 2.20-2.30 --\nmemory-bound: low core frequency, high "
                  "uncore frequency)");
-  bench::print_store_summary(cache);
+  session->print_store_summary();
   return 0;
 }

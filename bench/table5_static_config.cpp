@@ -1,25 +1,28 @@
 // Reproduces paper Table V: the optimal static configuration (OpenMP
 // threads, core frequency, uncore frequency) of the five evaluation
 // benchmarks, found by exhaustively running each at every configuration and
-// keeping the minimum-energy one.
+// keeping the minimum-energy one. Thin shim over api::Session, which owns
+// the node, the measurement store, and the jobs policy.
 #include <iostream>
 
+#include "api/session.hpp"
 #include "bench_common.hpp"
-#include "baseline/static_tuner.hpp"
 #include "common/table.hpp"
 
 using namespace ecotune;
 
 int main(int argc, char** argv) {
   const auto driver_opts = bench::parse_driver_options(argc, argv);
-  store::MeasurementStore cache;
-  bench::open_store(cache, driver_opts, "table5");
+  auto session = api::open_session_or_exit(
+      api::SessionConfig{}
+          .tuning_seed(0x7AB5)
+          .tuning_node_id(0)
+          .jobs(driver_opts.jobs)
+          .cache(driver_opts.cache_dir, driver_opts.cache_mode)
+          .scope("table5"));
   bench::banner("Table V -- Optimal static configuration",
                 "exhaustive (threads x CF x UCF) search per benchmark "
                 "(Sec. V-D)");
-
-  hwsim::NodeSimulator node(hwsim::haswell_ep_spec(), 0, Rng(0x7AB5));
-  node.set_jitter(0.002);
 
   struct PaperRow {
     const char* name;
@@ -35,14 +38,10 @@ int main(int argc, char** argv) {
   TextTable table("Table V: obtained optimal static configuration");
   table.header({"Benchmark", "thr", "CF", "UCF", "paper thr", "paper CF",
                 "paper UCF", "runs"});
-  baseline::StaticTunerOptions opts;  // full grid
-  opts.jobs = driver_opts.jobs;
-  opts.store = &cache;
-  baseline::StaticTuner tuner(node, opts);
   std::size_t i = 0;
   for (const auto& name : workload::BenchmarkSuite::evaluation_names()) {
     const auto result =
-        tuner.tune(workload::BenchmarkSuite::by_name(name));
+        session->tune_static(workload::BenchmarkSuite::by_name(name));
     table.row({name, std::to_string(result.best.threads),
                TextTable::num(result.best.core.as_ghz(), 2),
                TextTable::num(result.best.uncore.as_ghz(), 2),
@@ -56,6 +55,6 @@ int main(int argc, char** argv) {
   std::cout << "\nShape check vs paper: compute-bound (Lulesh, miniMD, "
                "BEM4I) at high CF / low UCF,\nmemory-bound (Mcb) at low CF "
                "/ high UCF, Amg2013 thread-limited at 16.\n";
-  bench::print_store_summary(cache);
+  session->print_store_summary();
   return 0;
 }

@@ -6,6 +6,7 @@
 #include <iostream>
 #include <numeric>
 
+#include "api/session.hpp"
 #include "bench_common.hpp"
 #include "common/table.hpp"
 #include "core/evaluation.hpp"
@@ -14,29 +15,25 @@ using namespace ecotune;
 
 int main(int argc, char** argv) {
   const auto driver_opts = bench::parse_driver_options(argc, argv);
-  store::MeasurementStore cache;
-  bench::open_store(cache, driver_opts, "table6");
-  const int jobs = driver_opts.jobs;
+  auto session = api::open_session_or_exit(
+      api::SessionConfig{}
+          .train_seed(0x7AB6)
+          .tuning_seed(0x7AB7)
+          .tuning_node_id(0)
+          .jobs(driver_opts.jobs)
+          .cache(driver_opts.cache_dir, driver_opts.cache_mode)
+          .scope("table6")
+          .repeats(5)
+          // Average two phase iterations per scenario during DTA
+          // verification so the per-region selection is not driven by
+          // single-measurement noise.
+          .iterations_per_scenario(2));
   bench::banner("Table VI -- Static and dynamic tuning results",
                 "savings relative to the 24 thr / 2.5|3.0 GHz default, "
                 "averaged over 5 runs (Sec. V-D/E)");
 
   std::cout << "Training the final energy model...\n";
-  hwsim::NodeSimulator train_node(hwsim::haswell_ep_spec(), 0, Rng(0x7AB6));
-  train_node.set_jitter(0.002);
-  const auto trained = bench::train_final_model(train_node, jobs, &cache);
-
-  hwsim::NodeSimulator node(hwsim::haswell_ep_spec(), 0, Rng(0x7AB7));
-  node.set_jitter(0.002);
-
-  core::SavingsOptions opts;
-  opts.repeats = 5;
-  opts.jobs = jobs;  // benchmark rows run concurrently, output unchanged
-  opts.store = &cache;  // whole rows replay from a warm measurement store
-  // Average two phase iterations per scenario during DTA verification so
-  // the per-region selection is not driven by single-measurement noise.
-  opts.plugin.engine.iterations_per_scenario = 2;
-  core::SavingsEvaluator evaluator(node, trained, opts);
+  session->train_model();
 
   TextTable table("Table VI: static and dynamic tuning savings (%)");
   table.header({"Benchmark", "static job E", "static CPU E", "static time",
@@ -46,7 +43,8 @@ int main(int argc, char** argv) {
   std::vector<workload::Benchmark> apps;
   for (const auto& name : workload::BenchmarkSuite::evaluation_names())
     apps.push_back(workload::BenchmarkSuite::by_name(name).with_iterations(12));
-  const std::vector<core::SavingsRow> rows = evaluator.evaluate_all(apps);
+  const std::vector<core::SavingsRow> rows =
+      session->evaluate_savings(apps).rows;
 
   double s_job = 0, s_cpu = 0, d_job = 0, d_cpu = 0;
   for (const auto& row : rows) {
@@ -110,6 +108,6 @@ int main(int argc, char** argv) {
               << " switches per production run, static config "
               << to_string(r.static_config) << '\n';
   }
-  bench::print_store_summary(cache);
+  session->print_store_summary();
   return 0;
 }

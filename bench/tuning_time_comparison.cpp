@@ -6,30 +6,33 @@
 // paper's closed-form accounting.
 #include <iostream>
 
+#include "api/session.hpp"
 #include "bench_common.hpp"
 #include "baseline/exhaustive_tuner.hpp"
 #include "common/table.hpp"
-#include "core/dvfs_ufs_plugin.hpp"
 #include "instr/scorep_runtime.hpp"
 
 using namespace ecotune;
 
 int main(int argc, char** argv) {
   const auto driver_opts = bench::parse_driver_options(argc, argv);
-  store::MeasurementStore cache;
-  bench::open_store(cache, driver_opts, "tuning_time");
-  const int jobs = driver_opts.jobs;
+  auto session = api::open_session_or_exit(
+      api::SessionConfig{}
+          .train_seed(0x77C0)
+          .tuning_seed(0x77C1)
+          .tuning_node_id(0)
+          .jobs(driver_opts.jobs)
+          .cache(driver_opts.cache_dir, driver_opts.cache_mode)
+          .scope("tuning_time"));
+  const int jobs = session->jobs();
   bench::banner("Sec. V-C -- Tuning-time comparison",
                 "model-based plugin (k+1+9 experiments) vs exhaustive "
                 "search (n x k x l x m runs)");
 
   std::cout << "Training the final energy model...\n";
-  hwsim::NodeSimulator train_node(hwsim::haswell_ep_spec(), 0, Rng(0x77C0));
-  train_node.set_jitter(0.002);
-  const auto trained = bench::train_final_model(train_node, jobs, &cache);
+  session->train_model();
 
-  hwsim::NodeSimulator node(hwsim::haswell_ep_spec(), 0, Rng(0x77C1));
-  node.set_jitter(0.002);
+  hwsim::NodeSimulator& node = session->tuning_node();
   const auto& spec = node.spec();
 
   TextTable table("Tuning time: ours vs exhaustive (Mcbenchmark workload)");
@@ -51,11 +54,7 @@ int main(int argc, char** argv) {
   }
 
   // --- Our plugin -------------------------------------------------------
-  core::DvfsUfsPlugin::Options plugin_opts;
-  plugin_opts.engine.jobs = jobs;
-  plugin_opts.engine.store = &cache;
-  core::DvfsUfsPlugin plugin(trained, plugin_opts);
-  const auto dta = plugin.run_dta(app, node);
+  const core::DtaResult dta = session->run_dta(app).result;
   const int ours_experiments =
       dta.thread_scenarios + dta.analysis_runs + dta.frequency_scenarios;
   const double ours_time = dta.tuning_time.value();
@@ -72,7 +71,7 @@ int main(int argc, char** argv) {
   ex_opts.cf_stride = 2;   // run a quarter of the grid, extrapolate cost
   ex_opts.ucf_stride = 2;
   ex_opts.jobs = jobs;
-  ex_opts.store = &cache;
+  ex_opts.store = &session->store();
   baseline::ExhaustiveTuner exhaustive(node, ex_opts);
   const auto ex = exhaustive.tune(app);
   const double grid_scale =
@@ -114,6 +113,6 @@ int main(int argc, char** argv) {
             << to_string(ex.app_best) << '\n'
             << "plugin phase best                        : "
             << to_string(dta.phase_best) << '\n';
-  bench::print_store_summary(cache);
+  session->print_store_summary();
   return 0;
 }

@@ -10,6 +10,10 @@
 if(NOT TARGET ecotune_build_flags)
   add_library(ecotune_build_flags INTERFACE)
   add_library(ecotune::build_flags ALIAS ecotune_build_flags)
+  # The module libs link this PRIVATE, which still records a $<LINK_ONLY:>
+  # reference in their export information; ship the (artifact-free)
+  # interface target in the same export set so install(EXPORT) resolves.
+  install(TARGETS ecotune_build_flags EXPORT ecotune-targets)
 
   if(CMAKE_CXX_COMPILER_ID STREQUAL "MSVC")
     target_compile_options(ecotune_build_flags INTERFACE /W4)
@@ -53,11 +57,18 @@ function(ecotune_add_module name)
   add_library(${target} STATIC ${ARG_SOURCES})
   add_library(ecotune::${name} ALIAS ${target})
 
-  target_include_directories(${target} PUBLIC "${PROJECT_SOURCE_DIR}/src")
+  # Build against the source tree; installed consumers resolve the same
+  # "module/header.hpp" spellings under <prefix>/include/ecotune.
+  target_include_directories(${target} PUBLIC
+    $<BUILD_INTERFACE:${PROJECT_SOURCE_DIR}/src>
+    $<INSTALL_INTERFACE:${CMAKE_INSTALL_INCLUDEDIR}/ecotune>)
   target_link_libraries(${target} PRIVATE ecotune::build_flags)
   foreach(dep IN LISTS ARG_DEPS)
     target_link_libraries(${target} PUBLIC ecotune_${dep})
   endforeach()
+
+  install(TARGETS ${target} EXPORT ecotune-targets
+    ARCHIVE DESTINATION ${CMAKE_INSTALL_LIBDIR})
 endfunction()
 
 # ecotune_add_executable(<name> SOURCES <src...> [DEPS <target...>])

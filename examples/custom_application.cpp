@@ -2,16 +2,14 @@
 //
 // Downstream users describe their code as a phase loop over regions with
 // kernel characteristics (instruction mix, memory traffic, scaling); the
-// plugin then tunes it exactly like the built-in suite. This example builds
-// a small CFD-flavoured solver with one bandwidth-bound and two
+// Session then tunes it exactly like the built-in suite. This example
+// builds a small CFD-flavoured solver with one bandwidth-bound and two
 // compute-bound regions, tunes it, and validates the result against the
 // ground-truth optimum.
 #include <iostream>
 
-#include "baseline/static_tuner.hpp"
-#include "core/dvfs_ufs_plugin.hpp"
-#include "model/dataset.hpp"
-#include "workload/suite.hpp"
+#include "api/session.hpp"
+#include "instr/scorep_runtime.hpp"
 
 using namespace ecotune;
 
@@ -69,21 +67,15 @@ workload::Benchmark make_cfd_solver() {
 }  // namespace
 
 int main() {
-  hwsim::NodeSimulator node(hwsim::haswell_ep_spec(), 0, Rng(7));
+  api::Session session(api::SessionConfig{}.seed(7));
 
   std::cout << "Training the energy model on the standard suite...\n";
-  model::AcquisitionOptions acq_opts;
-  acq_opts.thread_counts = {12, 16, 20, 24};
-  model::DataAcquisition acquisition(node, acq_opts);
-  model::EnergyModel energy_model;
-  energy_model.train(
-      acquisition.acquire(workload::BenchmarkSuite::training_set()), 10);
+  session.train_model();
 
   // Tune the user-defined application. The model has never seen it; its
   // counter signature alone drives the frequency recommendation.
   const auto app = make_cfd_solver();
-  core::DvfsUfsPlugin plugin(energy_model);
-  const auto result = plugin.run_dta(app, node);
+  const auto result = session.run_dta(app).result;
 
   std::cout << "\n" << app.name() << ": "
             << result.dyn_report.significant.size()
@@ -92,19 +84,17 @@ int main() {
   for (const auto& [region, config] : result.region_best)
     std::cout << "  " << region << " -> " << to_string(config) << '\n';
 
-  // Validate against the ground-truth static optimum.
-  baseline::StaticTunerOptions st;
-  st.cf_stride = 1;
-  st.ucf_stride = 1;
-  baseline::StaticTuner tuner(node, st);
-  const auto truth = tuner.tune(app);
+  // Validate against the ground-truth static optimum (exhaustive search on
+  // the same session node).
+  const auto truth = session.tune_static(app);
   std::cout << "\nground-truth static optimum: " << to_string(truth.best)
             << "\nplugin phase selection     : "
             << to_string(result.phase_best) << '\n';
 
   // How much energy does the plugin's choice leave on the table?
   const auto at = [&](const SystemConfig& c) {
-    return instr::run_uninstrumented(app.with_iterations(3), node, c)
+    return instr::run_uninstrumented(app.with_iterations(3),
+                                     session.tuning_node(), c)
         .node_energy.value();
   };
   const double regret =

@@ -6,29 +6,33 @@
 //  - the measured energy surface along both frequency axes,
 //  - what the plugin selects and what it saves,
 //  - how the picture changes under the EDP objective, which penalizes the
-//    slowdown that pure energy tuning accepts.
+//    slowdown that pure energy tuning accepts -- demonstrating model reuse:
+//    the second Session borrows the first one's trained model instead of
+//    re-acquiring and re-training.
 #include <iostream>
 
-#include "core/evaluation.hpp"
-#include "model/dataset.hpp"
-#include "workload/suite.hpp"
+#include "api/session.hpp"
+#include "instr/scorep_runtime.hpp"
 
 using namespace ecotune;
 
 int main() {
-  hwsim::NodeSimulator node(hwsim::haswell_ep_spec(), 0, Rng(11));
+  baseline::StaticTunerOptions coarse_search;
+  coarse_search.cf_stride = 2;
+  coarse_search.ucf_stride = 2;
+
+  api::Session session(api::SessionConfig{}
+                           .seed(11)
+                           .repeats(3)
+                           .static_search(coarse_search));
 
   std::cout << "Training the energy model...\n";
-  model::AcquisitionOptions acq_opts;
-  acq_opts.thread_counts = {12, 16, 20, 24};
-  model::DataAcquisition acquisition(node, acq_opts);
-  model::EnergyModel energy_model;
-  energy_model.train(
-      acquisition.acquire(workload::BenchmarkSuite::training_set()), 10);
+  session.train_model();
 
   const auto app = workload::BenchmarkSuite::by_name("Mcb").with_iterations(10);
 
   // Show the two 1-D slices through the energy surface at 20 threads.
+  auto& node = session.tuning_node();
   std::cout << "\nnode energy vs core frequency (UCF = 2.5 GHz, 20 thr):\n";
   for (int mhz = 1200; mhz <= 2500; mhz += 300) {
     const auto e = instr::run_uninstrumented(
@@ -49,12 +53,7 @@ int main() {
   }
 
   // Full pipeline under the energy objective.
-  core::SavingsOptions opts;
-  opts.repeats = 3;
-  opts.static_search.cf_stride = 2;
-  opts.static_search.ucf_stride = 2;
-  core::SavingsEvaluator evaluator(node, energy_model, opts);
-  const auto row = evaluator.evaluate(app);
+  const core::SavingsRow row = session.evaluate_savings(app);
 
   std::cout << "\n--- energy objective ---\n"
             << "static optimum : " << to_string(row.static_config)
@@ -66,11 +65,15 @@ int main() {
             << "  (config effect " << row.perf_reduction_config_pct
             << "%, overhead " << row.overhead_pct << "%)\n";
 
-  // The same pipeline under EDP: less slowdown, less savings.
-  core::SavingsOptions edp_opts = opts;
-  edp_opts.plugin.config.objective = "edp";
-  core::SavingsEvaluator edp_evaluator(node, energy_model, edp_opts);
-  const auto edp_row = edp_evaluator.evaluate(app);
+  // The same pipeline under EDP: less slowdown, less savings. The EDP
+  // session reuses the already-trained model -- no second acquisition.
+  api::Session edp_session(api::SessionConfig{}
+                               .seed(11)
+                               .repeats(3)
+                               .static_search(coarse_search)
+                               .objective("edp"));
+  edp_session.use_model(session.model());
+  const core::SavingsRow edp_row = edp_session.evaluate_savings(app);
   std::cout << "\n--- EDP objective ---\n"
             << "dynamic tuning : job " << edp_row.dynamic_job_energy_pct
             << "%, CPU " << edp_row.dynamic_cpu_energy_pct << "%, time "

@@ -5,17 +5,16 @@
 // every new application; the per-application tuning model is likewise
 // serialized and handed to the runtime (RRL) via a file -- exactly the
 // SCOREP_RRL_TMM_PATH mechanism of the paper. This example exercises that
-// full save/load cycle.
+// full save/load cycle: Session::use_model() is the "load" half, so the
+// application owner's Session never acquires training data at all.
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
-#include "core/dvfs_ufs_plugin.hpp"
-#include "model/dataset.hpp"
+#include "api/session.hpp"
 #include "readex/rrl.hpp"
-#include "workload/suite.hpp"
 
 using namespace ecotune;
 
@@ -26,17 +25,14 @@ int main() {
 
   // ---- Site admin: train and persist the energy model -------------------
   {
-    hwsim::NodeSimulator node(hwsim::haswell_ep_spec(), 0, Rng(21));
-    model::AcquisitionOptions acq_opts;
-    acq_opts.thread_counts = {16, 24};
-    acq_opts.cf_stride = 2;
-    acq_opts.ucf_stride = 2;
-    model::DataAcquisition acq(node, acq_opts);
-    model::EnergyModel energy_model;
-    energy_model.train(
-        acq.acquire(workload::BenchmarkSuite::training_set()), 10);
+    model::AcquisitionOptions coarse;
+    coarse.thread_counts = {16, 24};
+    coarse.cf_stride = 2;
+    coarse.ucf_stride = 2;
+    api::Session session(api::SessionConfig{}.seed(21).acquisition(coarse));
+    session.train_model();
     std::ofstream os(model_path);
-    os << energy_model.to_json().dump(2);
+    os << session.model().to_json().dump(2);
     std::cout << "energy model saved to " << model_path << '\n';
   }
 
@@ -46,14 +42,14 @@ int main() {
     std::ifstream is(model_path);
     std::ostringstream buf;
     buf << is.rdbuf();
-    const auto energy_model =
-        model::EnergyModel::from_json(Json::parse(buf.str()));
 
-    hwsim::NodeSimulator node(hwsim::haswell_ep_spec(), 3, Rng(21));
-    core::DvfsUfsPlugin plugin(energy_model);
+    api::Session session(
+        api::SessionConfig{}.tuning_seed(21).tuning_node_id(3));
+    session.use_model(model::EnergyModel::from_json(Json::parse(buf.str())));
+
     const auto app =
         workload::BenchmarkSuite::by_name("BEM4I").with_iterations(10);
-    const auto dta = plugin.run_dta(app, node);
+    const auto dta = session.run_dta(app).result;
     dta.tuning_model.save(tm_path);
     std::cout << "tuning model for " << app.name() << " saved to " << tm_path
               << " (" << dta.tuning_model.scenarios().size()

@@ -1,61 +1,25 @@
-// Quickstart: tune one application end-to-end in ~40 lines.
+// Quickstart: tune one application end-to-end through the public API.
 //
-//   1. create a simulated Haswell-EP node,
-//   2. train the neural-network energy model on the training benchmarks,
-//   3. run the DVFS/UFS/OpenMP tuning plugin's design-time analysis,
-//   4. inspect the tuning model it produced.
+// api::Session owns the whole paper workflow -- simulated node, training
+// data acquisition, the neural-network energy model, and the design-time
+// analysis -- so tuning a benchmark is three calls.
 //
 // Build & run:  ./build/examples/quickstart
 #include <iostream>
 
-#include "core/dvfs_ufs_plugin.hpp"
-#include "model/dataset.hpp"
-#include "workload/suite.hpp"
-
-using namespace ecotune;
+#include "api/report.hpp"
+#include "api/session.hpp"
 
 int main() {
-  // A node of the simulated cluster (node 0, deterministic seed).
-  hwsim::NodeSimulator node(hwsim::haswell_ep_spec(), 0, Rng(42));
+  ecotune::api::Session session(ecotune::api::SessionConfig{}.seed(42));
 
-  // Acquire training data and train the energy model. A coarse grid is
-  // plenty for the quickstart; bench/fig5_loocv_mape uses the full grid.
-  model::AcquisitionOptions acq_opts;
-  acq_opts.thread_counts = {12, 16, 20, 24};
-  model::DataAcquisition acquisition(node, acq_opts);
-  std::cout << "Acquiring training data..." << std::endl;
-  const auto dataset =
-      acquisition.acquire(workload::BenchmarkSuite::training_set());
-  model::EnergyModel energy_model;
-  energy_model.train(dataset, 10);
-  std::cout << "Trained on " << dataset.samples.size() << " samples.\n";
+  std::cout << "Training the energy model...\n";
+  session.train_model();
 
-  // Tune Lulesh: pre-processing, thread search, model-guided frequency
-  // selection, neighborhood verification, tuning-model generation.
-  const auto app = workload::BenchmarkSuite::by_name("Lulesh");
-  core::DvfsUfsPlugin plugin(energy_model);
-  const core::DtaResult result = plugin.run_dta(app, node);
+  const ecotune::api::DtaReport report = session.run_dta("Lulesh");
 
-  std::cout << "\nSignificant regions (> "
-            << result.dyn_report.threshold.value() * 1e3 << " ms):\n";
-  for (const auto& r : result.dyn_report.significant)
-    std::cout << "  " << r.name << "  (mean "
-              << r.mean_time.value() * 1e3 << " ms)\n";
-
-  std::cout << "\nPhase optimum: " << to_string(result.phase_best)
-            << "\nModel recommendation was " << to_string(result.recommendation.cf)
-            << "|" << to_string(result.recommendation.ucf) << "\n\nTuning model ("
-            << result.tuning_model.scenarios().size() << " scenarios):\n";
-  for (const auto& s : result.tuning_model.scenarios()) {
-    std::cout << "  scenario " << s.id << ": " << to_string(s.config)
-              << "  <-";
-    for (const auto& r : s.regions) std::cout << ' ' << r;
-    std::cout << '\n';
-  }
-  std::cout << "\nTuning cost: " << result.thread_scenarios << " + "
-            << result.analysis_runs << " + " << result.frequency_scenarios
-            << " experiments in " << result.app_runs
-            << " application runs ("
-            << result.tuning_time.value() << " s simulated).\n";
+  ecotune::api::TextReportSink sink(std::cout);
+  sink.dta(report);
+  sink.close();
   return 0;
 }

@@ -1,0 +1,138 @@
+#include "api/report.hpp"
+
+#include "common/table.hpp"
+
+namespace ecotune::api {
+
+namespace {
+
+Json config_to_json(const SystemConfig& c) {
+  Json j = Json::object();
+  j["threads"] = c.threads;
+  j["cf_mhz"] = c.core.as_mhz();
+  j["ucf_mhz"] = c.uncore.as_mhz();
+  return j;
+}
+
+// The one place the document shape (and its schema tag) is defined;
+// CampaignReport::to_json and JsonReportSink::close both emit through it.
+Json report_document(Json::Array reports) {
+  Json j = Json::object();
+  j["schema"] = "ecotune.dta.v1";
+  j["reports"] = Json(std::move(reports));
+  return j;
+}
+
+}  // namespace
+
+Json DtaReport::to_json() const {
+  Json j = Json::object();
+  j["benchmark"] = benchmark;
+  j["objective"] = objective;
+  j["phase_threads"] = result.phase_threads;
+
+  Json significant = Json::array();
+  for (const auto& sig : result.dyn_report.significant)
+    significant.push_back(sig.name);
+  j["significant_regions"] = std::move(significant);
+
+  Json rec = Json::object();
+  rec["cf_mhz"] = result.recommendation.cf.as_mhz();
+  rec["ucf_mhz"] = result.recommendation.ucf.as_mhz();
+  rec["predicted_normalized_energy"] =
+      result.recommendation.predicted_normalized_energy;
+  j["recommendation"] = std::move(rec);
+  j["phase_best"] = config_to_json(result.phase_best);
+
+  Json regions = Json::array();
+  for (const auto& sig : result.dyn_report.significant) {
+    const auto it = result.region_best.find(sig.name);
+    if (it == result.region_best.end()) continue;
+    Json row = Json::object();
+    row["region"] = sig.name;
+    row["threads"] = it->second.threads;
+    row["cf_mhz"] = it->second.core.as_mhz();
+    row["ucf_mhz"] = it->second.uncore.as_mhz();
+    row["scenario"] = result.tuning_model.scenario_id(sig.name);
+    regions.push_back(std::move(row));
+  }
+  j["regions"] = std::move(regions);
+
+  Json experiments = Json::object();
+  experiments["thread_scenarios"] = result.thread_scenarios;
+  experiments["analysis_runs"] = result.analysis_runs;
+  experiments["frequency_scenarios"] = result.frequency_scenarios;
+  experiments["app_runs"] = result.app_runs;
+  experiments["tuning_time_s"] = result.tuning_time.value();
+  j["experiments"] = std::move(experiments);
+
+  // The exact (bitwise double round-trip) analysis result, so machine
+  // consumers can rehydrate a full core::DtaResult from the report.
+  j["result"] = result.to_json();
+  return j;
+}
+
+Json CampaignReport::to_json() const {
+  Json::Array array;
+  array.reserve(reports.size());
+  for (const auto& report : reports) array.push_back(report.to_json());
+  return report_document(std::move(array));
+}
+
+// -- TextReportSink ---------------------------------------------------------
+
+void TextReportSink::training_started(int epochs) {
+  os_ << "training energy model (" << epochs << " epochs)...\n";
+}
+
+void TextReportSink::dta(const DtaReport& report) {
+  const core::DtaResult& r = report.result;
+  os_ << "\n=== " << report.benchmark << " (" << report.objective
+      << " objective) ===\n"
+      << "significant regions : " << r.dyn_report.significant.size() << '\n'
+      << "phase threads       : " << r.phase_threads << '\n'
+      << "model recommendation: " << to_string(r.recommendation.cf) << '|'
+      << to_string(r.recommendation.ucf) << '\n'
+      << "phase best          : " << to_string(r.phase_best) << '\n'
+      << "experiments         : " << r.thread_scenarios << " + "
+      << r.analysis_runs << " + " << r.frequency_scenarios << " in "
+      << r.app_runs << " app runs ("
+      << TextTable::num(r.tuning_time.value(), 1) << " s simulated)\n\n";
+
+  TextTable table("per-region configuration");
+  table.header({"region", "threads", "CF", "UCF", "scenario"});
+  for (const auto& sig : r.dyn_report.significant) {
+    const auto it = r.region_best.find(sig.name);
+    if (it == r.region_best.end()) continue;
+    table.row({sig.name, std::to_string(it->second.threads),
+               to_string(it->second.core), to_string(it->second.uncore),
+               std::to_string(r.tuning_model.scenario_id(sig.name))});
+  }
+  table.print(os_);
+}
+
+void TextReportSink::model_written(const std::string& /*benchmark*/,
+                                   const std::string& path) {
+  os_ << "\ntuning model written to " << path << '\n';
+}
+
+// -- JsonReportSink ---------------------------------------------------------
+
+void JsonReportSink::dta(const DtaReport& report) {
+  reports_.push_back(report.to_json());
+}
+
+void JsonReportSink::model_written(const std::string& benchmark,
+                                   const std::string& path) {
+  for (auto& buffered : reports_)
+    if (buffered.at("benchmark").as_string() == benchmark)
+      buffered["tuning_model_path"] = path;
+}
+
+void JsonReportSink::close() {
+  if (closed_) return;
+  closed_ = true;
+  os_ << report_document(std::move(reports_)).dump(indent_) << '\n';
+}
+
+}  // namespace ecotune::api

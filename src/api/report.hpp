@@ -1,0 +1,71 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "api/session.hpp"
+#include "common/json.hpp"
+
+namespace ecotune::api {
+
+/// Renders Session results. One sink instance accompanies one driver run;
+/// the same DtaReport renders as the classic text tables (byte-identical
+/// to the pre-Session drivers) or as one machine-readable JSON document,
+/// selected by the driver's --format flag.
+class ReportSink {
+ public:
+  virtual ~ReportSink() = default;
+
+  /// Announces that energy-model training is starting.
+  virtual void training_started(int epochs) = 0;
+  /// Renders one design-time-analysis outcome.
+  virtual void dta(const DtaReport& report) = 0;
+  /// Notes that `benchmark`'s tuning model was persisted to `path`.
+  virtual void model_written(const std::string& benchmark,
+                             const std::string& path) = 0;
+  /// Finishes the document (the JSON sink emits everything here).
+  virtual void close() = 0;
+};
+
+/// The classic human-readable rendering; byte-identical to the output the
+/// hand-wired ecotune_dta produced before the Session refactor.
+class TextReportSink final : public ReportSink {
+ public:
+  explicit TextReportSink(std::ostream& os) : os_(os) {}
+
+  void training_started(int epochs) override;
+  void dta(const DtaReport& report) override;
+  void model_written(const std::string& benchmark,
+                     const std::string& path) override;
+  void close() override {}
+
+ private:
+  std::ostream& os_;
+};
+
+/// Machine-readable rendering: buffers every report and emits one JSON
+/// document at close() --
+///   {"schema": "ecotune.dta.v1", "reports": [<DtaReport::to_json()>...]}
+/// -- parseable by common/json (Json::parse round-trips it). Progress
+/// chatter (training_started) is deliberately dropped so stdout is exactly
+/// one document.
+class JsonReportSink final : public ReportSink {
+ public:
+  /// `indent` < 0 emits the compact single-line form.
+  explicit JsonReportSink(std::ostream& os, int indent = 2)
+      : os_(os), indent_(indent) {}
+
+  void training_started(int /*epochs*/) override {}
+  void dta(const DtaReport& report) override;
+  void model_written(const std::string& benchmark,
+                     const std::string& path) override;
+  void close() override;
+
+ private:
+  std::ostream& os_;
+  int indent_;
+  Json::Array reports_;
+  bool closed_ = false;
+};
+
+}  // namespace ecotune::api

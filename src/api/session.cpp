@@ -1,0 +1,267 @@
+#include "api/session.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/fingerprint.hpp"
+#include "common/logging.hpp"
+#include "common/parallel.hpp"
+
+namespace ecotune::api {
+
+Session::Session(SessionConfig config)
+    : config_(std::move(config)), jobs_(resolve_jobs(config_.jobs())) {
+  // Store-mode resolution and the directory open both throw ecotune::Error
+  // with a user-facing message; open_session_or_exit maps that to the
+  // uniform CLI behavior (exit 2).
+  store_.open(
+      config_.cache_dir(),
+      store::resolve_store_mode(config_.cache_mode(), config_.cache_dir()),
+      config_.scope());
+}
+
+hwsim::NodeSimulator& Session::training_node() {
+  if (!training_node_) {
+    training_node_.emplace(config_.spec(), config_.train_node_id(),
+                           Rng(config_.train_seed()));
+    training_node_->set_jitter(config_.jitter());
+  }
+  return *training_node_;
+}
+
+hwsim::NodeSimulator& Session::tuning_node() {
+  if (!tuning_node_) {
+    tuning_node_.emplace(config_.spec(), config_.tuning_node_id(),
+                         Rng(config_.tuning_seed()));
+    tuning_node_->set_jitter(config_.jitter());
+  }
+  return *tuning_node_;
+}
+
+model::EnergyDataset Session::acquire_dataset() {
+  return acquire_dataset(workload::BenchmarkSuite::training_set());
+}
+
+model::EnergyDataset Session::acquire_dataset(
+    const std::vector<workload::Benchmark>& benchmarks) {
+  model::AcquisitionOptions opts = config_.acquisition();
+  opts.jobs = jobs_;
+  opts.store = &store_;
+  model::DataAcquisition acquisition(training_node(), opts);
+  return acquisition.acquire(benchmarks);
+}
+
+const model::EnergyModel& Session::train_model() {
+  if (model_) return *model_;
+  const auto dataset = acquire_dataset();
+  model::EnergyModelConfig model_cfg;
+  model_cfg.jobs = jobs_;  // candidate pool trains concurrently, bitwise
+                           // identical for any value
+  model_.emplace(model_cfg);
+  model_->train(dataset, config_.epochs());
+  return *model_;
+}
+
+void Session::use_model(model::EnergyModel model) {
+  ensure(model.trained(),
+         "Session::use_model: the injected energy model is untrained");
+  model_ = std::move(model);
+}
+
+const model::EnergyModel& Session::model() const {
+  ensure(model_.has_value(),
+         "Session::model: no model yet; call train_model() or use_model()");
+  return *model_;
+}
+
+core::DvfsUfsPlugin::Options Session::plugin_options() {
+  core::DvfsUfsPlugin::Options po;
+  po.config.objective = config_.objective();
+  po.config.neighborhood_radius = config_.radius();
+  po.config.per_region_prediction = config_.per_region();
+  po.engine.iterations_per_scenario = config_.iterations_per_scenario();
+  po.engine.jobs = jobs_;
+  po.engine.store = &store_;
+  return po;
+}
+
+DtaReport Session::run_dta(const workload::Benchmark& app) {
+  const auto& trained = train_model();
+  core::DvfsUfsPlugin plugin(trained, plugin_options());
+  DtaReport report;
+  report.benchmark = app.name();
+  report.objective = config_.objective();
+  report.result = plugin.run_dta(app, tuning_node());
+  return report;
+}
+
+DtaReport Session::run_dta(const std::string& benchmark_name) {
+  return run_dta(workload::BenchmarkSuite::by_name(benchmark_name));
+}
+
+CampaignReport Session::run_dta_campaign(
+    const std::vector<workload::Benchmark>& apps) {
+  const auto& trained = train_model();
+  const long call_tag = campaign_calls_++;
+  auto& base = tuning_node();
+  const core::DvfsUfsPlugin::Options po = plugin_options();
+
+  // Whole-DTA row caching, deliberately mirroring
+  // SavingsEvaluator::evaluate_all (core/evaluation.cpp): base fingerprint
+  // over node state + plugin/engine options + full model dump, per-row
+  // noise-keyed lookup with decode-fallback, clone + elapsed accounting,
+  // ordered reduce, base.idle(total). A change to either copy's cache
+  // invariants (new fingerprint field, fallback policy) belongs in both.
+  store::MeasurementStore* cache = store_.enabled() ? &store_ : nullptr;
+  Fingerprint base_fp;
+  if (cache != nullptr) {
+    base_fp.add_digest("node", base.state_fingerprint())
+        .add("plugin_config", po.config.to_json().dump(-1))
+        .add("engine.iterations_per_scenario",
+             po.engine.iterations_per_scenario)
+        .add("engine.measurement_noise", po.engine.measurement_noise)
+        .add("engine.seed", po.engine.seed)
+        // The trained model determines every frequency recommendation, so
+        // its full weight state is part of each campaign row's identity.
+        .add("model", trained.to_json().dump(-1));
+  }
+
+  struct Outcome {
+    core::DtaResult result;
+    Seconds elapsed{0};
+  };
+  auto outcomes = parallel_map_ordered(
+      apps.size(),
+      [&](std::size_t i) {
+        const std::string noise_key = "campaign-" + std::to_string(call_tag) +
+                                      "-" + std::to_string(i) + "-" +
+                                      apps[i].name();
+        store::MeasurementKey key;
+        if (cache != nullptr) {
+          Fingerprint fp = base_fp;
+          fp.add("noise_key", noise_key)
+              .add_digest("app", apps[i].fingerprint_digest());
+          key.task = "dta/" + noise_key;
+          key.fingerprint = fp.digest();
+          if (const auto hit = cache->lookup(key)) {
+            try {
+              Outcome out;
+              out.result = core::DtaResult::from_json(hit->at("dta"));
+              out.elapsed = Seconds(hit->at("elapsed").as_number());
+              return out;
+            } catch (const std::exception& e) {
+              log::error("api")
+                  << "undecodable cache payload for '" << key.task << "' ("
+                  << e.what() << "); re-running the DTA";
+            }
+          }
+        }
+
+        hwsim::NodeSimulator node = base.clone(noise_key);
+        const Seconds t0 = node.now();
+        core::DvfsUfsPlugin::Options row_po = po;
+        // Campaign rows already parallelize across benchmarks; keep each
+        // row's engine serial so a campaign never multiplies worker counts.
+        row_po.engine.jobs = 1;
+        // Engine-level store entries of concurrent rows must not collide on
+        // identical task ids (same benchmark, run counters from zero).
+        row_po.engine.key_scope = noise_key;
+        core::DvfsUfsPlugin plugin(trained, row_po);
+        Outcome out;
+        out.result = plugin.run_dta(apps[i], node);
+        out.elapsed = node.now() - t0;
+
+        if (cache != nullptr) {
+          Json payload = Json::object();
+          payload["dta"] = out.result.to_json();
+          payload["elapsed"] = out.elapsed.value();
+          cache->insert(key, payload);
+        }
+        return out;
+      },
+      jobs_);
+
+  CampaignReport campaign;
+  campaign.reports.reserve(outcomes.size());
+  Seconds total{0};
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    DtaReport report;
+    report.benchmark = apps[i].name();
+    report.objective = config_.objective();
+    report.result = std::move(outcomes[i].result);
+    campaign.reports.push_back(std::move(report));
+    total += outcomes[i].elapsed;
+  }
+  // The campaign consumed simulated time on the clones; advance the base
+  // node by the same amount (mirrors SavingsEvaluator::evaluate_all).
+  base.idle(total);
+  return campaign;
+}
+
+CampaignReport Session::run_dta_campaign(
+    const std::vector<std::string>& names) {
+  std::vector<workload::Benchmark> apps;
+  apps.reserve(names.size());
+  for (const auto& name : names)
+    apps.push_back(workload::BenchmarkSuite::by_name(name));
+  return run_dta_campaign(apps);
+}
+
+baseline::StaticTuningResult Session::tune_static(
+    const workload::Benchmark& app) {
+  return tune_static(app, *ptf::make_objective(config_.objective()));
+}
+
+baseline::StaticTuningResult Session::tune_static(
+    const workload::Benchmark& app, const ptf::TuningObjective& objective) {
+  if (!static_tuner_) {
+    baseline::StaticTunerOptions opts = config_.static_search();
+    opts.jobs = jobs_;
+    opts.store = &store_;
+    static_tuner_.emplace(tuning_node(), opts);
+  }
+  return static_tuner_->tune(app, objective);
+}
+
+SavingsReport Session::evaluate_savings(
+    const std::vector<workload::Benchmark>& apps) {
+  if (!savings_evaluator_) {
+    const auto& trained = train_model();
+    core::SavingsOptions opts;
+    opts.repeats = config_.repeats();
+    opts.static_search = config_.static_search();
+    opts.plugin = plugin_options();
+    // Rows parallelize across benchmarks; keep the per-row engine serial so
+    // the evaluation never multiplies worker counts (exactly the hand-wired
+    // drivers' layout). Output is jobs-invariant either way.
+    opts.plugin.engine.jobs = 1;
+    opts.jobs = jobs_;
+    opts.store = &store_;
+    savings_evaluator_.emplace(tuning_node(), trained, opts);
+  }
+  SavingsReport report;
+  report.rows = savings_evaluator_->evaluate_all(apps);
+  return report;
+}
+
+core::SavingsRow Session::evaluate_savings(const workload::Benchmark& app) {
+  auto report = evaluate_savings(std::vector<workload::Benchmark>{app});
+  return std::move(report.rows.front());
+}
+
+void Session::print_store_summary() const {
+  if (store_.enabled()) std::cerr << store_.summary() << '\n';
+}
+
+std::unique_ptr<Session> open_session_or_exit(SessionConfig config) {
+  try {
+    return std::make_unique<Session>(std::move(config));
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    std::exit(2);
+  }
+}
+
+}  // namespace ecotune::api

@@ -1,0 +1,22 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+
+namespace ecotune::cli {
+
+int parse_strict_int_or_exit(const char* flag, const std::string& text,
+                             int min_value) {
+  int value = 0;
+  if (!parse_strict_int(flag, text, min_value, value)) std::exit(2);
+  return value;
+}
+
+const char* next_arg_value(int argc, char** argv, int& i, const char* flag) {
+  if (i + 1 >= argc) {
+    std::cerr << "error: " << flag << " needs a value\n";
+    return nullptr;
+  }
+  return argv[++i];
+}
+
+}  // namespace ecotune::cli

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <charconv>
+#include <iostream>
+#include <string>
+
+namespace ecotune::cli {
+
+/// Strict integer parsing shared by every driver CLI: the whole value must
+/// be a base-10 integer within [min_value, max of T]. std::atoi silently
+/// returned 0 on garbage, which turned e.g. "--epochs ten" into a
+/// zero-epoch (untrained) model; every flag that takes a number goes
+/// through here so "--jobs ten" fails loudly in the bench drivers exactly
+/// as it does in ecotune_dta. Prints a user-facing message to stderr and
+/// returns false on rejection.
+template <class T>
+bool parse_strict_int(const char* flag, const std::string& text, T min_value,
+                      T& out) {
+  T value{};
+  const auto res =
+      std::from_chars(text.data(), text.data() + text.size(), value, 10);
+  if (res.ec != std::errc() || res.ptr != text.data() + text.size()) {
+    std::cerr << "error: " << flag << " expects an integer, got '" << text
+              << "'\n";
+    return false;
+  }
+  if (value < min_value) {
+    std::cerr << "error: " << flag << " must be >= " << +min_value
+              << ", got " << +value << '\n';
+    return false;
+  }
+  out = value;
+  return true;
+}
+
+/// parse_strict_int for exit-on-error CLIs (the bench drivers): returns the
+/// parsed value or exits with status 2.
+[[nodiscard]] int parse_strict_int_or_exit(const char* flag,
+                                           const std::string& text,
+                                           int min_value);
+
+/// Fetches the value of `flag` from argv, advancing `i`; prints an error
+/// and returns nullptr when the value is missing. Shared by every driver's
+/// hand-rolled argument loop.
+[[nodiscard]] const char* next_arg_value(int argc, char** argv, int& i,
+                                         const char* flag);
+
+}  // namespace ecotune::cli

@@ -128,6 +128,9 @@ std::vector<SavingsRow> SavingsEvaluator::evaluate_all(
     SavingsRow row;
     Seconds elapsed{0};
   };
+  // Whole-row caching; api::Session::run_dta_campaign mirrors this exact
+  // machinery for whole-DTA rows. A change to either copy's cache
+  // invariants (new fingerprint field, fallback policy) belongs in both.
   store::MeasurementStore* cache =
       options_.store != nullptr && options_.store->enabled() ? options_.store
                                                              : nullptr;

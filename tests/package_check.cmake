@@ -1,0 +1,80 @@
+# Configure-against-installed-tree check for the exported ecotune package.
+#
+# Installs the already-built tree into a scratch prefix, then configures,
+# builds, and runs the tiny out-of-tree consumer project
+# (tests/package_consumer) against it via find_package(ecotune). Fails when
+#   - the install itself fails,
+#   - find_package(ecotune) does not resolve from the prefix,
+#   - the consumer fails to build or link, or
+#   - the consumer binary does not run successfully.
+#
+# Usage:
+#   cmake -DBUILD_DIR=<build tree> -DCONSUMER_DIR=<consumer project>
+#         -DWORK_DIR=<scratch dir> [-DCXX_COMPILER=<c++>]
+#         -P package_check.cmake
+
+if(NOT DEFINED BUILD_DIR OR NOT DEFINED CONSUMER_DIR OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR
+    "package_check: BUILD_DIR, CONSUMER_DIR and WORK_DIR are required")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(prefix "${WORK_DIR}/prefix")
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" --install "${BUILD_DIR}" --prefix "${prefix}"
+  OUTPUT_FILE "${WORK_DIR}/install.log"
+  ERROR_FILE "${WORK_DIR}/install.log"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "package_check: cmake --install failed (rc=${rc}); see "
+    "${WORK_DIR}/install.log")
+endif()
+
+set(configure_args
+  -S "${CONSUMER_DIR}" -B "${WORK_DIR}/consumer-build"
+  -DCMAKE_PREFIX_PATH=${prefix}
+  -DCMAKE_BUILD_TYPE=Release)
+if(DEFINED CXX_COMPILER)
+  list(APPEND configure_args -DCMAKE_CXX_COMPILER=${CXX_COMPILER})
+endif()
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" ${configure_args}
+  OUTPUT_FILE "${WORK_DIR}/configure.log"
+  ERROR_FILE "${WORK_DIR}/configure.log"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "package_check: find_package(ecotune) configure failed (rc=${rc}); see "
+    "${WORK_DIR}/configure.log")
+endif()
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" --build "${WORK_DIR}/consumer-build"
+  OUTPUT_FILE "${WORK_DIR}/build.log"
+  ERROR_FILE "${WORK_DIR}/build.log"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "package_check: consumer build failed (rc=${rc}); see "
+    "${WORK_DIR}/build.log")
+endif()
+
+execute_process(
+  COMMAND "${WORK_DIR}/consumer-build/consumer"
+  OUTPUT_VARIABLE consumer_out
+  ERROR_VARIABLE consumer_out
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "package_check: consumer binary failed (rc=${rc}):\n${consumer_out}")
+endif()
+if(NOT consumer_out MATCHES "ecotune installed OK")
+  message(FATAL_ERROR
+    "package_check: unexpected consumer output:\n${consumer_out}")
+endif()
+
+message(STATUS "package_check: installed-tree consumer built and ran:\n"
+  "${consumer_out}")

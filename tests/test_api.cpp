@@ -1,0 +1,277 @@
+// Tests of the public api::Session facade and its report sinks:
+//  - Session::run_dta must equal the legacy hand-wired driver stack
+//    bit-for-bit (same seeds, same wiring, compared via the exact JSON
+//    round-trip of core::DtaResult),
+//  - the TextReportSink must render the legacy driver format byte for byte,
+//  - the JsonReportSink document must round-trip through common/json,
+//  - run_dta_campaign must be jobs-invariant and warm-restart from the
+//    measurement store with zero misses,
+//  - the shared strict CLI integer parsing must reject garbage.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <limits>
+#include <sstream>
+
+#include "api/report.hpp"
+#include "api/session.hpp"
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "core/dvfs_ufs_plugin.hpp"
+#include "model/dataset.hpp"
+
+namespace ecotune {
+namespace {
+
+// Reduced-cost but end-to-end configuration: single thread count, coarse
+// frequency grid, one epoch. Everything below shares it so the legacy and
+// Session stacks are compared on identical protocols.
+model::AcquisitionOptions tiny_acquisition() {
+  model::AcquisitionOptions opts;
+  opts.thread_counts = {24};
+  opts.cf_stride = 4;
+  opts.ucf_stride = 4;
+  opts.phase_iterations = 1;
+  return opts;
+}
+
+api::SessionConfig tiny_config() {
+  return api::SessionConfig{}.seed(77).epochs(1).acquisition(
+      tiny_acquisition());
+}
+
+// Trained once per test binary; sessions that do not need to exercise the
+// training path inject it via use_model().
+const model::EnergyModel& tiny_model() {
+  static const model::EnergyModel trained = [] {
+    api::Session session(tiny_config().jobs(0));
+    return session.train_model();
+  }();
+  return trained;
+}
+
+const api::DtaReport& shared_report() {
+  static const api::DtaReport report = [] {
+    api::Session session(tiny_config().jobs(2));
+    session.use_model(tiny_model());
+    return session.run_dta(
+        workload::BenchmarkSuite::by_name("Lulesh").with_iterations(3));
+  }();
+  return report;
+}
+
+TEST(ApiSession, RunDtaMatchesHandWiredLegacyStack) {
+  const auto app =
+      workload::BenchmarkSuite::by_name("Lulesh").with_iterations(3);
+
+  // The legacy wiring every driver used to repeat by hand (the pre-Session
+  // ecotune_dta main, at this test's reduced protocol).
+  hwsim::NodeSimulator train_node(hwsim::haswell_ep_spec(), 0, Rng(77));
+  train_node.set_jitter(0.002);
+  model::AcquisitionOptions acq_opts = tiny_acquisition();
+  acq_opts.jobs = 1;
+  model::DataAcquisition acq(train_node, acq_opts);
+  model::EnergyModelConfig model_cfg;
+  model_cfg.jobs = 1;
+  model::EnergyModel energy_model(model_cfg);
+  energy_model.train(acq.acquire(workload::BenchmarkSuite::training_set()),
+                     1);
+
+  hwsim::NodeSimulator node(hwsim::haswell_ep_spec(), 1, Rng(78));
+  node.set_jitter(0.002);
+  core::DvfsUfsPlugin plugin(energy_model, {});
+  const core::DtaResult legacy = plugin.run_dta(app, node);
+
+  // The Session path, same seeds and protocol.
+  api::Session session(tiny_config().jobs(1));
+  const api::DtaReport report = session.run_dta(app);
+
+  // Exact JSON round trip preserves doubles bitwise, so dump equality is
+  // bit-for-bit equality of the full analysis result.
+  EXPECT_EQ(report.result.to_json().dump(-1), legacy.to_json().dump(-1));
+}
+
+TEST(ApiReport, TextSinkRendersLegacyDriverFormat) {
+  const api::DtaReport& report = shared_report();
+  const core::DtaResult& result = report.result;
+
+  // The pre-Session ecotune_dta print block, verbatim.
+  std::ostringstream expected;
+  expected << "training energy model (1 epochs)...\n";
+  expected << "\n=== " << report.benchmark << " (" << report.objective
+           << " objective) ===\n"
+           << "significant regions : "
+           << result.dyn_report.significant.size() << '\n'
+           << "phase threads       : " << result.phase_threads << '\n'
+           << "model recommendation: "
+           << to_string(result.recommendation.cf) << '|'
+           << to_string(result.recommendation.ucf) << '\n'
+           << "phase best          : " << to_string(result.phase_best)
+           << '\n'
+           << "experiments         : " << result.thread_scenarios << " + "
+           << result.analysis_runs << " + " << result.frequency_scenarios
+           << " in " << result.app_runs << " app runs ("
+           << TextTable::num(result.tuning_time.value(), 1)
+           << " s simulated)\n\n";
+  TextTable table("per-region configuration");
+  table.header({"region", "threads", "CF", "UCF", "scenario"});
+  for (const auto& sig : result.dyn_report.significant) {
+    const auto it = result.region_best.find(sig.name);
+    if (it == result.region_best.end()) continue;
+    table.row({sig.name, std::to_string(it->second.threads),
+               to_string(it->second.core), to_string(it->second.uncore),
+               std::to_string(result.tuning_model.scenario_id(sig.name))});
+  }
+  table.print(expected);
+  expected << "\ntuning model written to out.json\n";
+
+  std::ostringstream got;
+  api::TextReportSink sink(got);
+  sink.training_started(1);
+  sink.dta(report);
+  sink.model_written(report.benchmark, "out.json");
+  sink.close();
+  EXPECT_EQ(got.str(), expected.str());
+}
+
+TEST(ApiReport, JsonSinkRoundTripsThroughCommonJson) {
+  const api::DtaReport& report = shared_report();
+
+  std::ostringstream os;
+  api::JsonReportSink sink(os);
+  sink.training_started(1);  // must not leak progress chatter into JSON
+  sink.dta(report);
+  sink.model_written(report.benchmark, "out.json");
+  sink.close();
+
+  const Json doc = Json::parse(os.str());
+  EXPECT_EQ(doc.at("schema").as_string(), "ecotune.dta.v1");
+  const auto& reports = doc.at("reports").as_array();
+  ASSERT_EQ(reports.size(), 1u);
+  const Json& r = reports.front();
+  EXPECT_EQ(r.at("benchmark").as_string(), report.benchmark);
+  EXPECT_EQ(r.at("objective").as_string(), report.objective);
+  EXPECT_EQ(r.at("tuning_model_path").as_string(), "out.json");
+  EXPECT_EQ(r.at("phase_threads").as_int(), report.result.phase_threads);
+  EXPECT_EQ(r.at("significant_regions").as_array().size(),
+            report.result.dyn_report.significant.size());
+
+  // The embedded DtaResult rehydrates bit-exactly.
+  const core::DtaResult rehydrated =
+      core::DtaResult::from_json(r.at("result"));
+  EXPECT_EQ(rehydrated.to_json().dump(-1),
+            report.result.to_json().dump(-1));
+
+  // Compact (indent < 0) form parses too.
+  std::ostringstream compact;
+  api::JsonReportSink compact_sink(compact, -1);
+  compact_sink.dta(report);
+  compact_sink.close();
+  EXPECT_EQ(Json::parse(compact.str()).at("reports").as_array().size(), 1u);
+}
+
+TEST(ApiSession, CampaignIsJobsInvariant) {
+  const std::vector<workload::Benchmark> apps = {
+      workload::BenchmarkSuite::by_name("Lulesh").with_iterations(2),
+      workload::BenchmarkSuite::by_name("Mcb").with_iterations(2),
+      workload::BenchmarkSuite::by_name("miniMD").with_iterations(2)};
+
+  api::Session serial(tiny_config().jobs(1));
+  serial.use_model(tiny_model());
+  api::Session parallel(tiny_config().jobs(3));
+  parallel.use_model(tiny_model());
+
+  const api::CampaignReport c1 = serial.run_dta_campaign(apps);
+  const api::CampaignReport c3 = parallel.run_dta_campaign(apps);
+  ASSERT_EQ(c1.reports.size(), apps.size());
+  EXPECT_EQ(c1.to_json().dump(-1), c3.to_json().dump(-1));
+}
+
+TEST(ApiSession, CampaignWarmRestartsFromStoreWithZeroMisses) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "ecotune_api_campaign")
+          .string();
+  std::filesystem::remove_all(dir);
+  const std::vector<workload::Benchmark> apps = {
+      workload::BenchmarkSuite::by_name("Lulesh").with_iterations(2),
+      workload::BenchmarkSuite::by_name("Mcb").with_iterations(2)};
+
+  api::Session cold(tiny_config().jobs(2).cache(dir).scope("test_api"));
+  cold.use_model(tiny_model());
+  const api::CampaignReport cold_report = cold.run_dta_campaign(apps);
+
+  api::Session warm(tiny_config().jobs(3).cache(dir).scope("test_api"));
+  warm.use_model(tiny_model());
+  const api::CampaignReport warm_report = warm.run_dta_campaign(apps);
+
+  EXPECT_EQ(warm_report.to_json().dump(-1), cold_report.to_json().dump(-1));
+  // Every whole-DTA row must answer from the store.
+  EXPECT_EQ(warm.store().stats().misses, 0);
+  EXPECT_EQ(warm.store().stats().hits,
+            static_cast<long>(apps.size()));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ApiSession, SeedConventionAndOverrides) {
+  EXPECT_EQ(api::SessionConfig{}.seed(10).train_seed(), 10u);
+  EXPECT_EQ(api::SessionConfig{}.seed(10).tuning_seed(), 11u);
+  EXPECT_EQ(api::SessionConfig{}.seed(10).tuning_seed(99).tuning_seed(),
+            99u);
+  EXPECT_EQ(api::SessionConfig{}.train_node_id(), 0);
+  EXPECT_EQ(api::SessionConfig{}.tuning_node_id(), 1);
+}
+
+TEST(ApiSession, ModelLifecycle) {
+  api::Session session(tiny_config());
+  EXPECT_FALSE(session.has_model());
+  EXPECT_THROW(static_cast<void>(session.model()), Error);
+  EXPECT_THROW(session.use_model(model::EnergyModel{}), Error);
+
+  session.use_model(tiny_model());
+  ASSERT_TRUE(session.has_model());
+  // train_model() is idempotent once a model exists: same object back.
+  const model::EnergyModel* first = &session.train_model();
+  EXPECT_EQ(first, &session.train_model());
+  EXPECT_EQ(first, &session.model());
+}
+
+TEST(ApiSession, StoreConfigurationErrorsThrow) {
+  EXPECT_THROW(api::Session(api::SessionConfig{}.cache("/tmp/x", "sideways")),
+               Error);
+  // A non-off mode without a cache dir is the same CLI error the drivers
+  // always rejected.
+  EXPECT_THROW(api::Session(api::SessionConfig{}.cache("", "rw")), Error);
+}
+
+TEST(ApiSession, UnknownBenchmarkThrows) {
+  api::Session session(tiny_config());
+  session.use_model(tiny_model());
+  EXPECT_THROW(session.run_dta("NoSuchBenchmark"), Error);
+  EXPECT_THROW(session.run_dta_campaign(std::vector<std::string>{"Nope"}),
+               Error);
+}
+
+TEST(Cli, StrictIntRejectsGarbageAndRespectsBounds) {
+  int value = 5;
+  EXPECT_FALSE(cli::parse_strict_int("--epochs", "ten", 1, value));
+  EXPECT_FALSE(cli::parse_strict_int("--epochs", "3x", 1, value));
+  EXPECT_FALSE(cli::parse_strict_int("--epochs", "", 1, value));
+  EXPECT_FALSE(cli::parse_strict_int("--epochs", "0", 1, value));
+  EXPECT_FALSE(cli::parse_strict_int("--jobs", "-2", 0, value));
+  EXPECT_EQ(value, 5);  // failures never touch the output
+
+  EXPECT_TRUE(cli::parse_strict_int("--epochs", "12", 1, value));
+  EXPECT_EQ(value, 12);
+
+  std::uint64_t seed = 0;
+  EXPECT_TRUE(cli::parse_strict_int("--seed", "18446744073709551615",
+                                    std::uint64_t{0}, seed));
+  EXPECT_EQ(seed, std::numeric_limits<std::uint64_t>::max());
+  EXPECT_FALSE(cli::parse_strict_int("--seed", "18446744073709551616",
+                                     std::uint64_t{0}, seed));
+}
+
+}  // namespace
+}  // namespace ecotune

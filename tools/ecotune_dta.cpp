@@ -1,22 +1,25 @@
 // Command-line front end for the full design-time analysis: trains the
-// energy model, tunes a benchmark, prints the report and writes the tuning
-// model for the RRL.
+// energy model, tunes one or more benchmarks and renders the report --
+// classic text tables or machine-readable JSON -- via api::Session, the
+// same public facade the examples and bench drivers use.
 //
 //   ecotune_dta --benchmark Lulesh [--objective energy] [--epochs 10]
 //               [--radius 1] [--per-region] [--seed 42] [--jobs N]
 //               [--cache-dir DIR] [--cache-mode rw|ro|off]
+//               [--format text|json]
 //               [--output tuning_model.json] [--list]
-#include <charconv>
+//
+// Repeating --benchmark runs a campaign: the model is trained once and all
+// benchmarks are analyzed concurrently (output is jobs-invariant).
 #include <cstdint>
 #include <iostream>
+#include <memory>
 #include <string>
-#include <system_error>
+#include <vector>
 
-#include "common/parallel.hpp"
-#include "common/table.hpp"
-#include "core/dvfs_ufs_plugin.hpp"
-#include "model/dataset.hpp"
-#include "store/measurement_store.hpp"
+#include "api/report.hpp"
+#include "api/session.hpp"
+#include "common/cli.hpp"
 #include "workload/suite.hpp"
 
 using namespace ecotune;
@@ -24,11 +27,12 @@ using namespace ecotune;
 namespace {
 
 struct CliOptions {
-  std::string benchmark;
+  std::vector<std::string> benchmarks;
   std::string objective = "energy";
   std::string output;
   std::string cache_dir;
   std::string cache_mode;  // empty = rw when --cache-dir given, else off
+  std::string format = "text";
   int epochs = 10;
   int radius = 1;
   bool per_region = false;
@@ -45,7 +49,10 @@ void print_usage() {
       "usage: ecotune_dta --benchmark <name> [options]\n"
       "\n"
       "options:\n"
-      "  --benchmark <name>   benchmark to tune (see --list)\n"
+      "  --benchmark <name>   benchmark to tune (see --list); repeat the\n"
+      "                       flag to run a multi-benchmark campaign that\n"
+      "                       trains the model once and analyzes all\n"
+      "                       benchmarks concurrently\n"
       "  --objective <name>   energy|cpu_energy|time|edp|ed2p|tco "
       "(default energy)\n"
       "  --epochs <n>         training epochs for the energy model "
@@ -60,68 +67,45 @@ void print_usage() {
       "                       prints byte-identical output on stdout\n"
       "  --cache-mode <m>     rw|ro|off (default: rw with --cache-dir,\n"
       "                       off otherwise)\n"
-      "  --output <path>      write the tuning model JSON here\n"
+      "  --format <f>         text|json (default text); json emits one\n"
+      "                       document parseable by common/json\n"
+      "  --output <path>      write the tuning model JSON here (single\n"
+      "                       --benchmark only)\n"
       "  --list               list available benchmarks and exit\n"
       "  --help               this text\n";
-}
-
-/// Strict integer parsing: the whole value must be a base-10 integer within
-/// [min_value, max]. std::atoi silently returned 0 on garbage, which turned
-/// e.g. "--epochs ten" into a zero-epoch (untrained) model.
-template <class T>
-bool parse_strict_int(const char* flag, const std::string& text, T min_value,
-                      T& out) {
-  T value{};
-  const auto res =
-      std::from_chars(text.data(), text.data() + text.size(), value, 10);
-  if (res.ec != std::errc() || res.ptr != text.data() + text.size()) {
-    std::cerr << "error: " << flag << " expects an integer, got '" << text
-              << "'\n";
-    return false;
-  }
-  if (value < min_value) {
-    std::cerr << "error: " << flag << " must be >= " << +min_value
-              << ", got " << +value << '\n';
-    return false;
-  }
-  out = value;
-  return true;
 }
 
 bool parse_args(int argc, char** argv, CliOptions& opts) {
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    auto next = [&](const char* flag) -> const char* {
-      if (i + 1 >= argc) {
-        std::cerr << "error: " << flag << " needs a value\n";
-        return nullptr;
-      }
-      return argv[++i];
+    auto next = [&](const char* flag) {
+      return cli::next_arg_value(argc, argv, i, flag);
     };
     if (arg == "--benchmark") {
       const char* v = next("--benchmark");
       if (!v) return false;
-      opts.benchmark = v;
+      opts.benchmarks.emplace_back(v);
     } else if (arg == "--objective") {
       const char* v = next("--objective");
       if (!v) return false;
       opts.objective = v;
     } else if (arg == "--epochs") {
       const char* v = next("--epochs");
-      if (!v || !parse_strict_int("--epochs", v, 1, opts.epochs))
+      if (!v || !cli::parse_strict_int("--epochs", v, 1, opts.epochs))
         return false;
     } else if (arg == "--radius") {
       const char* v = next("--radius");
-      if (!v || !parse_strict_int("--radius", v, 0, opts.radius))
+      if (!v || !cli::parse_strict_int("--radius", v, 0, opts.radius))
         return false;
     } else if (arg == "--seed") {
       const char* v = next("--seed");
       if (!v ||
-          !parse_strict_int("--seed", v, std::uint64_t{0}, opts.seed))
+          !cli::parse_strict_int("--seed", v, std::uint64_t{0}, opts.seed))
         return false;
     } else if (arg == "--jobs") {
       const char* v = next("--jobs");
-      if (!v || !parse_strict_int("--jobs", v, 0, opts.jobs)) return false;
+      if (!v || !cli::parse_strict_int("--jobs", v, 0, opts.jobs))
+        return false;
     } else if (arg == "--cache-dir") {
       const char* v = next("--cache-dir");
       if (!v) return false;
@@ -130,6 +114,15 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
       const char* v = next("--cache-mode");
       if (!v) return false;
       opts.cache_mode = v;
+    } else if (arg == "--format") {
+      const char* v = next("--format");
+      if (!v) return false;
+      opts.format = v;
+      if (opts.format != "text" && opts.format != "json") {
+        std::cerr << "error: --format expects text or json, got '"
+                  << opts.format << "'\n";
+        return false;
+      }
     } else if (arg == "--output") {
       const char* v = next("--output");
       if (!v) return false;
@@ -167,90 +160,61 @@ int main(int argc, char** argv) {
                 << b.regions().size() << " regions)\n";
     return 0;
   }
-  if (opts.benchmark.empty()) {
+  if (opts.benchmarks.empty()) {
     print_usage();
     return 2;
   }
-
-  // Persistent measurement store: --cache-dir alone means rw. Open failures
-  // (bad mode, missing dir, unwritable path) are CLI errors: exit 2 with a
-  // clean message, like every other flag-validation path.
-  store::MeasurementStore cache;
-  try {
-    cache.open(opts.cache_dir,
-               store::resolve_store_mode(opts.cache_mode, opts.cache_dir),
-               "ecotune_dta");
-  } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << '\n';
+  if (!opts.output.empty() && opts.benchmarks.size() > 1) {
+    std::cerr << "error: --output supports a single --benchmark\n";
     return 2;
   }
 
+  // The Session owns the whole stack (nodes, acquisition, model, store,
+  // jobs policy). Store-open failures (bad mode, unwritable path) are CLI
+  // errors: exit 2 with a clean message, like every flag-validation path.
+  auto session = api::open_session_or_exit(
+      api::SessionConfig{}
+          .seed(opts.seed)
+          .jobs(opts.jobs)
+          .cache(opts.cache_dir, opts.cache_mode)
+          .scope("ecotune_dta")
+          .objective(opts.objective)
+          .epochs(opts.epochs)
+          .radius(opts.radius)
+          .per_region(opts.per_region));
+
+  std::unique_ptr<api::ReportSink> sink;
+  if (opts.format == "json")
+    sink = std::make_unique<api::JsonReportSink>(std::cout);
+  else
+    sink = std::make_unique<api::TextReportSink>(std::cout);
+
   try {
-    const auto& app = workload::BenchmarkSuite::by_name(opts.benchmark);
+    // Resolve every benchmark before producing output, so an unknown name
+    // fails cleanly without a half-rendered document.
+    std::vector<workload::Benchmark> apps;
+    apps.reserve(opts.benchmarks.size());
+    for (const auto& name : opts.benchmarks)
+      apps.push_back(workload::BenchmarkSuite::by_name(name));
 
-    const int jobs = resolve_jobs(opts.jobs);
-    std::cout << "training energy model (" << opts.epochs << " epochs)...\n";
-    hwsim::NodeSimulator train_node(hwsim::haswell_ep_spec(), 0,
-                                    Rng(opts.seed));
-    train_node.set_jitter(0.002);
-    model::AcquisitionOptions acq_opts;
-    acq_opts.jobs = jobs;
-    acq_opts.store = &cache;
-    model::DataAcquisition acq(train_node, acq_opts);
-    model::EnergyModelConfig model_cfg;
-    model_cfg.jobs = jobs;  // candidate pool trains concurrently, bitwise
-                            // identical for any value
-    model::EnergyModel energy_model(model_cfg);
-    energy_model.train(
-        acq.acquire(workload::BenchmarkSuite::training_set()), opts.epochs);
+    sink->training_started(opts.epochs);
+    session->train_model();
 
-    hwsim::NodeSimulator node(hwsim::haswell_ep_spec(), 1,
-                              Rng(opts.seed + 1));
-    node.set_jitter(0.002);
-
-    core::DvfsUfsPlugin::Options plugin_opts;
-    plugin_opts.config.objective = opts.objective;
-    plugin_opts.config.neighborhood_radius = opts.radius;
-    plugin_opts.config.per_region_prediction = opts.per_region;
-    plugin_opts.engine.jobs = jobs;
-    plugin_opts.engine.store = &cache;
-    core::DvfsUfsPlugin plugin(energy_model, plugin_opts);
-    const auto result = plugin.run_dta(app, node);
-
-    std::cout << "\n=== " << app.name() << " (" << opts.objective
-              << " objective) ===\n"
-              << "significant regions : "
-              << result.dyn_report.significant.size() << '\n'
-              << "phase threads       : " << result.phase_threads << '\n'
-              << "model recommendation: "
-              << to_string(result.recommendation.cf) << '|'
-              << to_string(result.recommendation.ucf) << '\n'
-              << "phase best          : " << to_string(result.phase_best)
-              << '\n'
-              << "experiments         : " << result.thread_scenarios << " + "
-              << result.analysis_runs << " + " << result.frequency_scenarios
-              << " in " << result.app_runs << " app runs ("
-              << TextTable::num(result.tuning_time.value(), 1)
-              << " s simulated)\n\n";
-
-    TextTable table("per-region configuration");
-    table.header({"region", "threads", "CF", "UCF", "scenario"});
-    for (const auto& sig : result.dyn_report.significant) {
-      auto it = result.region_best.find(sig.name);
-      if (it == result.region_best.end()) continue;
-      table.row({sig.name, std::to_string(it->second.threads),
-                 to_string(it->second.core), to_string(it->second.uncore),
-                 std::to_string(result.tuning_model.scenario_id(sig.name))});
+    if (apps.size() == 1) {
+      const api::DtaReport report = session->run_dta(apps.front());
+      sink->dta(report);
+      if (!opts.output.empty()) {
+        report.result.tuning_model.save(opts.output);
+        sink->model_written(report.benchmark, opts.output);
+      }
+    } else {
+      const api::CampaignReport campaign = session->run_dta_campaign(apps);
+      for (const auto& report : campaign.reports) sink->dta(report);
     }
-    table.print(std::cout);
-
-    if (!opts.output.empty()) {
-      result.tuning_model.save(opts.output);
-      std::cout << "\ntuning model written to " << opts.output << '\n';
-    }
+    sink->close();
     // Hit/miss accounting goes to stderr so stdout stays byte-identical
     // between cold and warm runs.
-    if (cache.enabled()) std::cerr << cache.summary() << '\n';
+    session->print_store_summary();
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
