@@ -27,17 +27,63 @@ if(NOT TARGET ecotune_build_flags)
     endif()
   endif()
 
+  if(ECOTUNE_DCHECKS)
+    target_compile_definitions(ecotune_build_flags INTERFACE
+      ECOTUNE_ENABLE_DCHECKS)
+  endif()
+
+endif()
+
+# Sanitizer flags are ABI-affecting: an archive built with
+# -fsanitize=address references __asan_* symbols, so anything linking it
+# must pass the same flag. They therefore live on their own interface
+# target that module libs link PUBLIC — unlike the PRIVATE warning flags
+# above, whose $<LINK_ONLY:> export entry drops INTERFACE_LINK_OPTIONS
+# and would leave an installed sanitized package unlinkable
+# (package_config_check caught exactly that under ASan).
+if(NOT TARGET ecotune_abi_flags)
+  add_library(ecotune_abi_flags INTERFACE)
+  add_library(ecotune::abi_flags ALIAS ecotune_abi_flags)
+  install(TARGETS ecotune_abi_flags EXPORT ecotune-targets)
+  # In-tree targets reach these flags through build_flags as well, so
+  # tools that link no module lib still build sanitized.
+  target_link_libraries(ecotune_build_flags INTERFACE ecotune_abi_flags)
+
   if(ECOTUNE_SANITIZE)
     string(REPLACE "," ";" _ecotune_san_list "${ECOTUNE_SANITIZE}")
-    string(REPLACE ";" "," _ecotune_san_csv "${_ecotune_san_list}")
     if(CMAKE_CXX_COMPILER_ID STREQUAL "MSVC")
       message(FATAL_ERROR
         "ECOTUNE_SANITIZE is only supported with GCC/Clang (got MSVC)")
     endif()
-    target_compile_options(ecotune_build_flags INTERFACE
+    set(_ecotune_known_sans address leak undefined thread)
+    foreach(_san IN LISTS _ecotune_san_list)
+      if(NOT _san IN_LIST _ecotune_known_sans)
+        message(FATAL_ERROR
+          "ECOTUNE_SANITIZE: unknown sanitizer '${_san}' "
+          "(supported: address, leak, undefined, thread)")
+      endif()
+    endforeach()
+    if("thread" IN_LIST _ecotune_san_list AND
+       ("address" IN_LIST _ecotune_san_list OR
+        "leak" IN_LIST _ecotune_san_list))
+      message(FATAL_ERROR
+        "ECOTUNE_SANITIZE: 'thread' cannot be combined with "
+        "'address'/'leak' — run them as separate build trees "
+        "(the CI matrix does exactly that)")
+    endif()
+    string(REPLACE ";" "," _ecotune_san_csv "${_ecotune_san_list}")
+    target_compile_options(ecotune_abi_flags INTERFACE
       -fsanitize=${_ecotune_san_csv} -fno-omit-frame-pointer)
-    target_link_options(ecotune_build_flags INTERFACE
+    target_link_options(ecotune_abi_flags INTERFACE
       -fsanitize=${_ecotune_san_csv})
+    if("undefined" IN_LIST _ecotune_san_list)
+      # By default UBSan reports and keeps going with exit code 0, which
+      # would let ctest pass over real findings. Make every report fatal.
+      target_compile_options(ecotune_abi_flags INTERFACE
+        -fno-sanitize-recover=all)
+      target_link_options(ecotune_abi_flags INTERFACE
+        -fno-sanitize-recover=all)
+    endif()
     message(STATUS "Sanitizers enabled: ${_ecotune_san_csv}")
   endif()
 endif()
@@ -63,6 +109,9 @@ function(ecotune_add_module name)
     $<BUILD_INTERFACE:${PROJECT_SOURCE_DIR}/src>
     $<INSTALL_INTERFACE:${CMAKE_INSTALL_INCLUDEDIR}/ecotune>)
   target_link_libraries(${target} PRIVATE ecotune::build_flags)
+  # PUBLIC so the exported package propagates the sanitizer usage
+  # requirements to out-of-tree consumers (see ecotune_abi_flags above).
+  target_link_libraries(${target} PUBLIC ecotune::abi_flags)
   foreach(dep IN LISTS ARG_DEPS)
     target_link_libraries(${target} PUBLIC ecotune_${dep})
   endforeach()

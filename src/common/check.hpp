@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ecotune::detail {
+
+/// Terminates the process after printing the failed contract. Deliberately
+/// abort()-based (not an exception): a violated invariant means the program
+/// state is already wrong, and the determinism guarantees downstream of it
+/// (byte-identical stdout, store fingerprints) can no longer be trusted.
+[[noreturn]] inline void check_failed(const char* file, int line,
+                                      const char* expression,
+                                      const char* message) {
+  std::fprintf(stderr, "[ecotune] CHECK failed at %s:%d: (%s) %s\n", file,
+               line, expression, message);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace ecotune::detail
+
+/// ECOTUNE_CHECK(cond, msg): always-on invariant. Aborts with file:line,
+/// the stringized condition, and `msg` when `cond` is false. Use for
+/// invariants whose violation would silently corrupt results (store
+/// fingerprint mismatches, workspace binding, task accounting).
+#define ECOTUNE_CHECK(cond, message)                                      \
+  ((cond) ? static_cast<void>(0)                                          \
+          : ::ecotune::detail::check_failed(__FILE__, __LINE__, #cond,    \
+                                            message))
+
+/// ECOTUNE_DCHECK(cond, msg): debug-build invariant. Active in !NDEBUG
+/// builds and whenever ECOTUNE_ENABLE_DCHECKS is defined (the
+/// ECOTUNE_DCHECKS=ON CMake option — the sanitizer CI matrix turns it on
+/// so contract violations surface there even in optimized builds).
+/// Otherwise compiles to nothing while still type-checking `cond`
+/// (unevaluated operand), so release builds pay zero cost and variables
+/// used only in the check don't warn as unused.
+#if defined(ECOTUNE_ENABLE_DCHECKS) || !defined(NDEBUG)
+#define ECOTUNE_DCHECK(cond, message) ECOTUNE_CHECK(cond, message)
+#else
+#define ECOTUNE_DCHECK(cond, message) \
+  static_cast<void>(sizeof((cond) ? 1 : 0))
+#endif

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <limits>
 
+#include "common/check.hpp"
+
 namespace ecotune {
 
 int hardware_jobs() {
@@ -70,6 +72,9 @@ void ThreadPool::worker_loop() {
     wake_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
     if (stop_) return;
     seen = generation_;
+    ECOTUNE_DCHECK(batch_ != nullptr,
+                   "ThreadPool::worker_loop: woken for a new generation "
+                   "with no batch published");
     Batch& b = *batch_;
     lock.unlock();
     drain(b);
@@ -102,6 +107,12 @@ void ThreadPool::run(std::size_t count,
     done_cv_.wait(lock, [&] { return b.remaining_workers == 0; });
     batch_ = nullptr;
   }
+  // Task accounting: once every worker checked in, either the batch was
+  // cancelled by a throwing task or the cursor must have covered (and thus
+  // handed out) all `count` indices — anything else means a task was
+  // silently dropped and downstream ordered reductions would misalign.
+  ECOTUNE_CHECK(b.cancelled.load() || b.next.load() >= b.count,
+                "ThreadPool::run: batch completed with unclaimed tasks");
   if (b.error) std::rethrow_exception(b.error);
 }
 

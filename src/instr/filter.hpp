@@ -32,7 +32,7 @@ class InstrumentationFilter {
 
   [[nodiscard]] bool is_instrumented(const std::string& region) const {
     if (exclude_all_) return false;
-    return excluded_.count(region) == 0;
+    return !excluded_.contains(region);
   }
 
   [[nodiscard]] const std::set<std::string>& excluded() const {

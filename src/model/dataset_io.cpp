@@ -7,18 +7,10 @@
 
 #include "common/csv.hpp"
 #include "common/error.hpp"
+#include "common/numbers.hpp"
 
 namespace ecotune::model {
 namespace {
-
-/// Locale-independent shortest round-trip formatting (the previous
-/// default-locale ostringstream emitted ',' decimal separators under e.g.
-/// de_DE, producing CSVs that could not be re-loaded).
-std::string format_double(double v) {
-  char buf[32];
-  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
-  return std::string(buf, res.ptr);
-}
 
 /// Context carried into cell parsers so a malformed cell reports file, row
 /// and column instead of an uncontextualized std::invalid_argument.

@@ -5,6 +5,7 @@
 #include <limits>
 #include <numeric>
 
+#include "common/check.hpp"
 #include "common/error.hpp"
 
 namespace ecotune::nn {
@@ -27,6 +28,9 @@ inline double flush_denormal(double v) {
 }  // namespace
 
 void Workspace::bind(const std::vector<std::size_t>& sizes) {
+  ECOTUNE_DCHECK(sizes.size() >= 2,
+                 "Workspace::bind: a network has at least an input and an "
+                 "output layer");
   if (shape_ == sizes) return;
   shape_ = sizes;
   max_width_ = *std::max_element(sizes.begin(), sizes.end());
@@ -41,6 +45,11 @@ void Workspace::bind(const std::vector<std::size_t>& sizes) {
 }
 
 void Workspace::bind_batch(std::size_t rows) {
+  // Binding order contract: batch buffers are sized from the bound shape's
+  // max width; bind_batch on an unbound workspace would allocate zero-byte
+  // buffers and batched inference would read/write out of bounds.
+  ECOTUNE_CHECK(max_width_ > 0,
+                "Workspace::bind_batch: bind(layer_sizes) must run first");
   if (rows <= batch_rows_) return;
   batch_rows_ = rows;
   batch_a_.resize(rows * max_width_);

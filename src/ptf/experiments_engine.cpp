@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "common/fingerprint.hpp"
 #include "common/logging.hpp"
+#include "common/numbers.hpp"
 #include "common/parallel.hpp"
 #include "store/measurement_store.hpp"
 
@@ -123,7 +124,7 @@ std::vector<ScenarioResult> ExperimentsEngine::run(
 
         ChunkOutcome out;
         for (const auto& [id, config] : slice) {
-          if (out.buckets.count(id) != 0) continue;
+          if (out.buckets.contains(id)) continue;
           ScenarioResult r;
           r.scenario = *by_id.at(id);
           r.config = config;
@@ -152,7 +153,10 @@ std::vector<ScenarioResult> ExperimentsEngine::run(
               std::size_t decoded = 0;
               for (const auto& [id_str, bucket] :
                    hit->at("buckets").as_object()) {
-                auto& r = cached.buckets.at(std::stoll(id_str));
+                std::int64_t id = 0;
+                ensure(parse_int(id_str, id),
+                       "bad bucket id '" + id_str + "'");
+                auto& r = cached.buckets.at(id);
                 r.phase = measurement_from_json(bucket.at("phase"));
                 for (const auto& [region, m] :
                      bucket.at("regions").as_object())

@@ -10,7 +10,7 @@ namespace ecotune::readex {
 
 void TuningModel::add_region(const std::string& region,
                              const SystemConfig& config) {
-  ensure(classifier_.count(region) == 0,
+  ensure(!classifier_.contains(region),
          "TuningModel::add_region: region '" + region + "' already present");
   // Group: reuse the scenario with an identical configuration if any.
   auto it = std::find_if(scenarios_.begin(), scenarios_.end(),

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <system_error>
 
+#include "common/check.hpp"
 #include "common/error.hpp"
 #include "common/fingerprint.hpp"
 #include "common/logging.hpp"
@@ -131,6 +132,15 @@ std::string MeasurementStore::scoped(const std::string& task) const {
 std::optional<Json> MeasurementStore::lookup(const MeasurementKey& key) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (mode_ == StoreMode::kOff) return std::nullopt;
+  // Fingerprint precondition: a default-constructed key (digest 0) means
+  // the caller forgot to hash the measurement context. Such a key could
+  // never invalidate stale entries, silently breaking warm-restart
+  // byte-identity; every real Fingerprint digest is FNV-mixed and is never
+  // 0 in practice.
+  ECOTUNE_DCHECK(key.fingerprint != 0,
+                 "MeasurementStore::lookup: key carries no fingerprint");
+  ECOTUNE_DCHECK(!key.task.empty(),
+                 "MeasurementStore::lookup: empty task key");
   auto it = entries_.find(scoped(key.task));
   if (it == entries_.end()) {
     ++stats_.misses;
@@ -153,6 +163,8 @@ void MeasurementStore::insert(const MeasurementKey& key, const Json& payload) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (mode_ != StoreMode::kReadWrite) return;
   ensure(!key.task.empty(), "MeasurementStore::insert: empty task key");
+  ECOTUNE_DCHECK(key.fingerprint != 0,
+                 "MeasurementStore::insert: key carries no fingerprint");
   const std::string task = scoped(key.task);
   entries_[task] = Entry{key.fingerprint, payload};
   Json line = Json::object();

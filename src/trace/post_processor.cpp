@@ -92,7 +92,7 @@ Otf2PostProcessor::Otf2PostProcessor(const Otf2Archive& archive,
     // metric sweep immediately after the enter record).
     if (open_phase && r.type == RecordType::kMetric) {
       const auto& name = archive.metric_name(r.id);
-      if (phase_enter_counters.count(name) == 0)
+      if (!phase_enter_counters.contains(name))
         phase_enter_counters[name] = r.value;
     }
   }

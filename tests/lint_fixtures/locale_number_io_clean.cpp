@@ -1,0 +1,26 @@
+// Lint fixture (never compiled): number I/O the lint must NOT flag —
+// wrappers, near-miss identifiers, banned names in strings/comments, and
+// an inline waiver.
+#include <cstdio>
+#include <string>
+
+#include "common/numbers.hpp"
+
+// A comment mentioning atoi( or strtod( must not trip the lint.
+const char* kHelp = "parses via strtod( under the hood";  // nor a string
+
+double parse_ratio(const std::string& text) {
+  double value = 0.0;
+  ecotune::parse_double(text, value);
+  return value;
+}
+
+int my_atoi_like(const char* text) { return custom_atoi(text); }
+
+void print_count(int n) {
+  std::printf("count=%d items=%zu\n", n, sizeof(n));  // no float conversion
+}
+
+int waived(const char* text) {
+  return atoi(text);  // ecotune-lint: allow(locale-number-io) -- fixture waiver
+}

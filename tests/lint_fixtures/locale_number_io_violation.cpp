@@ -1,0 +1,28 @@
+// Lint fixture (never compiled): locale-dependent number I/O the
+// determinism lint must flag, one pattern per marked line.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+int parse_port(const char* text) {
+  return atoi(text);  // VIOLATION line 8
+}
+
+double parse_ratio(const std::string& text) {
+  return std::stod(text);  // VIOLATION line 12
+}
+
+double parse_span(const char* text) {
+  char* end = nullptr;
+  return strtod(text, &end);  // VIOLATION line 17
+}
+
+void print_ratio(double r) {
+  std::printf("ratio=%0.3f\n", r);  // VIOLATION line 21
+}
+
+void log_ratio(std::FILE* f, double r) {
+  std::fprintf(f,
+               "ratio=%g\n",  // format spans lines; flagged at call line 25
+               r);
+}

@@ -1,0 +1,20 @@
+// Lint fixture (never compiled): near misses the seed rule must ignore.
+#include <string>
+
+#include "common/rng.hpp"
+
+struct Stopwatch {
+  double time() const { return 0.0; }  // member named time: fine
+};
+
+double elapsed(const Stopwatch& w) { return w.time(); }
+
+double runtime(double x) { return x; }  // runtime( is not time(
+
+long big = 1'000'000;  // digit separators must not derail the lexer
+
+const char* kDoc = "seeded, never time(NULL) or rand()";  // strings masked
+
+ecotune::Rng task_stream(const ecotune::Rng& base, int i) {
+  return base.fork("task-" + std::to_string(i));
+}

@@ -1,0 +1,19 @@
+// Lint fixture (never compiled): entropy/clock seeding outside the
+// common/rng seed plumbing.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned fresh_entropy() {
+  std::random_device rd;  // VIOLATION line 8
+  return rd();
+}
+
+long wall_seed() {
+  return time(nullptr);  // VIOLATION line 13
+}
+
+int libc_draw() {
+  srand(42);      // VIOLATION line 17
+  return rand();  // VIOLATION line 18
+}

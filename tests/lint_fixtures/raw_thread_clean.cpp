@@ -1,0 +1,15 @@
+// Lint fixture (never compiled): concurrency routed through the pool, plus
+// near misses the thread rule must ignore.
+#include <vector>
+
+#include "common/parallel.hpp"
+
+struct Pipeline {
+  int thread = 0;  // a member named thread is not std::thread
+  void detach;     // a non-call mention of detach is not a detach()
+};
+
+std::vector<double> fan_out(std::size_t n) {
+  return ecotune::parallel_map_ordered(
+      n, [](std::size_t i) { return static_cast<double>(i); });
+}

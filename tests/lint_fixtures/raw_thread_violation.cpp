@@ -1,0 +1,12 @@
+// Lint fixture (never compiled): raw std::thread use outside
+// common/parallel, including the detached-thread footgun.
+#include <thread>
+
+void spawn() {
+  std::thread worker([] {});  // VIOLATION line 6
+  worker.detach();            // VIOLATION line 7
+}
+
+unsigned probe() {
+  return std::thread::hardware_concurrency();  // VIOLATION line 11
+}

@@ -1,0 +1,19 @@
+// Lint fixture (never compiled): unordered containers used for lookup only
+// (plus ordered iteration) in a file that writes to stdout — all fine.
+#include <iostream>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+std::unordered_map<std::string, int> index;  // lookup table, never iterated
+std::map<std::string, int> ordered;
+
+int lookup(const std::string& key) {
+  const auto it = index.find(key);
+  return it == index.end() ? -1 : it->second;
+}
+
+void dump() {
+  for (const auto& [key, value] : ordered)  // std::map: deterministic order
+    std::cout << key << ' ' << value << '\n';
+}

@@ -1,0 +1,18 @@
+// Lint fixture (never compiled): unordered-container iteration in a file
+// that writes to an output sink — hash order would leak into stdout.
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+std::unordered_map<std::string, int> counts;
+std::unordered_set<std::string> names;
+
+void dump() {
+  for (const auto& [key, value] : counts)  // VIOLATION line 12
+    std::printf("%s %d\n", key.c_str(), value);
+  for (auto it = counts.begin(); it != counts.end(); ++it) {  // VIOLATION 14
+  }
+  for (const auto& name : names)  // VIOLATION line 16
+    std::puts(name.c_str());
+}

@@ -1,0 +1,42 @@
+// ECOTUNE_CHECK / ECOTUNE_DCHECK contract macros: failure aborts loudly
+// with file:line, the stringized condition, and the message; passing
+// checks are silent; DCHECK activity follows the build configuration.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+TEST(EcotuneCheck, PassingCheckIsSilent) {
+  ECOTUNE_CHECK(2 + 2 == 4, "arithmetic holds");
+  SUCCEED();
+}
+
+TEST(EcotuneCheck, ConditionIsEvaluatedExactlyOnce) {
+  int calls = 0;
+  ECOTUNE_CHECK(++calls == 1, "single evaluation");
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(EcotuneCheckDeathTest, FailingCheckAbortsWithContext) {
+  EXPECT_DEATH(
+      ECOTUNE_CHECK(1 == 2, "store fingerprint mismatch"),
+      "CHECK failed at .*test_common_check\\.cpp:[0-9]+: \\(1 == 2\\) "
+      "store fingerprint mismatch");
+}
+
+#if defined(ECOTUNE_ENABLE_DCHECKS) || !defined(NDEBUG)
+TEST(EcotuneCheckDeathTest, DcheckIsActiveInThisBuild) {
+  EXPECT_DEATH(ECOTUNE_DCHECK(false, "debug contract"), "debug contract");
+}
+#else
+TEST(EcotuneCheck, DcheckCompilesOutButStillTypeChecks) {
+  int touched = 0;
+  // Unevaluated in this build: the side effect must not run.
+  ECOTUNE_DCHECK((touched = 1) == 1, "never evaluated");
+  EXPECT_EQ(touched, 0);
+}
+#endif
+
+TEST(EcotuneCheck, DcheckPassingNeverAborts) {
+  ECOTUNE_DCHECK(true, "holds in every build mode");
+  SUCCEED();
+}

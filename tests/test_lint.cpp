@@ -1,0 +1,154 @@
+// ecotune_lint coverage: golden fixtures under tests/lint_fixtures assert
+// exact file:line diagnostics per rule (library level, the same code the
+// CLI runs) and the CLI's exit-code contract (process level).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "lint/linter.hpp"
+
+namespace lint = ecotune::lint;
+
+namespace {
+
+const std::string kFixtures = ECOTUNE_LINT_FIXTURE_DIR;
+const std::string kBinary = ECOTUNE_LINT_BIN;
+
+std::vector<std::string> lint_fixture(const std::string& name) {
+  const auto diagnostics =
+      lint::lint_files(kFixtures, {kFixtures + "/" + name});
+  std::vector<std::string> out;
+  out.reserve(diagnostics.size());
+  for (const auto& d : diagnostics)
+    out.push_back(d.path + ":" + std::to_string(d.line) + " [" + d.rule +
+                  "]");
+  return out;
+}
+
+int run_cli(const std::string& args) {
+  const int status = std::system((kBinary + " " + args + " > /dev/null 2>&1")
+                                     .c_str());
+  return WEXITSTATUS(status);
+}
+
+}  // namespace
+
+TEST(EcotuneLint, LocaleNumberIoViolations) {
+  EXPECT_EQ(lint_fixture("locale_number_io_violation.cpp"),
+            (std::vector<std::string>{
+                "locale_number_io_violation.cpp:8 [locale-number-io]",
+                "locale_number_io_violation.cpp:12 [locale-number-io]",
+                "locale_number_io_violation.cpp:17 [locale-number-io]",
+                "locale_number_io_violation.cpp:21 [locale-number-io]",
+                "locale_number_io_violation.cpp:25 [locale-number-io]"}));
+}
+
+TEST(EcotuneLint, LocaleNumberIoClean) {
+  EXPECT_TRUE(lint_fixture("locale_number_io_clean.cpp").empty());
+}
+
+TEST(EcotuneLint, NondeterministicSeedViolations) {
+  EXPECT_EQ(
+      lint_fixture("nondeterministic_seed_violation.cpp"),
+      (std::vector<std::string>{
+          "nondeterministic_seed_violation.cpp:8 [nondeterministic-seed]",
+          "nondeterministic_seed_violation.cpp:13 [nondeterministic-seed]",
+          "nondeterministic_seed_violation.cpp:17 [nondeterministic-seed]",
+          "nondeterministic_seed_violation.cpp:18 "
+          "[nondeterministic-seed]"}));
+}
+
+TEST(EcotuneLint, NondeterministicSeedClean) {
+  EXPECT_TRUE(lint_fixture("nondeterministic_seed_clean.cpp").empty());
+}
+
+TEST(EcotuneLint, UnorderedIterationViolations) {
+  EXPECT_EQ(
+      lint_fixture("unordered_iteration_violation.cpp"),
+      (std::vector<std::string>{
+          "unordered_iteration_violation.cpp:12 [unordered-iteration]",
+          "unordered_iteration_violation.cpp:14 [unordered-iteration]",
+          "unordered_iteration_violation.cpp:16 [unordered-iteration]"}));
+}
+
+TEST(EcotuneLint, UnorderedIterationClean) {
+  EXPECT_TRUE(lint_fixture("unordered_iteration_clean.cpp").empty());
+}
+
+TEST(EcotuneLint, RawThreadViolations) {
+  EXPECT_EQ(lint_fixture("raw_thread_violation.cpp"),
+            (std::vector<std::string>{
+                "raw_thread_violation.cpp:6 [raw-thread]",
+                "raw_thread_violation.cpp:7 [raw-thread]",
+                "raw_thread_violation.cpp:11 [raw-thread]"}));
+}
+
+TEST(EcotuneLint, RawThreadClean) {
+  EXPECT_TRUE(lint_fixture("raw_thread_clean.cpp").empty());
+}
+
+TEST(EcotuneLint, DiagnosticFormatIsFileLineRuleMessage) {
+  const auto diagnostics = lint::lint_files(
+      kFixtures, {kFixtures + "/raw_thread_violation.cpp"});
+  ASSERT_FALSE(diagnostics.empty());
+  EXPECT_EQ(lint::format_diagnostic(diagnostics.front()).substr(0, 36),
+            "raw_thread_violation.cpp:6: error: [");
+}
+
+TEST(EcotuneLint, WhitelistPathsSuppressRules) {
+  // The identical source is a violation outside common/ and clean inside
+  // the wrapper whitelist.
+  const std::string text = "int f(const char* s) { return atoi(s); }\n";
+  EXPECT_EQ(lint::lint_source("src/model/foo.cpp", text).size(), 1u);
+  EXPECT_TRUE(lint::lint_source("src/common/cli.cpp", text).empty());
+}
+
+TEST(EcotuneLint, SeedWhitelistIsRngOnly) {
+  const std::string text = "long s() { return time(nullptr); }\n";
+  EXPECT_EQ(lint::lint_source("src/hwsim/node.cpp", text).size(), 1u);
+  EXPECT_TRUE(lint::lint_source("src/common/rng.cpp", text).empty());
+}
+
+TEST(EcotuneLint, ThreadWhitelistIsParallelOnly) {
+  const std::string text = "void f() { std::thread t([]{}); t.join(); }\n";
+  EXPECT_EQ(lint::lint_source("src/api/session.cpp", text).size(), 1u);
+  EXPECT_TRUE(lint::lint_source("src/common/parallel.cpp", text).empty());
+}
+
+TEST(EcotuneLint, InlineWaiverIsPerLineAndPerRule) {
+  const std::string waived =
+      "int f(const char* s) { return atoi(s); }"
+      "  // ecotune-lint: allow(locale-number-io) -- reason\n";
+  EXPECT_TRUE(lint::lint_source("tools/x.cpp", waived).empty());
+  // A waiver for a different rule does not suppress the finding.
+  const std::string wrong_rule =
+      "int f(const char* s) { return atoi(s); }"
+      "  // ecotune-lint: allow(raw-thread) -- reason\n";
+  EXPECT_EQ(lint::lint_source("tools/x.cpp", wrong_rule).size(), 1u);
+}
+
+TEST(EcotuneLint, ExitCodeCleanIsZero) {
+  EXPECT_EQ(run_cli("--root " + kFixtures + " " + kFixtures +
+                    "/locale_number_io_clean.cpp"),
+            0);
+}
+
+TEST(EcotuneLint, ExitCodeFindingsIsOne) {
+  EXPECT_EQ(run_cli("--root " + kFixtures + " " + kFixtures +
+                    "/locale_number_io_violation.cpp"),
+            1);
+}
+
+TEST(EcotuneLint, ExitCodeUsageOrIoErrorIsTwo) {
+  EXPECT_EQ(run_cli(kFixtures + "/does_not_exist.cpp"), 2);
+  EXPECT_EQ(run_cli("--bogus-option"), 2);
+}
+
+TEST(EcotuneLint, ListRulesNamesEveryRule) {
+  EXPECT_EQ(lint::rule_names(),
+            (std::vector<std::string>{"locale-number-io",
+                                      "nondeterministic-seed",
+                                      "unordered-iteration", "raw-thread"}));
+}

@@ -1,0 +1,79 @@
+// ecotune_lint — the repo's determinism lint (see tools/lint/linter.cpp
+// for the rule set). Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint/linter.hpp"
+
+namespace {
+
+constexpr const char* kUsage = R"(usage: ecotune_lint [options] [file...]
+
+Lints C++ sources against the ecotune determinism invariants. With no file
+arguments, scans every *.cpp/*.hpp under <root>/{src,tools,bench,examples}.
+
+options:
+  --root <dir>   scan root / whitelist anchor (default: current directory)
+  --list-rules   print the rule names and exit
+  --help         this text
+
+Waive a finding with a trailing comment on the flagged line:
+  // ecotune-lint: allow(<rule>)  -- one-line rationale
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::vector<std::filesystem::path> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << kUsage;
+      return 0;
+    }
+    if (arg == "--list-rules") {
+      for (const std::string& rule : ecotune::lint::rule_names())
+        std::cout << rule << '\n';
+      return 0;
+    }
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::cerr << "error: --root expects a directory\n" << kUsage;
+        return 2;
+      }
+      root = argv[++i];
+      continue;
+    }
+    if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "error: unknown option '" << arg << "'\n" << kUsage;
+      return 2;
+    }
+    files.emplace_back(arg);
+  }
+
+  try {
+    if (files.empty()) {
+      files = ecotune::lint::default_scan_set(root);
+      if (files.empty()) {
+        std::cerr << "error: no *.cpp/*.hpp sources found under '" << root
+                  << "' (wrong --root?)\n";
+        return 2;
+      }
+    }
+    const auto diagnostics = ecotune::lint::lint_files(root, files);
+    for (const auto& d : diagnostics)
+      std::cout << ecotune::lint::format_diagnostic(d) << '\n';
+    if (!diagnostics.empty()) {
+      std::cerr << "ecotune_lint: " << diagnostics.size()
+                << " finding(s) in " << files.size() << " file(s)\n";
+    }
+    return ecotune::lint::exit_code(diagnostics);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 2;
+  }
+}

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace ecotune::lint {
+
+/// One finding: `path` is the file as reported (relative to the scan root
+/// when possible), `line` is 1-based, `rule` is the stable rule name used
+/// in inline `// ecotune-lint: allow(<rule>)` waivers.
+struct Diagnostic {
+  std::string path;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// Stable names of every rule the linter enforces, in report order.
+[[nodiscard]] const std::vector<std::string>& rule_names();
+
+/// Lints one translation unit. `path` must be the scan-root-relative path
+/// with forward slashes — the per-rule path whitelists (common/ wrappers,
+/// common/rng seed plumbing, common/parallel) key off it.
+[[nodiscard]] std::vector<Diagnostic> lint_source(const std::string& path,
+                                                  const std::string& text);
+
+/// The default scan set under `root`: every *.cpp / *.hpp below src/,
+/// tools/, bench/, and examples/, sorted so output order is deterministic.
+[[nodiscard]] std::vector<std::filesystem::path> default_scan_set(
+    const std::filesystem::path& root);
+
+/// Reads and lints `files` (paths are reported relative to `root` when they
+/// are inside it). Throws std::runtime_error on unreadable files.
+[[nodiscard]] std::vector<Diagnostic> lint_files(
+    const std::filesystem::path& root,
+    const std::vector<std::filesystem::path>& files);
+
+/// "path:line: error: [rule] message" — the exact line the fixtures assert.
+[[nodiscard]] std::string format_diagnostic(const Diagnostic& d);
+
+/// Exit-code contract of the CLI: 0 clean, 1 findings (2, usage/IO error,
+/// is produced by the CLI itself).
+[[nodiscard]] int exit_code(const std::vector<Diagnostic>& diagnostics);
+
+}  // namespace ecotune::lint

@@ -24,6 +24,7 @@
 
 #include "bench_common.hpp"
 #include "common/json.hpp"
+#include "common/numbers.hpp"
 #include "common/rng.hpp"
 #include "hwsim/cpu_spec.hpp"
 #include "model/energy_model.hpp"
@@ -210,9 +211,8 @@ int main(int argc, char** argv) {
   results["energy_model_predict_ns_per_call"] =
       min_of(o.repeats, bench_model_predict, o);
   for (const auto& [k, v] : o.extra) {
-    char* end = nullptr;
-    const double num = std::strtod(v.c_str(), &end);
-    if (end != v.c_str() && *end == '\0') {
+    double num = 0.0;
+    if (ecotune::parse_double(v, num)) {
       results[k] = num;
     } else {
       results[k] = v;
