@@ -31,6 +31,21 @@ struct DriverOptions {
 /// exactly as it does in ecotune_dta.
 [[nodiscard]] DriverOptions parse_driver_options(int argc, char** argv);
 
+/// --tuner mode of the strategy-aware drivers: one or more registered
+/// strategy names (user order, repeatable) plus the objective they
+/// optimize. An empty `tuners` list means the driver's classic default
+/// mode, whose stdout stays byte-identical.
+struct TunerSelection {
+  std::vector<std::string> tuners;
+  std::string objective = "energy";
+};
+
+/// parse_driver_options plus the strategy flags `--tuner NAME`
+/// (repeatable) and `--objective NAME`. Unknown names exit 2 and list the
+/// registered vocabulary (tuners::default_registry / ptf::objective_names).
+[[nodiscard]] DriverOptions parse_driver_options(int argc, char** argv,
+                                                 TunerSelection& selection);
+
 /// Paper-faithful acquisition options: threads 12..24 step 4, full CF x UCF
 /// grid, two phase iterations per acquisition run. `jobs` controls how many
 /// benchmarks acquire concurrently (output is jobs-invariant); `store`

@@ -15,7 +15,8 @@
 using namespace ecotune;
 
 int main(int argc, char** argv) {
-  const auto driver_opts = bench::parse_driver_options(argc, argv);
+  bench::TunerSelection selection;
+  const auto driver_opts = bench::parse_driver_options(argc, argv, selection);
   auto session = api::open_session_or_exit(
       api::SessionConfig{}
           .train_seed(0x77C0)
@@ -28,6 +29,31 @@ int main(int argc, char** argv) {
   bench::banner("Sec. V-C -- Tuning-time comparison",
                 "model-based plugin (k+1+9 experiments) vs exhaustive "
                 "search (n x k x l x m runs)");
+
+  // --tuner mode: run each requested strategy through the common Tuner
+  // seam and tabulate its acquisition cost side by side. The classic
+  // paper tables below are untouched (and byte-identical) without the
+  // flag. Strategies that need the energy model train it lazily inside
+  // Session::tune, so governor/qlearn rows never pay for training.
+  if (!selection.tuners.empty()) {
+    const auto app =
+        workload::BenchmarkSuite::by_name("Mcb").with_iterations(14);
+    TextTable table("Strategy comparison (Mcbenchmark workload, " +
+                    selection.objective + " objective)");
+    table.header({"strategy", "scenarios", "app runs",
+                  "simulated tuning time", "best configuration"});
+    for (const auto& name : selection.tuners) {
+      const TuningOutcome outcome =
+          session->tune(name, app, selection.objective);
+      table.row({outcome.tuner, std::to_string(outcome.scenarios_evaluated),
+                 std::to_string(outcome.app_runs),
+                 TextTable::num(outcome.tuning_time.value(), 2) + " s",
+                 to_string(outcome.best)});
+    }
+    table.print(std::cout);
+    session->print_store_summary();
+    return 0;
+  }
 
   std::cout << "Training the final energy model...\n";
   session->train_model();

@@ -16,14 +16,24 @@ Json config_to_json(const SystemConfig& c) {
 
 // The one place the document shape (and its schema tag) is defined;
 // CampaignReport::to_json and JsonReportSink::close both emit through it.
-Json report_document(Json::Array reports) {
+// The "tuners" key appears only when --tuner mode produced strategy
+// outcomes, so default-mode documents stay byte-identical.
+Json report_document(Json::Array reports, Json::Array tuner_reports = {}) {
   Json j = Json::object();
   j["schema"] = "ecotune.dta.v1";
   j["reports"] = Json(std::move(reports));
+  if (!tuner_reports.empty()) j["tuners"] = Json(std::move(tuner_reports));
   return j;
 }
 
 }  // namespace
+
+Json TunerReport::to_json() const {
+  Json j = Json::object();
+  j["benchmark"] = benchmark;
+  j["outcome"] = outcome.to_json();
+  return j;
+}
 
 Json DtaReport::to_json() const {
   Json j = Json::object();
@@ -111,6 +121,32 @@ void TextReportSink::dta(const DtaReport& report) {
   table.print(os_);
 }
 
+void TextReportSink::tuner(const TunerReport& report) {
+  const TuningOutcome& o = report.outcome;
+  os_ << "\n=== " << report.benchmark << " (" << o.tuner << " tuner, "
+      << o.objective << " objective) ===\n"
+      << "best configuration  : " << to_string(o.best) << '\n'
+      << "scenarios evaluated : " << o.scenarios_evaluated << '\n'
+      << "app runs            : " << o.app_runs << '\n'
+      << "tuning time         : " << TextTable::num(o.tuning_time.value(), 1)
+      << " s simulated\n";
+  if (o.best_measurement.count > 0) {
+    os_ << "best measurement    : "
+        << TextTable::num(o.best_measurement.node_energy.value(), 1) << " J, "
+        << TextTable::num(o.best_measurement.time.value(), 3) << " s\n";
+  }
+  if (!o.region_best.empty()) {
+    os_ << '\n';
+    TextTable table("per-region configuration");
+    table.header({"region", "threads", "CF", "UCF"});
+    for (const auto& [region, config] : o.region_best) {
+      table.row({region, std::to_string(config.threads),
+                 to_string(config.core), to_string(config.uncore)});
+    }
+    table.print(os_);
+  }
+}
+
 void TextReportSink::model_written(const std::string& /*benchmark*/,
                                    const std::string& path) {
   os_ << "\ntuning model written to " << path << '\n';
@@ -120,6 +156,10 @@ void TextReportSink::model_written(const std::string& /*benchmark*/,
 
 void JsonReportSink::dta(const DtaReport& report) {
   reports_.push_back(report.to_json());
+}
+
+void JsonReportSink::tuner(const TunerReport& report) {
+  tuner_reports_.push_back(report.to_json());
 }
 
 void JsonReportSink::model_written(const std::string& benchmark,
@@ -132,7 +172,9 @@ void JsonReportSink::model_written(const std::string& benchmark,
 void JsonReportSink::close() {
   if (closed_) return;
   closed_ = true;
-  os_ << report_document(std::move(reports_)).dump(indent_) << '\n';
+  os_ << report_document(std::move(reports_), std::move(tuner_reports_))
+             .dump(indent_)
+      << '\n';
 }
 
 }  // namespace ecotune::api

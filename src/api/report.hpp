@@ -8,6 +8,15 @@
 
 namespace ecotune::api {
 
+/// One strategy outcome as rendered by the drivers' --tuner mode: the
+/// strategy-agnostic TuningOutcome plus the benchmark it tuned.
+struct TunerReport {
+  std::string benchmark;
+  TuningOutcome outcome;
+
+  [[nodiscard]] Json to_json() const;
+};
+
 /// Renders Session results. One sink instance accompanies one driver run;
 /// the same DtaReport renders as the classic text tables (byte-identical
 /// to the pre-Session drivers) or as one machine-readable JSON document,
@@ -20,6 +29,8 @@ class ReportSink {
   virtual void training_started(int epochs) = 0;
   /// Renders one design-time-analysis outcome.
   virtual void dta(const DtaReport& report) = 0;
+  /// Renders one Tuner-strategy outcome (drivers' --tuner mode).
+  virtual void tuner(const TunerReport& report) = 0;
   /// Notes that `benchmark`'s tuning model was persisted to `path`.
   virtual void model_written(const std::string& benchmark,
                              const std::string& path) = 0;
@@ -35,6 +46,7 @@ class TextReportSink final : public ReportSink {
 
   void training_started(int epochs) override;
   void dta(const DtaReport& report) override;
+  void tuner(const TunerReport& report) override;
   void model_written(const std::string& benchmark,
                      const std::string& path) override;
   void close() override {}
@@ -57,6 +69,7 @@ class JsonReportSink final : public ReportSink {
 
   void training_started(int /*epochs*/) override {}
   void dta(const DtaReport& report) override;
+  void tuner(const TunerReport& report) override;
   void model_written(const std::string& benchmark,
                      const std::string& path) override;
   void close() override;
@@ -65,6 +78,7 @@ class JsonReportSink final : public ReportSink {
   std::ostream& os_;
   int indent_;
   Json::Array reports_;
+  Json::Array tuner_reports_;
   bool closed_ = false;
 };
 

@@ -87,13 +87,54 @@ core::DvfsUfsPlugin::Options Session::plugin_options() {
   return po;
 }
 
+tuners::TunerContext Session::tuner_context() {
+  tuners::TunerContext ctx;
+  ctx.node = &tuning_node();
+  ctx.model = [this]() -> const model::EnergyModel& { return train_model(); };
+  ctx.jobs = jobs_;
+  ctx.store = &store_;
+  ctx.static_search = config_.static_search();
+  ctx.exhaustive_search = config_.exhaustive_search();
+  ctx.plugin = plugin_options();
+  ctx.qlearn = config_.qlearn();
+  ctx.governor = config_.governor();
+  return ctx;
+}
+
+Tuner& Session::tuner(const std::string& tuner_name) {
+  auto it = tuners_.find(tuner_name);
+  if (it == tuners_.end()) {
+    it = tuners_
+             .emplace(tuner_name, tuners::default_registry().make(
+                                      tuner_name, tuner_context()))
+             .first;
+  }
+  return *it->second;
+}
+
+TuningOutcome Session::tune(const std::string& tuner_name,
+                            const workload::Benchmark& app) {
+  return tune(tuner_name, app, config_.objective());
+}
+
+TuningOutcome Session::tune(const std::string& tuner_name,
+                            const std::string& benchmark_name) {
+  return tune(tuner_name, workload::BenchmarkSuite::by_name(benchmark_name));
+}
+
+TuningOutcome Session::tune(const std::string& tuner_name,
+                            const workload::Benchmark& app,
+                            const std::string& objective) {
+  const TuningRequest request{app, objective};
+  return tuner(tuner_name).tune(request);
+}
+
 DtaReport Session::run_dta(const workload::Benchmark& app) {
-  const auto& trained = train_model();
-  core::DvfsUfsPlugin plugin(trained, plugin_options());
+  auto& dta = dynamic_cast<tuners::DtaTuner&>(tuner("dta"));
   DtaReport report;
   report.benchmark = app.name();
   report.objective = config_.objective();
-  report.result = plugin.run_dta(app, tuning_node());
+  report.result = dta.run(app);
   return report;
 }
 
@@ -216,13 +257,8 @@ baseline::StaticTuningResult Session::tune_static(
 
 baseline::StaticTuningResult Session::tune_static(
     const workload::Benchmark& app, const ptf::TuningObjective& objective) {
-  if (!static_tuner_) {
-    baseline::StaticTunerOptions opts = config_.static_search();
-    opts.jobs = jobs_;
-    opts.store = &store_;
-    static_tuner_.emplace(tuning_node(), opts);
-  }
-  return static_tuner_->tune(app, objective);
+  auto& tuner = dynamic_cast<baseline::StaticTuner&>(this->tuner("static"));
+  return tuner.tune(app, objective);
 }
 
 SavingsReport Session::evaluate_savings(

@@ -1,18 +1,22 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "baseline/exhaustive_tuner.hpp"
 #include "baseline/static_tuner.hpp"
 #include "core/dvfs_ufs_plugin.hpp"
 #include "core/evaluation.hpp"
 #include "hwsim/node.hpp"
 #include "model/dataset.hpp"
 #include "model/energy_model.hpp"
+#include "ptf/tuner.hpp"
 #include "store/measurement_store.hpp"
+#include "tuners/registry.hpp"
 #include "workload/suite.hpp"
 
 namespace ecotune::api {
@@ -123,6 +127,21 @@ class SessionConfig {
     static_search_ = std::move(opts);
     return *this;
   }
+  /// Base exhaustive-search options; the session overrides jobs and store.
+  SessionConfig& exhaustive_search(baseline::ExhaustiveTunerOptions opts) {
+    exhaustive_search_ = std::move(opts);
+    return *this;
+  }
+  /// Q-learning hyperparameters; the session overrides the store.
+  SessionConfig& qlearn(tuners::QLearningOptions opts) {
+    qlearn_ = std::move(opts);
+    return *this;
+  }
+  /// Governor-baseline tunables; the session overrides the store.
+  SessionConfig& governor(tuners::GovernorOptions opts) {
+    governor_ = opts;
+    return *this;
+  }
   /// Simulated CPU (default: the paper's Haswell-EP).
   SessionConfig& spec(hwsim::CpuSpec cpu_spec) {
     spec_ = std::move(cpu_spec);
@@ -153,6 +172,16 @@ class SessionConfig {
   [[nodiscard]] const baseline::StaticTunerOptions& static_search() const {
     return static_search_;
   }
+  [[nodiscard]] const baseline::ExhaustiveTunerOptions& exhaustive_search()
+      const {
+    return exhaustive_search_;
+  }
+  [[nodiscard]] const tuners::QLearningOptions& qlearn() const {
+    return qlearn_;
+  }
+  [[nodiscard]] const tuners::GovernorOptions& governor() const {
+    return governor_;
+  }
   [[nodiscard]] const hwsim::CpuSpec& spec() const { return spec_; }
 
  private:
@@ -173,6 +202,9 @@ class SessionConfig {
   int repeats_ = 5;
   model::AcquisitionOptions acquisition_;
   baseline::StaticTunerOptions static_search_;
+  baseline::ExhaustiveTunerOptions exhaustive_search_;
+  tuners::QLearningOptions qlearn_;
+  tuners::GovernorOptions governor_;
   hwsim::CpuSpec spec_ = hwsim::haswell_ep_spec();
 };
 
@@ -260,11 +292,33 @@ class Session {
   CampaignReport run_dta_campaign(const std::vector<workload::Benchmark>& apps);
   CampaignReport run_dta_campaign(const std::vector<std::string>& names);
 
+  // -- Tuning strategies behind the common Tuner seam. --------------------
+
+  /// Runs the named strategy (any default_registry() name: exhaustive,
+  /// static, dta, qlearn, ondemand, conservative) on the session's tuning
+  /// node under the session's objective. Strategy instances persist for
+  /// the session, so sequential calls decorrelate exactly like the
+  /// hand-wired stacks; "dta" trains the model on first use.
+  /// Throws ConfigError (with the registered-name list) on unknown names.
+  TuningOutcome tune(const std::string& tuner_name,
+                     const workload::Benchmark& app);
+  TuningOutcome tune(const std::string& tuner_name,
+                     const std::string& benchmark_name);
+  /// tune() under an explicit objective name (overrides the session's).
+  TuningOutcome tune(const std::string& tuner_name,
+                     const workload::Benchmark& app,
+                     const std::string& objective);
+
+  /// The session's persistent instance of the named strategy (created on
+  /// first use from tuners::default_registry()).
+  [[nodiscard]] Tuner& tuner(const std::string& tuner_name);
+
   // -- Evaluation baselines (paper Sec. V-D). -----------------------------
 
   /// Exhaustive static search on the tuning node under the session's
-  /// configured objective. One persistent tuner backs all calls, so
-  /// sequential searches decorrelate exactly like the hand-wired drivers'.
+  /// configured objective. Thin delegate over tuner("static"): one
+  /// persistent tuner backs all calls, so sequential searches decorrelate
+  /// exactly like the hand-wired drivers'.
   baseline::StaticTuningResult tune_static(const workload::Benchmark& app);
   /// tune_static under an explicit objective (overrides the session's).
   baseline::StaticTuningResult tune_static(
@@ -291,6 +345,7 @@ class Session {
 
  private:
   [[nodiscard]] core::DvfsUfsPlugin::Options plugin_options();
+  [[nodiscard]] tuners::TunerContext tuner_context();
 
   SessionConfig config_;
   int jobs_;
@@ -298,7 +353,10 @@ class Session {
   std::optional<hwsim::NodeSimulator> training_node_;
   std::optional<hwsim::NodeSimulator> tuning_node_;
   std::optional<model::EnergyModel> model_;
-  std::optional<baseline::StaticTuner> static_tuner_;
+  /// Persistent per-strategy instances (tune-call decorrelation counters
+  /// live on the tuner objects, so caching them preserves the hand-wired
+  /// drivers' noise schedule across repeated calls).
+  std::map<std::string, std::unique_ptr<Tuner>> tuners_;
   std::optional<core::SavingsEvaluator> savings_evaluator_;
   long campaign_calls_ = 0;  ///< decorrelates campaigns on one session
 };

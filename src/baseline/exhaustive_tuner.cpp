@@ -180,4 +180,18 @@ ExhaustiveTuningResult ExhaustiveTuner::tune(
   return result;
 }
 
+TuningOutcome ExhaustiveTuner::tune(const TuningRequest& request) {
+  const auto objective = ptf::make_objective(request.objective);
+  const ExhaustiveTuningResult result = tune(request.app, *objective);
+  TuningOutcome out;
+  out.tuner = std::string(name());
+  out.objective = std::string(objective->name());
+  out.best = result.app_best;
+  out.region_best = result.region_best;
+  out.scenarios_evaluated = result.runs;
+  out.app_runs = result.runs;
+  out.tuning_time = result.search_time;
+  return out;
+}
+
 }  // namespace ecotune::baseline

@@ -7,6 +7,7 @@
 #include "common/config.hpp"
 #include "hwsim/node.hpp"
 #include "ptf/objectives.hpp"
+#include "ptf/tuner.hpp"
 #include "workload/benchmark.hpp"
 
 namespace ecotune::store {
@@ -47,7 +48,7 @@ struct ExhaustiveTuningResult {
 /// is searched with whole-application runs -- no significant-region
 /// filtering, no model-based search-space reduction. Used for the
 /// tuning-time comparison of paper Sec. V-C.
-class ExhaustiveTuner {
+class ExhaustiveTuner final : public Tuner {
  public:
   ExhaustiveTuner(hwsim::NodeSimulator& node,
                   ExhaustiveTunerOptions options = {});
@@ -55,6 +56,11 @@ class ExhaustiveTuner {
   [[nodiscard]] ExhaustiveTuningResult tune(
       const workload::Benchmark& app,
       const ptf::TuningObjective& objective = ptf::EnergyObjective{});
+
+  /// Tuner interface: same search, strategy-agnostic outcome (best config =
+  /// the whole-app winner; region_best carries the per-region winners).
+  [[nodiscard]] std::string_view name() const override { return "exhaustive"; }
+  [[nodiscard]] TuningOutcome tune(const TuningRequest& request) override;
 
  private:
   hwsim::NodeSimulator& node_;

@@ -134,4 +134,21 @@ StaticTuningResult StaticTuner::tune(const workload::Benchmark& app,
   return result;
 }
 
+TuningOutcome StaticTuner::tune(const TuningRequest& request) {
+  const auto objective = ptf::make_objective(request.objective);
+  const StaticTuningResult result = tune(request.app, *objective);
+  TuningOutcome out;
+  out.tuner = std::string(name());
+  out.objective = std::string(objective->name());
+  out.best = result.best;
+  out.scenarios_evaluated = result.runs;
+  out.app_runs = result.runs;
+  out.tuning_time = result.search_time;
+  out.best_measurement.node_energy = result.best_point.node_energy;
+  out.best_measurement.cpu_energy = result.best_point.cpu_energy;
+  out.best_measurement.time = result.best_point.time;
+  out.best_measurement.count = 1;
+  return out;
+}
+
 }  // namespace ecotune::baseline

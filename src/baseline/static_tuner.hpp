@@ -5,6 +5,7 @@
 #include "common/config.hpp"
 #include "hwsim/node.hpp"
 #include "ptf/objectives.hpp"
+#include "ptf/tuner.hpp"
 #include "workload/benchmark.hpp"
 
 namespace ecotune::store {
@@ -53,13 +54,18 @@ struct StaticTuningResult {
 /// (uninstrumented) application at every (threads, CF, UCF) combination and
 /// keep the configuration minimizing the objective. The best static
 /// configuration equals the best phase-region configuration.
-class StaticTuner {
+class StaticTuner final : public Tuner {
  public:
   StaticTuner(hwsim::NodeSimulator& node, StaticTunerOptions options = {});
 
   [[nodiscard]] StaticTuningResult tune(
       const workload::Benchmark& app,
       const ptf::TuningObjective& objective = ptf::EnergyObjective{});
+
+  /// Tuner interface: runs the same search and reports the strategy-agnostic
+  /// outcome (best config = the winning static point).
+  [[nodiscard]] std::string_view name() const override { return "static"; }
+  [[nodiscard]] TuningOutcome tune(const TuningRequest& request) override;
 
  private:
   hwsim::NodeSimulator& node_;

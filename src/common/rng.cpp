@@ -38,6 +38,17 @@ Rng Rng::fork(std::string_view name) const {
   return Rng(st);
 }
 
+Rng Rng::fork(std::uint64_t tag) const {
+  // Weyl-sequence mix of the tag, offset by a constant that is not the
+  // FNV-1a hash of any short string, keeps the numeric-tag stream family
+  // disjoint from the named-fork family.
+  std::uint64_t x = s_[0] ^ rotl(s_[2], 17) ^
+                    (0xA24BAED4963EE407ULL + tag * 0x9E3779B97F4A7C15ULL);
+  std::uint64_t st[4];
+  for (auto& s : st) s = splitmix64(x);
+  return Rng(st);
+}
+
 Rng::result_type Rng::operator()() {
   const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
   const std::uint64_t t = s_[1] << 17;

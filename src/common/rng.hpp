@@ -28,6 +28,11 @@ class Rng {
   /// Derives an independent substream, e.g. Rng(seed).fork("node-3").
   [[nodiscard]] Rng fork(std::string_view name) const;
 
+  /// Numeric-tag convenience for loop bodies (episode/task indices):
+  /// Rng(seed).fork(i). Uses a derivation constant distinct from the string
+  /// overload so fork(0) can never collide with fork("") or any named fork.
+  [[nodiscard]] Rng fork(std::uint64_t tag) const;
+
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() { return ~result_type{0}; }
 

@@ -2,6 +2,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/json.hpp"
 #include "common/units.hpp"
@@ -99,9 +100,62 @@ class TcoObjective final : public TuningObjective {
   double cost_per_second_;
 };
 
-/// Factory by name ("energy", "cpu_energy", "time", "edp", "ed2p", "tco").
+/// Power-capped time-to-solution (Cuttlefish-style, PAPERS.md): score is the
+/// run time plus a hard-cap penalty proportional to how far the mean power
+/// draw exceeds `cap`. At or under the cap the penalty is exactly zero, so
+/// the objective degenerates to plain time; above it each fractional watt of
+/// excess costs `weight` x (excess/cap) extra seconds per second of runtime.
+/// A zero-time measurement has no defined mean power and scores 0.
+class PowerCapObjective final : public TuningObjective {
+ public:
+  explicit PowerCapObjective(double cap_watts = kDefaultCapWatts,
+                             double weight = kDefaultWeight);
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  [[nodiscard]] double evaluate(const Measurement& m) const override;
+  [[nodiscard]] double cap_watts() const { return cap_watts_; }
+
+  static constexpr double kDefaultCapWatts = 300.0;
+  static constexpr double kDefaultWeight = 10.0;
+
+ private:
+  double cap_watts_;
+  double weight_;
+  std::string name_;
+};
+
+/// Energy-budget variant of the cap family: score is run time plus a penalty
+/// proportional to how far total node energy exceeds `budget` joules. The
+/// penalty is additive (not time-scaled) so an over-budget measurement is
+/// penalized even as its time approaches zero.
+class EnergyBudgetObjective final : public TuningObjective {
+ public:
+  explicit EnergyBudgetObjective(double budget_joules = kDefaultBudgetJoules,
+                                 double weight = kDefaultWeight);
+  [[nodiscard]] std::string_view name() const override { return name_; }
+  [[nodiscard]] double evaluate(const Measurement& m) const override;
+  [[nodiscard]] double budget_joules() const { return budget_joules_; }
+
+  static constexpr double kDefaultBudgetJoules = 10000.0;
+  static constexpr double kDefaultWeight = 10.0;
+
+ private:
+  double budget_joules_;
+  double weight_;
+  std::string name_;
+};
+
+/// Factory by name ("energy", "cpu_energy", "time", "edp", "ed2p", "tco",
+/// "power_cap", "energy_budget"). The cap family also accepts a parameterized
+/// spelling: "power_cap:250" caps at 250 W, "energy_budget:5000" budgets
+/// 5000 J. Throws ConfigError on unknown names or malformed parameters.
 [[nodiscard]] std::unique_ptr<TuningObjective> make_objective(
     std::string_view name);
+
+/// The base spellings make_objective accepts, sorted, for CLI diagnostics.
+[[nodiscard]] const std::vector<std::string>& objective_names();
+
+/// Comma-separated objective_names(), for one-line CLI diagnostics.
+[[nodiscard]] std::string objective_names_joined();
 
 /// JSON round trip of a Measurement for the measurement store. Doubles
 /// survive bit-exactly (Json serializes via std::to_chars), so replayed

@@ -1,0 +1,26 @@
+#include "ptf/tuner.hpp"
+
+#include <cstdint>
+
+#include "store/serdes.hpp"
+
+namespace ecotune {
+
+Json TuningOutcome::to_json() const {
+  Json j = Json::object();
+  j["tuner"] = tuner;
+  j["objective"] = objective;
+  j["best"] = store::to_json(best);
+  Json regions = Json::object();
+  for (const auto& [region, config] : region_best) {
+    regions[region] = store::to_json(config);
+  }
+  j["region_best"] = regions;
+  j["scenarios_evaluated"] = static_cast<std::int64_t>(scenarios_evaluated);
+  j["app_runs"] = static_cast<std::int64_t>(app_runs);
+  j["tuning_time"] = tuning_time.value();
+  j["best_measurement"] = ptf::to_json(best_measurement);
+  return j;
+}
+
+}  // namespace ecotune

@@ -1,0 +1,45 @@
+#include "tuners/dta_tuner.hpp"
+
+#include <string>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace ecotune::tuners {
+
+DtaTuner::DtaTuner(hwsim::NodeSimulator& node, ModelProvider model,
+                   core::DvfsUfsPlugin::Options options)
+    : node_(node), model_(std::move(model)), options_(std::move(options)) {
+  ensure(static_cast<bool>(model_), "DtaTuner: null model provider");
+}
+
+core::DtaResult DtaTuner::run_with(const workload::Benchmark& app,
+                                   const core::DvfsUfsPlugin::Options& options) {
+  const model::EnergyModel& trained = model_();
+  core::DvfsUfsPlugin plugin(trained, options);
+  return plugin.run_dta(app, node_);
+}
+
+core::DtaResult DtaTuner::run(const workload::Benchmark& app) {
+  return run_with(app, options_);
+}
+
+TuningOutcome DtaTuner::tune(const TuningRequest& request) {
+  const auto objective = ptf::make_objective(request.objective);
+  core::DvfsUfsPlugin::Options options = options_;
+  options.config.objective = std::string(objective->name());
+  const core::DtaResult result = run_with(request.app, options);
+
+  TuningOutcome out;
+  out.tuner = std::string(name());
+  out.objective = std::string(objective->name());
+  out.best = result.phase_best;
+  out.region_best = result.region_best;
+  out.scenarios_evaluated = result.thread_scenarios + result.analysis_runs +
+                            result.frequency_scenarios;
+  out.app_runs = result.app_runs;
+  out.tuning_time = result.tuning_time;
+  return out;
+}
+
+}  // namespace ecotune::tuners

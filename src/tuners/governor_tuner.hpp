@@ -1,0 +1,56 @@
+#pragma once
+
+#include "hwsim/node.hpp"
+#include "ptf/tuner.hpp"
+
+namespace ecotune::store {
+class MeasurementStore;
+}
+
+namespace ecotune::tuners {
+
+/// Which kernel cpufreq policy the governor emulates.
+enum class GovernorPolicy {
+  kOndemand,      ///< jump to max on high load, scale proportionally below
+  kConservative,  ///< step frequency up/down gradually around thresholds
+};
+
+[[nodiscard]] std::string_view to_string(GovernorPolicy policy);
+
+/// Knobs mirroring the kernel governors' sysfs tunables.
+struct GovernorOptions {
+  double up_threshold = 0.80;    ///< load above this scales up
+  double down_threshold = 0.30;  ///< load below this scales down
+  /// Grid steps per conservative adjustment (freq_step analogue).
+  int freq_step = 2;
+  /// Optional persistent measurement store (not owned): replays the whole
+  /// governed run from a previous session when node/app/options match.
+  store::MeasurementStore* store = nullptr;
+};
+
+/// Load-reactive frequency governor baseline: runs the application once at
+/// the cluster default configuration and re-decides the core frequency at
+/// every phase boundary from the measured load of the previous iteration
+/// (load = 1 - RES_STL/TOT_CYC, the fraction of cycles not stalled on any
+/// resource), the way the kernel's ondemand/conservative cpufreq governors
+/// react to utilization samples. No search, no model: acquisition cost is a
+/// single application run. Uncore frequency and threads stay at default --
+/// real cpufreq governors do not manage either.
+class GovernorTuner final : public Tuner {
+ public:
+  GovernorTuner(hwsim::NodeSimulator& node, GovernorPolicy policy,
+                GovernorOptions options = {});
+
+  [[nodiscard]] std::string_view name() const override {
+    return to_string(policy_);
+  }
+  [[nodiscard]] TuningOutcome tune(const TuningRequest& request) override;
+
+ private:
+  hwsim::NodeSimulator& node_;
+  GovernorPolicy policy_;
+  GovernorOptions options_;
+  long tune_calls_ = 0;  ///< decorrelates noise across tune() calls
+};
+
+}  // namespace ecotune::tuners

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/exhaustive_tuner.hpp"
+#include "baseline/static_tuner.hpp"
+#include "core/dvfs_ufs_plugin.hpp"
+#include "ptf/tuner.hpp"
+#include "tuners/dta_tuner.hpp"
+#include "tuners/governor_tuner.hpp"
+#include "tuners/qlearning_tuner.hpp"
+
+namespace ecotune::tuners {
+
+/// Everything a strategy factory may need. jobs/store are threaded into
+/// each strategy's options by the factory, mirroring how Session overrode
+/// them on the hand-wired stacks; `model` is the lazy trained-model
+/// provider only the DTA adapter consumes.
+struct TunerContext {
+  hwsim::NodeSimulator* node = nullptr;
+  DtaTuner::ModelProvider model;  ///< may be empty if "dta" is never made
+  int jobs = 1;
+  store::MeasurementStore* store = nullptr;
+  baseline::StaticTunerOptions static_search;
+  baseline::ExhaustiveTunerOptions exhaustive_search;
+  core::DvfsUfsPlugin::Options plugin;
+  QLearningOptions qlearn;
+  GovernorOptions governor;
+};
+
+/// Name -> factory map of every registered tuning strategy. Names are the
+/// `--tuner` CLI vocabulary; names() is sorted so diagnostics and listings
+/// are deterministic.
+class TunerRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<Tuner>(const TunerContext& ctx)>;
+
+  /// Registers (or replaces) a strategy factory under `name`.
+  void add(std::string name, Factory factory);
+
+  [[nodiscard]] bool contains(const std::string& name) const;
+  /// All registered names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+  /// Comma-separated sorted names, for CLI diagnostics.
+  [[nodiscard]] std::string names_joined() const;
+
+  /// Instantiates the strategy `name` for `ctx`; throws ConfigError with
+  /// the registered-name list when `name` is unknown.
+  [[nodiscard]] std::unique_ptr<Tuner> make(const std::string& name,
+                                            const TunerContext& ctx) const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+/// The built-in strategies: exhaustive, static, dta, qlearn, ondemand,
+/// conservative.
+[[nodiscard]] const TunerRegistry& default_registry();
+
+}  // namespace ecotune::tuners

@@ -2,22 +2,25 @@
 # --jobs value (the determinism contract of the parallel sweep engine, the
 # parallel model training and the parallel cross-validation loops).
 #
-# Runs DRIVER at --jobs 1 and --jobs 3 with no measurement store and
-# compares the stdouts byte for byte.
+# Runs DRIVER at --jobs 1 and --jobs JOBS_HIGH (default 3) with no
+# measurement store and compares the stdouts byte for byte.
 #
 # Usage:
-#   cmake -DDRIVER=<exe> [-DDRIVER_ARGS=<args>] -DWORK_DIR=<dir>
-#         -P jobs_invariance_check.cmake
+#   cmake -DDRIVER=<exe> [-DDRIVER_ARGS=<args>] [-DJOBS_HIGH=<n>]
+#         -DWORK_DIR=<dir> -P jobs_invariance_check.cmake
 
 if(NOT DEFINED DRIVER OR NOT DEFINED WORK_DIR)
   message(FATAL_ERROR "jobs_invariance_check: DRIVER and WORK_DIR are required")
+endif()
+if(NOT DEFINED JOBS_HIGH)
+  set(JOBS_HIGH 3)
 endif()
 
 file(REMOVE_RECURSE "${WORK_DIR}")
 file(MAKE_DIRECTORY "${WORK_DIR}")
 separate_arguments(ARGS_LIST UNIX_COMMAND "${DRIVER_ARGS}")
 
-foreach(jobs 1 3)
+foreach(jobs 1 ${JOBS_HIGH})
   execute_process(
     COMMAND "${DRIVER}" ${ARGS_LIST} --jobs ${jobs}
     OUTPUT_FILE "${WORK_DIR}/jobs${jobs}.out"
@@ -32,12 +35,14 @@ endforeach()
 
 execute_process(
   COMMAND "${CMAKE_COMMAND}" -E compare_files
-          "${WORK_DIR}/jobs1.out" "${WORK_DIR}/jobs3.out"
+          "${WORK_DIR}/jobs1.out" "${WORK_DIR}/jobs${JOBS_HIGH}.out"
   RESULT_VARIABLE differs)
 if(NOT differs EQUAL 0)
   message(FATAL_ERROR
-    "jobs_invariance_check: stdout differs between --jobs 1 and --jobs 3 "
-    "(${WORK_DIR}/jobs1.out vs ${WORK_DIR}/jobs3.out)")
+    "jobs_invariance_check: stdout differs between --jobs 1 and "
+    "--jobs ${JOBS_HIGH} (${WORK_DIR}/jobs1.out vs "
+    "${WORK_DIR}/jobs${JOBS_HIGH}.out)")
 endif()
 
-message(STATUS "jobs_invariance_check: byte-identical for --jobs 1 and 3")
+message(STATUS
+  "jobs_invariance_check: byte-identical for --jobs 1 and ${JOBS_HIGH}")

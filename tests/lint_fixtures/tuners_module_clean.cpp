@@ -1,0 +1,18 @@
+// Lint fixture (never compiled): the deterministic counterparts — episode
+// streams derived from a fixed seed by a pure mix, and an ordered Q-table
+// whose dump order cannot depend on hashing.
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+
+std::map<std::string, double> q_table;
+
+std::uint64_t episode_stream(std::uint64_t seed, std::uint64_t episode) {
+  return seed ^ (episode * 0x9E3779B97F4A7C15ULL);
+}
+
+void dump_policy() {
+  for (const auto& [state, value] : q_table)
+    std::printf("%s\n", state.c_str());
+}

@@ -1,0 +1,22 @@
+// Lint fixture (never compiled): the determinism sins a tuning strategy
+// must not commit — entropy/clock-seeded exploration and a hash-ordered
+// Q-table dump. src/tuners/ gets no whitelist, so both rules fire there
+// exactly as in the rest of src/.
+#include <cstdio>
+#include <ctime>
+#include <random>
+#include <string>
+#include <unordered_map>
+
+std::unordered_map<std::string, double> q_table;
+
+unsigned long explore_seed() {
+  std::random_device entropy;           // VIOLATION line 14
+  return entropy() ^
+         static_cast<unsigned long>(time(nullptr));  // VIOLATION line 16
+}
+
+void dump_policy() {
+  for (const auto& [state, value] : q_table)  // VIOLATION line 20
+    std::printf("%s\n", state.c_str());
+}

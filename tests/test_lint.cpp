@@ -97,6 +97,35 @@ TEST(EcotuneLint, DiagnosticFormatIsFileLineRuleMessage) {
             "raw_thread_violation.cpp:6: error: [");
 }
 
+TEST(EcotuneLint, TunersModuleViolations) {
+  // The src/tuners/ module idioms gone wrong: entropy/clock seeding and a
+  // hash-ordered Q-table dump must all be flagged.
+  EXPECT_EQ(lint_fixture("tuners_module_violation.cpp"),
+            (std::vector<std::string>{
+                "tuners_module_violation.cpp:14 [nondeterministic-seed]",
+                "tuners_module_violation.cpp:16 [nondeterministic-seed]",
+                "tuners_module_violation.cpp:20 [unordered-iteration]"}));
+}
+
+TEST(EcotuneLint, TunersModuleClean) {
+  EXPECT_TRUE(lint_fixture("tuners_module_clean.cpp").empty());
+}
+
+TEST(EcotuneLint, TunersPathsGetNoWhitelist) {
+  // The whitelists are for the common/ wrappers only; a tuner source is
+  // linted like any other module file.
+  const std::string entropy = "long s() { return time(nullptr); }\n";
+  EXPECT_EQ(lint::lint_source("src/tuners/qlearning_tuner.cpp", entropy)
+                .size(),
+            1u);
+  const std::string hashed =
+      "#include <unordered_map>\n"
+      "std::unordered_map<int, int> q;\n"
+      "void f() { for (const auto& kv : q) std::printf(\"%d\\n\", "
+      "kv.first); }\n";
+  EXPECT_EQ(lint::lint_source("src/tuners/registry.cpp", hashed).size(), 1u);
+}
+
 TEST(EcotuneLint, WhitelistPathsSuppressRules) {
   // The identical source is a violation outside common/ and clean inside
   // the wrapper whitelist.

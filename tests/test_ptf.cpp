@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "hwsim/node.hpp"
 #include "ptf/experiments_engine.hpp"
 #include "ptf/objectives.hpp"
@@ -178,6 +180,119 @@ TEST(Objectives, FactoryByName) {
     EXPECT_EQ(obj->name(), name);
   }
   EXPECT_THROW(make_objective("nope"), ConfigError);
+}
+
+TEST(Objectives, PowerCapPenalizesOnlyAboveTheCap) {
+  const PowerCapObjective cap(100.0);  // 100 W cap
+  Measurement under;                   // 50 W mean power
+  under.node_energy = Joules(100);
+  under.time = Seconds(2.0);
+  Measurement at_cap;  // exactly 100 W
+  at_cap.node_energy = Joules(200);
+  at_cap.time = Seconds(2.0);
+  Measurement over;  // 150 W
+  over.node_energy = Joules(300);
+  over.time = Seconds(2.0);
+
+  // At or under the cap the score degenerates to plain time.
+  EXPECT_DOUBLE_EQ(cap.evaluate(under), 2.0);
+  EXPECT_DOUBLE_EQ(cap.evaluate(at_cap), 2.0);
+  // 50% excess at weight 10: 2.0 + 10 * 0.5 * 2.0 = 12.0.
+  EXPECT_DOUBLE_EQ(cap.evaluate(over), 12.0);
+}
+
+TEST(Objectives, PowerCapPenaltyIsMonotoneInExcessPower) {
+  const PowerCapObjective cap(100.0);
+  double previous = 0.0;
+  for (int watts = 100; watts <= 400; watts += 50) {
+    Measurement m;  // fixed 1 s runtime, rising mean power
+    m.time = Seconds(1.0);
+    m.node_energy = Joules(watts);
+    const double score = cap.evaluate(m);
+    EXPECT_GT(score, previous - 1e-12) << watts;
+    if (watts > 100) {
+      EXPECT_GT(score, previous) << watts;
+    }
+    previous = score;
+  }
+}
+
+TEST(Objectives, PowerCapZeroTimeMeasurementScoresZero) {
+  // Mean power is undefined without runtime; the score must not divide by
+  // zero or produce NaN/inf.
+  const PowerCapObjective cap(100.0);
+  Measurement zero;
+  zero.node_energy = Joules(500);
+  zero.time = Seconds(0.0);
+  EXPECT_DOUBLE_EQ(cap.evaluate(zero), 0.0);
+}
+
+TEST(Objectives, EnergyBudgetPenalizesOverBudgetEvenAtZeroTime) {
+  const EnergyBudgetObjective budget(1000.0);
+  Measurement under;
+  under.node_energy = Joules(800);
+  under.time = Seconds(3.0);
+  EXPECT_DOUBLE_EQ(budget.evaluate(under), 3.0);
+
+  // The penalty is additive, not time-scaled: an over-budget measurement
+  // stays penalized as its time approaches zero.
+  Measurement over_fast;
+  over_fast.node_energy = Joules(1500);
+  over_fast.time = Seconds(0.0);
+  EXPECT_DOUBLE_EQ(over_fast.time.value() +
+                       10.0 * (1500.0 - 1000.0) / 1000.0,
+                   budget.evaluate(over_fast));
+  EXPECT_GT(budget.evaluate(over_fast), 0.0);
+}
+
+TEST(Objectives, EnergyBudgetPenaltyIsMonotoneInExcessEnergy) {
+  const EnergyBudgetObjective budget(1000.0);
+  double previous = -1.0;
+  for (int joules = 1000; joules <= 4000; joules += 500) {
+    Measurement m;
+    m.time = Seconds(1.0);
+    m.node_energy = Joules(joules);
+    const double score = budget.evaluate(m);
+    if (joules > 1000) {
+      EXPECT_GT(score, previous) << joules;
+    }
+    previous = score;
+  }
+}
+
+TEST(Objectives, CapFamilyFactoryAndParameterizedNamesRoundTrip) {
+  // Base spellings construct the defaults and keep a reconstructible name.
+  for (const char* name : {"power_cap", "energy_budget"}) {
+    const auto obj = make_objective(name);
+    ASSERT_NE(obj, nullptr);
+    const auto again = make_objective(obj->name());
+    EXPECT_EQ(again->name(), obj->name());
+  }
+  // Parameterized spellings round-trip through name() exactly.
+  const auto capped = make_objective("power_cap:250");
+  EXPECT_EQ(capped->name(), "power_cap:250");
+  EXPECT_EQ(make_objective(capped->name())->name(), "power_cap:250");
+  const auto budgeted = make_objective("energy_budget:5000");
+  EXPECT_EQ(budgeted->name(), "energy_budget:5000");
+
+  // Malformed or non-positive parameters are configuration errors.
+  EXPECT_THROW(make_objective("power_cap:"), ConfigError);
+  EXPECT_THROW(make_objective("power_cap:zero"), ConfigError);
+  EXPECT_THROW(make_objective("power_cap:-5"), ConfigError);
+  EXPECT_THROW(make_objective("energy_budget:0"), ConfigError);
+  EXPECT_THROW(make_objective("watt_cap:100"), ConfigError);
+}
+
+TEST(Objectives, NamesListIsSortedAndFactoryComplete) {
+  const auto& names = objective_names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  for (const auto& name : names) {
+    const auto obj = make_objective(name);
+    ASSERT_NE(obj, nullptr);
+  }
+  EXPECT_NE(objective_names_joined().find("power_cap"), std::string::npos);
+  EXPECT_NE(objective_names_joined().find("energy_budget"),
+            std::string::npos);
 }
 
 class EngineTest : public ::testing::Test {

@@ -20,6 +20,8 @@
 #include "api/report.hpp"
 #include "api/session.hpp"
 #include "common/cli.hpp"
+#include "ptf/objectives.hpp"
+#include "tuners/registry.hpp"
 #include "workload/suite.hpp"
 
 using namespace ecotune;
@@ -28,6 +30,7 @@ namespace {
 
 struct CliOptions {
   std::vector<std::string> benchmarks;
+  std::string tuner = "dta";
   std::string objective = "energy";
   std::string output;
   std::string cache_dir;
@@ -53,8 +56,15 @@ void print_usage() {
       "                       flag to run a multi-benchmark campaign that\n"
       "                       trains the model once and analyzes all\n"
       "                       benchmarks concurrently\n"
-      "  --objective <name>   energy|cpu_energy|time|edp|ed2p|tco "
-      "(default energy)\n"
+      "  --tuner <name>       tuning strategy (default dta, the classic\n"
+      "                       design-time analysis; other names render a\n"
+      "                       strategy-agnostic outcome; registered: " +
+          tuners::default_registry().names_joined() +
+      ")\n"
+      "  --objective <name>   " +
+          ptf::objective_names_joined() +
+      "\n                       (default energy; power_cap:<W> and\n"
+      "                       energy_budget:<J> parameterize the cap)\n"
       "  --epochs <n>         training epochs for the energy model "
       "(default 10)\n"
       "  --radius <n>         verification neighborhood radius (default 1)\n"
@@ -85,10 +95,30 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
       const char* v = next("--benchmark");
       if (!v) return false;
       opts.benchmarks.emplace_back(v);
+    } else if (arg == "--tuner") {
+      const char* v = next("--tuner");
+      if (!v) return false;
+      opts.tuner = v;
+      if (!tuners::default_registry().contains(opts.tuner)) {
+        std::cerr << "error: unknown tuner '" << opts.tuner
+                  << "' (registered: "
+                  << tuners::default_registry().names_joined() << ")\n";
+        return false;
+      }
     } else if (arg == "--objective") {
       const char* v = next("--objective");
       if (!v) return false;
       opts.objective = v;
+      // Validate at parse time so an unknown objective is a CLI error
+      // (exit 2 + the registered list), not a mid-run exception.
+      try {
+        (void)ptf::make_objective(opts.objective);
+      } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what()
+                  << " (registered: " << ptf::objective_names_joined()
+                  << ")\n";
+        return false;
+      }
     } else if (arg == "--epochs") {
       const char* v = next("--epochs");
       if (!v || !cli::parse_strict_int("--epochs", v, 1, opts.epochs))
@@ -168,6 +198,10 @@ int main(int argc, char** argv) {
     std::cerr << "error: --output supports a single --benchmark\n";
     return 2;
   }
+  if (!opts.output.empty() && opts.tuner != "dta") {
+    std::cerr << "error: --output requires the dta tuner\n";
+    return 2;
+  }
 
   // The Session owns the whole stack (nodes, acquisition, model, store,
   // jobs policy). Store-open failures (bad mode, unwritable path) are CLI
@@ -196,6 +230,21 @@ int main(int argc, char** argv) {
     apps.reserve(opts.benchmarks.size());
     for (const auto& name : opts.benchmarks)
       apps.push_back(workload::BenchmarkSuite::by_name(name));
+
+    // Non-dta strategies run through the common Tuner seam and render a
+    // strategy-agnostic outcome; only the dta path below trains eagerly
+    // (the others never need the energy model).
+    if (opts.tuner != "dta") {
+      for (const auto& app : apps) {
+        api::TunerReport report;
+        report.benchmark = app.name();
+        report.outcome = session->tune(opts.tuner, app, opts.objective);
+        sink->tuner(report);
+      }
+      sink->close();
+      session->print_store_summary();
+      return 0;
+    }
 
     sink->training_started(opts.epochs);
     session->train_model();
