@@ -25,6 +25,14 @@ if(NOT TARGET ecotune_build_flags)
     if(ECOTUNE_WERROR)
       target_compile_options(ecotune_build_flags INTERFACE -Werror)
     endif()
+    # Clang proves the tree's lock discipline from the annotations in
+    # common/thread_annotations.hpp; any unguarded access to a GUARDED_BY
+    # member is a hard build error in the CI clang lane. GCC has no such
+    # analysis and compiles the no-op macro branch.
+    if(CMAKE_CXX_COMPILER_ID MATCHES "Clang")
+      target_compile_options(ecotune_build_flags INTERFACE
+        -Wthread-safety -Werror=thread-safety)
+    endif()
   endif()
 
   if(ECOTUNE_DCHECKS)

@@ -102,6 +102,7 @@ tuners::TunerContext Session::tuner_context() {
 }
 
 Tuner& Session::tuner(const std::string& tuner_name) {
+  const MutexLock lock(tuners_mutex_);
   auto it = tuners_.find(tuner_name);
   if (it == tuners_.end()) {
     it = tuners_

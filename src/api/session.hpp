@@ -9,6 +9,8 @@
 
 #include "baseline/exhaustive_tuner.hpp"
 #include "baseline/static_tuner.hpp"
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 #include "core/dvfs_ufs_plugin.hpp"
 #include "core/evaluation.hpp"
 #include "hwsim/node.hpp"
@@ -310,8 +312,12 @@ class Session {
                      const std::string& objective);
 
   /// The session's persistent instance of the named strategy (created on
-  /// first use from tuners::default_registry()).
-  [[nodiscard]] Tuner& tuner(const std::string& tuner_name);
+  /// first use from tuners::default_registry()). The cache map itself is
+  /// mutex-guarded so concurrent lookups cannot race the lazy emplace;
+  /// the returned Tuner is NOT internally synchronized -- drive one
+  /// strategy instance from one thread at a time.
+  [[nodiscard]] Tuner& tuner(const std::string& tuner_name)
+      ECOTUNE_EXCLUDES(tuners_mutex_);
 
   // -- Evaluation baselines (paper Sec. V-D). -----------------------------
 
@@ -355,8 +361,12 @@ class Session {
   std::optional<model::EnergyModel> model_;
   /// Persistent per-strategy instances (tune-call decorrelation counters
   /// live on the tuner objects, so caching them preserves the hand-wired
-  /// drivers' noise schedule across repeated calls).
-  std::map<std::string, std::unique_ptr<Tuner>> tuners_;
+  /// drivers' noise schedule across repeated calls). Guarded: tuner() is
+  /// reachable from parallel campaign tasks, and a racing find/emplace on
+  /// the map would be undefined behavior.
+  Mutex tuners_mutex_;
+  std::map<std::string, std::unique_ptr<Tuner>> tuners_
+      ECOTUNE_GUARDED_BY(tuners_mutex_);
   std::optional<core::SavingsEvaluator> savings_evaluator_;
   long campaign_calls_ = 0;  ///< decorrelates campaigns on one session
 };

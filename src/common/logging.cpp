@@ -1,14 +1,20 @@
 #include "common/logging.hpp"
 
+#include <atomic>
 #include <iostream>
-#include <mutex>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace ecotune::log {
 namespace {
 
-Level g_level = Level::kWarn;
-std::ostream* g_sink = nullptr;
-std::mutex g_mutex;
+/// Atomic, not mutex-guarded: level() is read on every Line construction
+/// and every streamed operand (the logging hot path); a relaxed load is
+/// free and a torn read is impossible for an enum.
+std::atomic<Level> g_level{Level::kWarn};
+Mutex g_mutex;
+std::ostream* g_sink ECOTUNE_GUARDED_BY(g_mutex) = nullptr;
 
 constexpr std::string_view name_of(Level l) {
   switch (l) {
@@ -30,13 +36,19 @@ constexpr std::string_view name_of(Level l) {
 
 }  // namespace
 
-void set_level(Level level) { g_level = level; }
-Level level() { return g_level; }
-void set_sink(std::ostream* sink) { g_sink = sink; }
+void set_level(Level level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_sink(std::ostream* sink) {
+  const MutexLock lock(g_mutex);
+  g_sink = sink;
+}
 
 namespace detail {
 void emit(Level level, std::string_view component, const std::string& message) {
-  const std::lock_guard<std::mutex> lock(g_mutex);
+  const MutexLock lock(g_mutex);
   std::ostream& os = g_sink ? *g_sink : std::clog;
   os << '[' << name_of(level) << "] [" << component << "] " << message << '\n';
 }

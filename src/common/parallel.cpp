@@ -24,11 +24,15 @@ struct ThreadPool::Batch {
   const std::function<void(std::size_t)>* fn = nullptr;
   std::atomic<std::size_t> next{0};
   std::atomic<bool> cancelled{false};
-  int remaining_workers = 0;  ///< guarded by the pool mutex
+  // Guarded by the *pool* mutex, which the analysis cannot name from here
+  // (a nested struct has no path to the owning pool's mutex_ expression);
+  // every touch point sits visibly inside a MutexLock(pool.mutex_) scope.
+  int remaining_workers = 0;
 
-  std::mutex error_mutex;
-  std::exception_ptr error;
-  std::size_t error_index = std::numeric_limits<std::size_t>::max();
+  Mutex error_mutex;
+  std::exception_ptr error ECOTUNE_GUARDED_BY(error_mutex);
+  std::size_t error_index ECOTUNE_GUARDED_BY(error_mutex) =
+      std::numeric_limits<std::size_t>::max();
 };
 
 ThreadPool::ThreadPool(int jobs) {
@@ -40,7 +44,7 @@ ThreadPool::ThreadPool(int jobs) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     stop_ = true;
   }
   wake_cv_.notify_all();
@@ -55,7 +59,7 @@ void ThreadPool::drain(Batch& b) {
     try {
       (*b.fn)(i);
     } catch (...) {
-      const std::lock_guard<std::mutex> lock(b.error_mutex);
+      const MutexLock lock(b.error_mutex);
       if (i < b.error_index) {
         b.error_index = i;
         b.error = std::current_exception();
@@ -67,9 +71,12 @@ void ThreadPool::drain(Batch& b) {
 
 void ThreadPool::worker_loop() {
   std::uint64_t seen = 0;
-  std::unique_lock<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (;;) {
-    wake_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    // Explicit predicate loop (not the lambda-predicate wait overload): the
+    // guarded reads of stop_/generation_ stay in this function's body, where
+    // the analysis can see the MutexLock that covers them.
+    while (!stop_ && generation_ == seen) wake_cv_.wait(lock);
     if (stop_) return;
     seen = generation_;
     ECOTUNE_DCHECK(batch_ != nullptr,
@@ -92,7 +99,7 @@ void ThreadPool::run(std::size_t count,
 
   if (!workers_.empty()) {
     {
-      const std::lock_guard<std::mutex> lock(mutex_);
+      const MutexLock lock(mutex_);
       b.remaining_workers = static_cast<int>(workers_.size());
       batch_ = &b;
       ++generation_;
@@ -103,8 +110,8 @@ void ThreadPool::run(std::size_t count,
   drain(b);  // the caller participates as a worker
 
   if (!workers_.empty()) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [&] { return b.remaining_workers == 0; });
+    MutexLock lock(mutex_);
+    while (b.remaining_workers != 0) done_cv_.wait(lock);
     batch_ = nullptr;
   }
   // Task accounting: once every worker checked in, either the batch was
@@ -113,7 +120,15 @@ void ThreadPool::run(std::size_t count,
   // silently dropped and downstream ordered reductions would misalign.
   ECOTUNE_CHECK(b.cancelled.load() || b.next.load() >= b.count,
                 "ThreadPool::run: batch completed with unclaimed tasks");
-  if (b.error) std::rethrow_exception(b.error);
+  // No lock needed for b.error here in the memory model (all workers have
+  // checked in), but the annotation contract is absolute: guarded members
+  // are only touched under their mutex.
+  std::exception_ptr error;
+  {
+    const MutexLock lock(b.error_mutex);
+    error = b.error;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 }  // namespace ecotune

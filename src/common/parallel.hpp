@@ -2,11 +2,14 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace ecotune {
 
@@ -54,12 +57,16 @@ class ThreadPool {
   static void drain(Batch& b);
 
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable wake_cv_;   ///< signals workers: new batch / stop
-  std::condition_variable done_cv_;   ///< signals run(): all workers checked in
-  Batch* batch_ = nullptr;
-  std::uint64_t generation_ = 0;
-  bool stop_ = false;
+  /// Guards the batch-publication state below; the worker/run() rendezvous
+  /// is proved by Clang's thread-safety analysis (common/thread_annotations).
+  Mutex mutex_;
+  /// _any variants: they wait on the annotated MutexLock (BasicLockable),
+  /// which the analysis tracks across the wait.
+  std::condition_variable_any wake_cv_;  ///< signals workers: new batch/stop
+  std::condition_variable_any done_cv_;  ///< signals run(): workers checked in
+  Batch* batch_ ECOTUNE_GUARDED_BY(mutex_) = nullptr;
+  std::uint64_t generation_ ECOTUNE_GUARDED_BY(mutex_) = 0;
+  bool stop_ ECOTUNE_GUARDED_BY(mutex_) = false;
 };
 
 /// Runs fn(i) for i in [0, count) on a transient pool of `jobs` workers.

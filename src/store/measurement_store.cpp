@@ -67,7 +67,7 @@ MeasurementStore::MeasurementStore(const std::string& cache_dir,
 
 void MeasurementStore::open(const std::string& cache_dir, StoreMode mode,
                             std::string scope) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   ensure(!enabled(), "MeasurementStore::open: already open");
   if (mode == StoreMode::kOff) return;
   scope_ = std::move(scope);
@@ -130,7 +130,11 @@ std::string MeasurementStore::scoped(const std::string& task) const {
 }
 
 std::optional<Json> MeasurementStore::lookup(const MeasurementKey& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
+  return lookup_locked(key);
+}
+
+std::optional<Json> MeasurementStore::lookup_locked(const MeasurementKey& key) {
   if (mode_ == StoreMode::kOff) return std::nullopt;
   // Fingerprint precondition: a default-constructed key (digest 0) means
   // the caller forgot to hash the measurement context. Such a key could
@@ -160,7 +164,12 @@ std::optional<Json> MeasurementStore::lookup(const MeasurementKey& key) {
 }
 
 void MeasurementStore::insert(const MeasurementKey& key, const Json& payload) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
+  insert_locked(key, payload);
+}
+
+void MeasurementStore::insert_locked(const MeasurementKey& key,
+                                     const Json& payload) {
   if (mode_ != StoreMode::kReadWrite) return;
   ensure(!key.task.empty(), "MeasurementStore::insert: empty task key");
   ECOTUNE_DCHECK(key.fingerprint != 0,
@@ -181,17 +190,17 @@ void MeasurementStore::insert(const MeasurementKey& key, const Json& payload) {
 }
 
 StoreStats MeasurementStore::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return stats_;
 }
 
 std::size_t MeasurementStore::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return entries_.size();
 }
 
 std::string MeasurementStore::summary() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   std::ostringstream os;
   os << "[measurement-store] hits=" << stats_.hits
      << " misses=" << stats_.misses << " invalidated=" << stats_.invalidated

@@ -3,11 +3,12 @@
 #include <cstdint>
 #include <fstream>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 
 #include "common/json.hpp"
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace ecotune::store {
 
@@ -64,7 +65,14 @@ struct StoreStats {
 /// is what makes warm output byte-identical to a cold run.
 ///
 /// Thread safety: lookup/insert are serialized by an internal mutex; the
-/// parallel sweep engines call them from concurrent tasks.
+/// parallel sweep engines call them from concurrent tasks. The lock
+/// discipline is compiler-proved: every guarded member carries
+/// ECOTUNE_GUARDED_BY(mutex_) and the _locked helpers carry
+/// ECOTUNE_REQUIRES(mutex_), so a Clang `-Wthread-safety` build rejects
+/// any access outside the lock. mode_/dir_/scope_/file_path_ are written
+/// exactly once by open() (before any concurrent use -- drivers open the
+/// store during CLI setup) and are read-only afterwards, which is why the
+/// cheap accessors below take no lock.
 class MeasurementStore {
  public:
   /// Constructs a disabled (kOff) store; open() activates it.
@@ -93,20 +101,22 @@ class MeasurementStore {
   /// Returns the payload recorded for `key`, or nullopt on miss. A stored
   /// entry whose fingerprint differs from key.fingerprint is stale (the
   /// context changed); it is invalidated and the lookup misses.
-  [[nodiscard]] std::optional<Json> lookup(const MeasurementKey& key);
+  [[nodiscard]] std::optional<Json> lookup(const MeasurementKey& key)
+      ECOTUNE_EXCLUDES(mutex_);
 
   /// Records `payload` under `key`. No-op in ro/off mode. In rw mode the
   /// entry is appended to disk immediately (one JSON line, flushed), so a
   /// killed run still leaves a usable cache.
-  void insert(const MeasurementKey& key, const Json& payload);
+  void insert(const MeasurementKey& key, const Json& payload)
+      ECOTUNE_EXCLUDES(mutex_);
 
-  [[nodiscard]] StoreStats stats() const;
-  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] StoreStats stats() const ECOTUNE_EXCLUDES(mutex_);
+  [[nodiscard]] std::size_t size() const ECOTUNE_EXCLUDES(mutex_);
 
   /// One-line, machine-greppable summary:
   /// "[measurement-store] hits=H misses=M invalidated=I rejected=R writes=W
   ///  entries=E (mode=rw, dir=...)". Drivers print it to stderr.
-  [[nodiscard]] std::string summary() const;
+  [[nodiscard]] std::string summary() const ECOTUNE_EXCLUDES(mutex_);
 
  private:
   struct Entry {
@@ -114,17 +124,23 @@ class MeasurementStore {
     Json payload;
   };
 
-  void load_file(const std::string& path);
+  /// Lock-held workhorses behind the public lookup/insert; the REQUIRES
+  /// contract is what the Clang lane's negative check targets.
+  [[nodiscard]] std::optional<Json> lookup_locked(const MeasurementKey& key)
+      ECOTUNE_REQUIRES(mutex_);
+  void insert_locked(const MeasurementKey& key, const Json& payload)
+      ECOTUNE_REQUIRES(mutex_);
+  void load_file(const std::string& path) ECOTUNE_REQUIRES(mutex_);
   [[nodiscard]] std::string scoped(const std::string& task) const;
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   StoreMode mode_ = StoreMode::kOff;
   std::string dir_;
   std::string scope_;
   std::string file_path_;
-  std::map<std::string, Entry> entries_;
-  std::ofstream appender_;
-  StoreStats stats_;
+  std::map<std::string, Entry> entries_ ECOTUNE_GUARDED_BY(mutex_);
+  std::ofstream appender_ ECOTUNE_GUARDED_BY(mutex_);
+  StoreStats stats_ ECOTUNE_GUARDED_BY(mutex_);
 };
 
 }  // namespace ecotune::store

@@ -1,0 +1,14 @@
+// Lint fixture (never compiled): linted as if at src/model/..., with
+// every include edge inside the module's declared DEPS (common, hwsim,
+// instr, nn, pmc, stats, store, trace, workload) and external headers in
+// angle brackets, which the rule never touches.
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "model/dataset.hpp"
+#include "nn/network.hpp"
+#include "stats/summary.hpp"
+#include "store/measurement_store.hpp"
+
+void fixture();

@@ -1,0 +1,10 @@
+// Lint fixture (never compiled): linted as if at src/hwsim/..., where the
+// only legal in-tree dependency is common (src/hwsim/CMakeLists.txt DEPS).
+#include <vector>
+
+#include "common/units.hpp"
+#include "hwsim/node.hpp"
+#include "model/energy_model.hpp"  // VIOLATION line 7: hwsim -> model
+#include "tuners/registry.hpp"     // VIOLATION line 8: hwsim -> tuners
+
+void fixture();

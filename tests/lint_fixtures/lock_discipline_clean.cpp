@@ -1,0 +1,20 @@
+// Lint fixture (never compiled): the annotated lock discipline — an
+// ecotune::Mutex with a GUARDED_BY guardee, held through scoped RAII —
+// plus near misses the rule must ignore.
+#include <mutex>
+
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+
+struct Cache {
+  ecotune::Mutex mutex_;
+  int value ECOTUNE_GUARDED_BY(mutex_) = 0;
+
+  void bump() {
+    const ecotune::MutexLock lock(mutex_);  // a variable named lock, no call
+    ++value;
+  }
+};
+
+// Template arguments and references are not declarations of a new mutex.
+void observe(std::lock_guard<std::mutex>& guard, ecotune::Mutex& other);

@@ -1,0 +1,17 @@
+// Lint fixture (never compiled): manual lock management and a decorative
+// mutex the Clang thread-safety lane could never prove anything about.
+#include <mutex>
+
+struct Cache {
+  std::mutex mutex_;  // VIOLATION line 6: no ECOTUNE_GUARDED_BY guardee
+
+  void bump() {
+    mutex_.lock();    // VIOLATION line 9
+    ++value;
+    mutex_.unlock();  // VIOLATION line 11
+  }
+
+  bool poll() { return mutex_.try_lock(); }  // VIOLATION line 14
+
+  int value = 0;
+};

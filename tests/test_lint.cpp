@@ -3,11 +3,19 @@
 // CLI runs) and the CLI's exit-code contract (process level).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/json.hpp"
+#include "lint/include_graph.hpp"
 #include "lint/linter.hpp"
+#include "lint/sarif.hpp"
 
 namespace lint = ecotune::lint;
 
@@ -16,9 +24,8 @@ namespace {
 const std::string kFixtures = ECOTUNE_LINT_FIXTURE_DIR;
 const std::string kBinary = ECOTUNE_LINT_BIN;
 
-std::vector<std::string> lint_fixture(const std::string& name) {
-  const auto diagnostics =
-      lint::lint_files(kFixtures, {kFixtures + "/" + name});
+std::vector<std::string> format_pins(
+    const std::vector<lint::Diagnostic>& diagnostics) {
   std::vector<std::string> out;
   out.reserve(diagnostics.size());
   for (const auto& d : diagnostics)
@@ -27,10 +34,44 @@ std::vector<std::string> lint_fixture(const std::string& name) {
   return out;
 }
 
+std::vector<std::string> lint_fixture(const std::string& name) {
+  return format_pins(lint::lint_files(kFixtures, {kFixtures + "/" + name}));
+}
+
+std::string read_fixture(const std::string& name) {
+  std::ifstream is(kFixtures + "/" + name, std::ios::binary);
+  EXPECT_TRUE(is.good()) << "cannot read fixture " << name;
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return buffer.str();
+}
+
+/// Lints a fixture's content as if it lived at `reported_path` — the
+/// path-keyed rules (module DAG, whitelists) see that path, while the
+/// fixture file itself stays outside the repo's own scan set.
+std::vector<std::string> lint_fixture_as(const std::string& name,
+                                         const std::string& reported_path) {
+  return format_pins(lint::lint_source(reported_path, read_fixture(name)));
+}
+
 int run_cli(const std::string& args) {
   const int status = std::system((kBinary + " " + args + " > /dev/null 2>&1")
                                      .c_str());
   return WEXITSTATUS(status);
+}
+
+std::string run_cli_stdout(const std::string& args,
+                           const std::string& capture_name) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / capture_name).string();
+  const int status = std::system(
+      (kBinary + " " + args + " > " + path + " 2>/dev/null").c_str());
+  (void)status;  // findings exit 1 by contract; callers compare the bytes
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  std::filesystem::remove(path);
+  return buffer.str();
 }
 
 }  // namespace
@@ -177,7 +218,194 @@ TEST(EcotuneLint, ExitCodeUsageOrIoErrorIsTwo) {
 
 TEST(EcotuneLint, ListRulesNamesEveryRule) {
   EXPECT_EQ(lint::rule_names(),
-            (std::vector<std::string>{"locale-number-io",
-                                      "nondeterministic-seed",
-                                      "unordered-iteration", "raw-thread"}));
+            (std::vector<std::string>{
+                "locale-number-io", "nondeterministic-seed",
+                "unordered-iteration", "raw-thread", "lock-discipline",
+                "include-layering"}));
+}
+
+TEST(EcotuneLint, RuleRegistryCarriesMetadata) {
+  for (const lint::Rule& rule : lint::rules()) {
+    EXPECT_FALSE(rule.name.empty());
+    EXPECT_FALSE(rule.summary.empty());
+    EXPECT_FALSE(rule.help_uri.empty()) << rule.name;
+    EXPECT_NE(rule.check, nullptr) << rule.name;
+    EXPECT_EQ(to_string(rule.severity), "error") << rule.name;
+  }
+}
+
+TEST(EcotuneLint, LockDisciplineViolations) {
+  EXPECT_EQ(lint_fixture("lock_discipline_violation.cpp"),
+            (std::vector<std::string>{
+                "lock_discipline_violation.cpp:6 [lock-discipline]",
+                "lock_discipline_violation.cpp:9 [lock-discipline]",
+                "lock_discipline_violation.cpp:11 [lock-discipline]",
+                "lock_discipline_violation.cpp:14 [lock-discipline]"}));
+}
+
+TEST(EcotuneLint, LockDisciplineClean) {
+  EXPECT_TRUE(lint_fixture("lock_discipline_clean.cpp").empty());
+}
+
+TEST(EcotuneLint, LockDisciplineWhitelistIsCommonOnly) {
+  // The wrapper layer itself must forward the raw calls; everything above
+  // it must not.
+  const std::string text = "void f(M& m) { m.lock(); m.unlock(); }\n";
+  EXPECT_EQ(lint::lint_source("src/store/cache.cpp", text).size(), 2u);
+  EXPECT_TRUE(lint::lint_source("src/common/mutex.hpp", text).empty());
+}
+
+TEST(EcotuneLint, IncludeLayeringViolations) {
+  // The fixture is linted as if it lived in src/hwsim/, whose only
+  // declared DEPS entry is common.
+  EXPECT_EQ(lint_fixture_as("include_layering_violation.cpp",
+                            "src/hwsim/include_layering_violation.cpp"),
+            (std::vector<std::string>{
+                "src/hwsim/include_layering_violation.cpp:7 "
+                "[include-layering]",
+                "src/hwsim/include_layering_violation.cpp:8 "
+                "[include-layering]"}));
+}
+
+TEST(EcotuneLint, IncludeLayeringClean) {
+  EXPECT_TRUE(lint_fixture_as("include_layering_clean.cpp",
+                              "src/model/include_layering_clean.cpp")
+                  .empty());
+}
+
+TEST(EcotuneLint, IncludeLayeringOnlyGovernsSrcModules) {
+  // tools/, bench/, examples/, and tests link the aggregate; the DAG only
+  // constrains the module libraries themselves.
+  const std::string text = "#include \"tuners/registry.hpp\"\n";
+  EXPECT_TRUE(lint::lint_source("tools/calibrate.cpp", text).empty());
+  EXPECT_EQ(lint::lint_source("src/hwsim/node.cpp", text).size(), 1u);
+}
+
+TEST(EcotuneLint, ModuleDagShapeMatchesCmake) {
+  const auto& dag = lint::module_dag();
+  // common is the bottom of the DAG; every dependency edge points at a
+  // registered module; no module depends on itself.
+  ASSERT_TRUE(dag.contains("common"));
+  EXPECT_TRUE(dag.at("common").empty());
+  for (const auto& [module, deps] : dag) {
+    for (const std::string& dep : deps) {
+      EXPECT_TRUE(dag.contains(dep)) << module << " -> " << dep;
+      EXPECT_NE(dep, module) << module;
+    }
+  }
+  // Acyclic: repeatedly strip modules whose deps are all stripped; a
+  // cycle would leave a nonempty remainder.
+  std::set<std::string> resolved;
+  for (std::size_t pass = 0; pass < dag.size(); ++pass) {
+    for (const auto& [module, deps] : dag) {
+      if (resolved.contains(module)) continue;
+      bool ready = true;
+      for (const std::string& dep : deps)
+        if (!resolved.contains(dep)) ready = false;
+      if (ready) resolved.insert(module);
+    }
+  }
+  EXPECT_EQ(resolved.size(), dag.size()) << "module DAG has a cycle";
+}
+
+TEST(EcotuneLint, ModuleOfMapsPathsToModules) {
+  EXPECT_EQ(lint::module_of("src/hwsim/node.cpp"), "hwsim");
+  EXPECT_EQ(lint::module_of("src/common/mutex.hpp"), "common");
+  EXPECT_EQ(lint::module_of("tools/ecotune_lint.cpp"), "");
+  EXPECT_EQ(lint::module_of("src/nonexistent/x.cpp"), "");
+  EXPECT_EQ(lint::module_of("src/api"), "");
+}
+
+TEST(EcotuneLint, SarifGoldenRoundTripsThroughCommonJson) {
+  const auto diagnostics = lint::lint_files(
+      kFixtures, {kFixtures + "/lock_discipline_violation.cpp"});
+  ASSERT_EQ(diagnostics.size(), 4u);
+  const std::string report = lint::sarif_report(diagnostics);
+
+  const ecotune::Json log = ecotune::Json::parse(report);
+  EXPECT_EQ(log.at("version").as_string(), "2.1.0");
+  const auto& runs = log.at("runs").as_array();
+  ASSERT_EQ(runs.size(), 1u);
+
+  // tool.driver.rules carries the full registry with metadata.
+  const auto& driver = runs[0].at("tool").at("driver");
+  EXPECT_EQ(driver.at("name").as_string(), "ecotune_lint");
+  const auto& rules = driver.at("rules").as_array();
+  ASSERT_EQ(rules.size(), lint::rules().size());
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    EXPECT_EQ(rules[i].at("id").as_string(), lint::rules()[i].name);
+    EXPECT_FALSE(
+        rules[i].at("shortDescription").at("text").as_string().empty());
+    EXPECT_EQ(rules[i].at("helpUri").as_string(),
+              lint::rules()[i].help_uri);
+  }
+
+  // One result per fixture violation, with a ruleIndex that resolves back
+  // to the rules array and an exact physical location.
+  const auto& results = runs[0].at("results").as_array();
+  ASSERT_EQ(results.size(), diagnostics.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& result = results[i];
+    EXPECT_EQ(result.at("ruleId").as_string(), diagnostics[i].rule);
+    const int rule_index = result.at("ruleIndex").as_int();
+    ASSERT_GE(rule_index, 0);
+    ASSERT_LT(static_cast<std::size_t>(rule_index), rules.size());
+    EXPECT_EQ(rules[static_cast<std::size_t>(rule_index)].at("id")
+                  .as_string(),
+              diagnostics[i].rule);
+    EXPECT_EQ(result.at("level").as_string(), "error");
+    EXPECT_EQ(result.at("message").at("text").as_string(),
+              diagnostics[i].message);
+    const auto& location =
+        result.at("locations").as_array().at(0).at("physicalLocation");
+    EXPECT_EQ(location.at("artifactLocation").at("uri").as_string(),
+              diagnostics[i].path);
+    EXPECT_EQ(location.at("region").at("startLine").as_int(),
+              diagnostics[i].line);
+  }
+}
+
+TEST(EcotuneLint, SarifCleanRunHasEmptyResults) {
+  const ecotune::Json log = ecotune::Json::parse(lint::sarif_report({}));
+  const auto& run = log.at("runs").as_array().at(0);
+  EXPECT_TRUE(run.at("results").as_array().empty());
+  EXPECT_EQ(run.at("tool").at("driver").at("rules").as_array().size(),
+            lint::rules().size());
+}
+
+TEST(EcotuneLint, ParallelLintIsByteIdenticalAtLibraryLevel) {
+  // The fixture dir has no src/tools/bench/examples subdirs, so scan the
+  // fixture files explicitly.
+  std::vector<std::filesystem::path> all;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(kFixtures))
+    if (entry.path().extension() == ".cpp") all.push_back(entry.path());
+  std::sort(all.begin(), all.end());
+  const auto serial = format_pins(lint::lint_files(kFixtures, all, 1));
+  const auto parallel = format_pins(lint::lint_files(kFixtures, all, 4));
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(EcotuneLint, ParallelLintIsByteIdenticalAtCliLevel) {
+  const std::string scan = "--root " + kFixtures + " " + kFixtures +
+                           "/lock_discipline_violation.cpp " + kFixtures +
+                           "/locale_number_io_violation.cpp";
+  const std::string one = run_cli_stdout(scan + " --jobs 1",
+                                         "ecotune_lint_j1.txt");
+  const std::string four = run_cli_stdout(scan + " --jobs 4",
+                                          "ecotune_lint_j4.txt");
+  EXPECT_FALSE(one.empty());
+  EXPECT_EQ(one, four);
+}
+
+TEST(EcotuneLint, SarifFormatFlagEmitsParseableJson) {
+  const std::string report = run_cli_stdout(
+      "--format sarif --root " + kFixtures + " " + kFixtures +
+          "/lock_discipline_violation.cpp",
+      "ecotune_lint_sarif.json");
+  const ecotune::Json log = ecotune::Json::parse(report);
+  EXPECT_EQ(log.at("version").as_string(), "2.1.0");
+  EXPECT_EQ(log.at("runs").as_array().at(0).at("results").as_array().size(),
+            4u);
 }

@@ -1,24 +1,30 @@
-// ecotune_lint — the repo's determinism lint (see tools/lint/linter.cpp
-// for the rule set). Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+// ecotune_lint — the repo's analysis framework CLI (see tools/lint/ for
+// the rule registry). Exit codes: 0 clean, 1 findings, 2 usage/IO error.
 
 #include <exception>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "common/cli.hpp"
 #include "lint/linter.hpp"
+#include "lint/sarif.hpp"
 
 namespace {
 
 constexpr const char* kUsage = R"(usage: ecotune_lint [options] [file...]
 
-Lints C++ sources against the ecotune determinism invariants. With no file
+Lints C++ sources against the ecotune correctness invariants. With no file
 arguments, scans every *.cpp/*.hpp under <root>/{src,tools,bench,examples}.
 
 options:
-  --root <dir>   scan root / whitelist anchor (default: current directory)
-  --list-rules   print the rule names and exit
-  --help         this text
+  --root <dir>    scan root / whitelist anchor (default: current directory)
+  --jobs <n>      lint n files concurrently (0 = hardware concurrency;
+                  output is byte-identical for every value; default: 1)
+  --format <fmt>  report format: text (default) or sarif (SARIF 2.1.0 on
+                  stdout; findings still set exit code 1)
+  --list-rules    print "<name>  <severity>  <summary>" per rule and exit
+  --help          this text
 
 Waive a finding with a trailing comment on the flagged line:
   // ecotune-lint: allow(<rule>)  -- one-line rationale
@@ -28,6 +34,8 @@ Waive a finding with a trailing comment on the flagged line:
 
 int main(int argc, char** argv) {
   std::string root = ".";
+  std::string format = "text";
+  int jobs = 1;
   std::vector<std::filesystem::path> files;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -36,8 +44,9 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (arg == "--list-rules") {
-      for (const std::string& rule : ecotune::lint::rule_names())
-        std::cout << rule << '\n';
+      for (const ecotune::lint::Rule& rule : ecotune::lint::rules())
+        std::cout << rule.name << "  " << to_string(rule.severity) << "  "
+                  << rule.summary << '\n';
       return 0;
     }
     if (arg == "--root") {
@@ -46,6 +55,28 @@ int main(int argc, char** argv) {
         return 2;
       }
       root = argv[++i];
+      continue;
+    }
+    if (arg == "--jobs") {
+      if (i + 1 >= argc) {
+        std::cerr << "error: --jobs expects an integer\n" << kUsage;
+        return 2;
+      }
+      if (!ecotune::cli::parse_strict_int("--jobs", argv[++i], 0, jobs))
+        return 2;
+      continue;
+    }
+    if (arg == "--format") {
+      if (i + 1 >= argc) {
+        std::cerr << "error: --format expects text|sarif\n" << kUsage;
+        return 2;
+      }
+      format = argv[++i];
+      if (format != "text" && format != "sarif") {
+        std::cerr << "error: unknown format '" << format
+                  << "' (expected text|sarif)\n";
+        return 2;
+      }
       continue;
     }
     if (!arg.empty() && arg[0] == '-') {
@@ -64,9 +95,13 @@ int main(int argc, char** argv) {
         return 2;
       }
     }
-    const auto diagnostics = ecotune::lint::lint_files(root, files);
-    for (const auto& d : diagnostics)
-      std::cout << ecotune::lint::format_diagnostic(d) << '\n';
+    const auto diagnostics = ecotune::lint::lint_files(root, files, jobs);
+    if (format == "sarif") {
+      std::cout << ecotune::lint::sarif_report(diagnostics);
+    } else {
+      for (const auto& d : diagnostics)
+        std::cout << ecotune::lint::format_diagnostic(d) << '\n';
+    }
     if (!diagnostics.empty()) {
       std::cerr << "ecotune_lint: " << diagnostics.size()
                 << " finding(s) in " << files.size() << " file(s)\n";

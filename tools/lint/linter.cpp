@@ -1,535 +1,30 @@
-// ecotune determinism lint — repo-specific invariants no generic tool
-// enforces. The scanner is lexical, not a full parser: it strips comments
-// and string/char literals (preserving offsets), then matches tokens with
-// identifier-boundary and member-access awareness. That keeps it fast,
-// dependency-free, and immune to banned tokens appearing in strings or
-// comments (including this file's own rule tables).
-//
-// Rules:
-//   locale-number-io     C locale-dependent number parsing/formatting
-//                        outside the common/ wrappers.
-//   nondeterministic-seed
-//                        entropy/clock seeding outside common/rng.
-//   unordered-iteration  iterating an unordered container in a file that
-//                        writes to an output sink (hash order would leak
-//                        into byte-identical stdout).
-//   raw-thread           raw std::thread / detached threads outside
-//                        common/parallel (the pool owns the determinism
-//                        contract: task-keyed RNG, ordered reductions).
-//
-// Waiver: a trailing comment on the flagged line of the form
-//   // ecotune-lint: allow(<rule>[, <rule>...])  -- reason
-// suppresses the named rules for that line only.
-
 #include "lint/linter.hpp"
 
 #include <algorithm>
-#include <cctype>
 #include <fstream>
-#include <map>
-#include <set>
 #include <sstream>
 #include <stdexcept>
 
+#include "common/parallel.hpp"
+#include "lint/source.hpp"
+
 namespace ecotune::lint {
-namespace {
-
-bool is_ident(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-bool is_space(char c) {
-  return std::isspace(static_cast<unsigned char>(c)) != 0;
-}
-
-/// The source after lexing: `masked` has every comment and string/char
-/// literal replaced by spaces, byte-for-byte the same length as the
-/// original so offsets agree between the two.
-struct Source {
-  std::string original;
-  std::string masked;
-  std::vector<std::size_t> line_starts;  ///< offset of each line's first byte
-  std::map<int, std::set<std::string>> allows;  ///< line -> waived rules
-};
-
-int line_of(const Source& src, std::size_t offset) {
-  const auto it = std::upper_bound(src.line_starts.begin(),
-                                   src.line_starts.end(), offset);
-  return static_cast<int>(it - src.line_starts.begin());
-}
-
-/// Parses "ecotune-lint: allow(a, b)" markers out of one comment's text and
-/// registers the named rules as waived for every line the comment touches.
-void harvest_allows(Source& src, const std::string& comment, int first_line,
-                    int last_line) {
-  const std::string tag = "ecotune-lint:";
-  std::size_t pos = comment.find(tag);
-  if (pos == std::string::npos) return;
-  pos = comment.find("allow(", pos);
-  if (pos == std::string::npos) return;
-  const std::size_t open = pos + 6;
-  const std::size_t close = comment.find(')', open);
-  if (close == std::string::npos) return;
-  std::string names = comment.substr(open, close - open);
-  std::set<std::string> rules;
-  std::istringstream is(names);
-  std::string name;
-  while (std::getline(is, name, ',')) {
-    name.erase(0, name.find_first_not_of(" \t"));
-    name.erase(name.find_last_not_of(" \t") + 1);
-    if (!name.empty()) rules.insert(name);
-  }
-  for (int line = first_line; line <= last_line; ++line)
-    src.allows[line].insert(rules.begin(), rules.end());
-}
-
-/// One-pass lexer: comments and literals become runs of spaces; newlines
-/// survive so line numbers stay exact.
-Source preprocess(const std::string& text) {
-  Source src;
-  src.original = text;
-  src.masked = text;
-  src.line_starts.push_back(0);
-  for (std::size_t i = 0; i < text.size(); ++i)
-    if (text[i] == '\n') src.line_starts.push_back(i + 1);
-
-  std::string& m = src.masked;
-  std::size_t i = 0;
-  const std::size_t n = text.size();
-  while (i < n) {
-    const char c = text[i];
-    if (c == '/' && i + 1 < n && (text[i + 1] == '/' || text[i + 1] == '*')) {
-      const bool block = text[i + 1] == '*';
-      const int first_line = line_of(src, i);
-      std::size_t end = i + 2;
-      if (block) {
-        while (end + 1 < n && !(text[end] == '*' && text[end + 1] == '/'))
-          ++end;
-        end = std::min(n, end + 2);
-      } else {
-        while (end < n && text[end] != '\n') ++end;
-      }
-      harvest_allows(src, text.substr(i, end - i), first_line,
-                     line_of(src, end == 0 ? 0 : end - 1));
-      for (std::size_t k = i; k < end; ++k)
-        if (m[k] != '\n') m[k] = ' ';
-      i = end;
-      continue;
-    }
-    if (c == '"') {
-      // Raw string?  R"delim( ... )delim"  (with optional u8/u/U/L prefix,
-      // i.e. the identifier hugging the quote ends in R).
-      bool raw = i > 0 && text[i - 1] == 'R' &&
-                 (i < 2 || !is_ident(text[i - 2]) ||
-                  text[i - 2] == 'u' || text[i - 2] == 'U' ||
-                  text[i - 2] == 'L' || text[i - 2] == '8');
-      std::size_t end;
-      if (raw) {
-        std::size_t p = i + 1;
-        while (p < n && text[p] != '(') ++p;
-        std::string closer;
-        closer += ')';
-        closer.append(text, i + 1, p - i - 1);
-        closer += '"';
-        const std::size_t at = text.find(closer, p);
-        end = at == std::string::npos ? n : at + closer.size();
-      } else {
-        end = i + 1;
-        while (end < n && text[end] != '"') {
-          if (text[end] == '\\' && end + 1 < n) ++end;
-          ++end;
-        }
-        end = std::min(n, end + 1);
-      }
-      for (std::size_t k = i; k < end; ++k)
-        if (m[k] != '\n') m[k] = ' ';
-      i = end;
-      continue;
-    }
-    if (c == '\'') {
-      // Distinguish char literals from digit separators (1'000, 0xFF'AA):
-      // a quote glued to an identifier char is a separator unless that
-      // char is a literal prefix (u, U, L, or the 8 of u8).
-      const char prev = i > 0 ? text[i - 1] : '\0';
-      const bool separator =
-          is_ident(prev) && prev != 'u' && prev != 'U' && prev != 'L' &&
-          !(prev == '8' && i > 1 && text[i - 2] == 'u');
-      if (separator) {
-        ++i;
-        continue;
-      }
-      std::size_t end = i + 1;
-      while (end < n && text[end] != '\'') {
-        if (text[end] == '\\' && end + 1 < n) ++end;
-        ++end;
-      }
-      end = std::min(n, end + 1);
-      for (std::size_t k = i; k < end; ++k)
-        if (m[k] != '\n') m[k] = ' ';
-      i = end;
-      continue;
-    }
-    ++i;
-  }
-  return src;
-}
-
-/// Occurrences of `word` as a whole identifier token.
-std::vector<std::size_t> find_tokens(const std::string& s,
-                                     const std::string& word) {
-  std::vector<std::size_t> out;
-  std::size_t pos = 0;
-  while ((pos = s.find(word, pos)) != std::string::npos) {
-    const bool left_ok = pos == 0 || !is_ident(s[pos - 1]);
-    const std::size_t after = pos + word.size();
-    const bool right_ok = after >= s.size() || !is_ident(s[after]);
-    if (left_ok && right_ok) out.push_back(pos);
-    pos = after;
-  }
-  return out;
-}
-
-std::size_t prev_nonspace(const std::string& s, std::size_t pos) {
-  while (pos > 0 && is_space(s[pos - 1])) --pos;
-  return pos == 0 ? std::string::npos : pos - 1;
-}
-
-std::size_t next_nonspace(const std::string& s, std::size_t pos) {
-  while (pos < s.size() && is_space(s[pos])) ++pos;
-  return pos;
-}
-
-/// True when the token at `pos` is reached through member access
-/// (obj.name / obj->name), i.e. it is not the global/std function.
-bool member_access(const std::string& s, std::size_t pos) {
-  const std::size_t p = prev_nonspace(s, pos);
-  if (p == std::string::npos) return false;
-  if (s[p] == '.') return true;
-  return s[p] == '>' && p > 0 && s[p - 1] == '-';
-}
-
-bool followed_by_call(const std::string& s, std::size_t token_end) {
-  const std::size_t p = next_nonspace(s, token_end);
-  return p < s.size() && s[p] == '(';
-}
-
-/// True when the token at `pos` is preceded by another identifier that is
-/// not `return` — i.e. it is being *declared* (`double time() const`), not
-/// called (`return time(nullptr)`, `x = time(0)`).
-bool looks_like_declaration(const std::string& s, std::size_t pos) {
-  const std::size_t p = prev_nonspace(s, pos);
-  if (p == std::string::npos || !is_ident(s[p])) return false;
-  std::size_t b = p;
-  while (b > 0 && is_ident(s[b - 1])) --b;
-  return s.substr(b, p - b + 1) != "return";
-}
-
-/// Extracts the original characters of every literal inside the call whose
-/// opening paren follows `token_end` (masked text drives paren matching, so
-/// parens inside strings don't confuse it).
-std::string call_literal_text(const Source& src, std::size_t token_end) {
-  const std::string& m = src.masked;
-  std::size_t p = next_nonspace(m, token_end);
-  if (p >= m.size() || m[p] != '(') return {};
-  int depth = 0;
-  std::string out;
-  for (; p < m.size(); ++p) {
-    if (m[p] == '(') ++depth;
-    if (m[p] == ')' && --depth == 0) break;
-    // A masked byte that differs from the original is literal content.
-    if (m[p] == ' ' && src.original[p] != ' ') out += src.original[p];
-  }
-  return out;
-}
-
-/// Does printf-style format text contain a floating-point conversion?
-bool has_float_conversion(const std::string& fmt) {
-  for (std::size_t i = 0; i < fmt.size(); ++i) {
-    if (fmt[i] != '%') continue;
-    std::size_t j = i + 1;
-    if (j < fmt.size() && fmt[j] == '%') {
-      i = j;
-      continue;
-    }
-    while (j < fmt.size() &&
-           (std::string("-+ #0'*.0123456789hlLqjzt").find(fmt[j]) !=
-            std::string::npos))
-      ++j;
-    if (j < fmt.size() && std::string("aAeEfFgG").find(fmt[j]) !=
-                              std::string::npos)
-      return true;
-    i = j;
-  }
-  return false;
-}
-
-void emit(std::vector<Diagnostic>& out, const Source& src, const
-          std::string& path, std::size_t offset, const std::string& rule,
-          std::string message) {
-  const int line = line_of(src, offset);
-  const auto it = src.allows.find(line);
-  if (it != src.allows.end() && it->second.contains(rule)) return;
-  out.push_back(Diagnostic{path, line, rule, std::move(message)});
-}
-
-// --------------------------------------------------------------------------
-// Rule 1: locale-dependent number I/O outside the common/ wrappers.
-// --------------------------------------------------------------------------
-void check_locale_number_io(const Source& src, const std::string& path,
-                            std::vector<Diagnostic>& out) {
-  if (path.starts_with("src/common/")) return;
-  static const char* const kParseFns[] = {
-      "atoi",    "atof",    "atol",    "atoll",   "strtol",  "strtoll",
-      "strtoul", "strtoull", "strtof", "strtod",  "strtold", "stoi",
-      "stol",    "stoll",   "stoul",   "stoull",  "stof",    "stod",
-      "stold",   "scanf",   "sscanf",  "fscanf",  "vsscanf"};
-  for (const char* fn : kParseFns) {
-    for (const std::size_t pos : find_tokens(src.masked, fn)) {
-      if (member_access(src.masked, pos)) continue;
-      if (looks_like_declaration(src.masked, pos)) continue;
-      if (!followed_by_call(src.masked, pos + std::string(fn).size()))
-        continue;
-      emit(out, src, path, pos, "locale-number-io",
-           std::string("'") + fn +
-               "' parses numbers through the process locale; use the "
-               "locale-independent wrappers (common/cli parse_strict_int, "
-               "common/numbers parse_double, common/json, common/csv)");
-    }
-  }
-  static const char* const kPrintfFns[] = {
-      "printf",  "fprintf",  "sprintf", "snprintf",
-      "vprintf", "vfprintf", "vsprintf", "vsnprintf"};
-  for (const char* fn : kPrintfFns) {
-    for (const std::size_t pos : find_tokens(src.masked, fn)) {
-      if (member_access(src.masked, pos)) continue;
-      const std::string fmt =
-          call_literal_text(src, pos + std::string(fn).size());
-      if (!has_float_conversion(fmt)) continue;
-      emit(out, src, path, pos, "locale-number-io",
-           std::string("'") + fn +
-               "' with a floating-point conversion formats through the "
-               "process locale; use common/numbers format_double or "
-               "common/csv row_numeric");
-    }
-  }
-}
-
-// --------------------------------------------------------------------------
-// Rule 2: entropy/clock seeding outside the common/rng seed plumbing.
-// --------------------------------------------------------------------------
-void check_nondeterministic_seed(const Source& src, const std::string& path,
-                                 std::vector<Diagnostic>& out) {
-  if (path.starts_with("src/common/rng.")) return;
-  for (const std::size_t pos : find_tokens(src.masked, "random_device"))
-    emit(out, src, path, pos, "nondeterministic-seed",
-         "std::random_device draws fresh entropy per run; derive streams "
-         "from a seeded common/rng Rng (Rng::fork) instead");
-  static const char* const kClockFns[] = {"rand", "srand", "time",
-                                          "gettimeofday", "clock"};
-  for (const char* fn : kClockFns) {
-    for (const std::size_t pos : find_tokens(src.masked, fn)) {
-      if (member_access(src.masked, pos)) continue;
-      if (looks_like_declaration(src.masked, pos)) continue;
-      if (!followed_by_call(src.masked, pos + std::string(fn).size()))
-        continue;
-      emit(out, src, path, pos, "nondeterministic-seed",
-           std::string("'") + fn +
-               "(' injects wall-clock/libc entropy into the run; "
-               "determinism-relevant randomness must flow from a seeded "
-               "common/rng Rng");
-    }
-  }
-}
-
-// --------------------------------------------------------------------------
-// Rule 3: unordered-container iteration in files that write output sinks.
-// --------------------------------------------------------------------------
-const std::set<std::string>& noise_idents() {
-  static const std::set<std::string> kNoise = {
-      "std",      "unordered_map", "unordered_set", "auto",     "const",
-      "constexpr", "static",       "new",           "delete",   "using",
-      "typedef",  "struct",        "class",         "public",   "private",
-      "if",       "for",           "while",         "return",   "void",
-      "int",      "bool",          "char",          "double",   "float",
-      "unsigned", "long",          "size_t",        "uint64_t", "int64_t",
-      "string",   "string_view",   "vector",        "pair",     "include",
-      "pragma",   "once",          "namespace",     "template", "typename",
-      "inline",   "mutable",       "this"};
-  return kNoise;
-}
-
-std::vector<std::string> idents_on(const std::string& text) {
-  std::vector<std::string> out;
-  std::size_t i = 0;
-  while (i < text.size()) {
-    if (is_ident(text[i]) &&
-        std::isdigit(static_cast<unsigned char>(text[i])) == 0) {
-      std::size_t j = i;
-      while (j < text.size() && is_ident(text[j])) ++j;
-      out.push_back(text.substr(i, j - i));
-      i = j;
-    } else {
-      ++i;
-    }
-  }
-  return out;
-}
-
-bool writes_output_sink(const Source& src) {
-  const std::string& m = src.masked;
-  if (!find_tokens(m, "cout").empty()) return true;
-  for (const char* fn : {"printf", "puts"}) {
-    for (const std::size_t pos : find_tokens(m, fn)) {
-      if (member_access(m, pos)) continue;
-      if (followed_by_call(m, pos + std::string(fn).size())) return true;
-    }
-  }
-  for (const char* fn : {"fprintf", "fputs", "fwrite"}) {
-    for (const std::size_t pos : find_tokens(m, fn)) {
-      if (member_access(m, pos)) continue;
-      // Stream-directed: only stdout counts as a determinism sink.
-      const std::size_t stop = std::min(m.size(), pos + 200);
-      if (m.find("stdout", pos) < stop) return true;
-    }
-  }
-  return false;
-}
-
-void check_unordered_iteration(const Source& src, const std::string& path,
-                               std::vector<Diagnostic>& out) {
-  const std::string& m = src.masked;
-  if (m.find("unordered_map") == std::string::npos &&
-      m.find("unordered_set") == std::string::npos)
-    return;
-  if (!writes_output_sink(src)) return;
-
-  // Candidate container names: every non-noise identifier appearing on a
-  // line that mentions an unordered container type.
-  std::set<std::string> candidates;
-  std::size_t start = 0;
-  for (std::size_t li = 0; li < src.line_starts.size(); ++li) {
-    start = src.line_starts[li];
-    const std::size_t end = li + 1 < src.line_starts.size()
-                                ? src.line_starts[li + 1]
-                                : m.size();
-    const std::string line = m.substr(start, end - start);
-    if (line.find("unordered_map") == std::string::npos &&
-        line.find("unordered_set") == std::string::npos)
-      continue;
-    for (const std::string& id : idents_on(line))
-      if (!noise_idents().contains(id)) candidates.insert(id);
-  }
-
-  // Range-for over a candidate (or over any expression spelling an
-  // unordered container type directly).
-  for (const std::size_t pos : find_tokens(m, "for")) {
-    std::size_t p = next_nonspace(m, pos + 3);
-    if (p >= m.size() || m[p] != '(') continue;
-    int depth = 0;
-    std::size_t colon = std::string::npos, close = std::string::npos;
-    for (std::size_t k = p; k < m.size(); ++k) {
-      if (m[k] == '(') ++depth;
-      if (m[k] == ')' && --depth == 0) {
-        close = k;
-        break;
-      }
-      if (m[k] == ':' && depth == 1) {
-        if (k + 1 < m.size() && m[k + 1] == ':') {
-          ++k;
-          continue;
-        }
-        if (k > 0 && m[k - 1] == ':') continue;
-        if (colon == std::string::npos) colon = k;
-      }
-    }
-    if (colon == std::string::npos || close == std::string::npos) continue;
-    const std::string range = m.substr(colon + 1, close - colon - 1);
-    const std::vector<std::string> ids = idents_on(range);
-    const bool direct = range.find("unordered_") != std::string::npos;
-    const bool named =
-        !ids.empty() && candidates.contains(ids.front());
-    if (direct || named) {
-      emit(out, src, path, pos, "unordered-iteration",
-           "range-for over unordered container" +
-               (named ? " '" + ids.front() + "'" : std::string()) +
-               " in a file that writes to an output sink; hash order is "
-               "not deterministic — use std::map/std::set or sort first");
-    }
-  }
-
-  // Explicit iterator walks: candidate.begin() / candidate.cbegin().
-  for (const char* fn : {"begin", "cbegin"}) {
-    for (const std::size_t pos : find_tokens(m, fn)) {
-      if (!member_access(m, pos)) continue;
-      if (!followed_by_call(m, pos + std::string(fn).size())) continue;
-      std::size_t p = prev_nonspace(m, pos);  // '.' or '>'
-      if (p == std::string::npos) continue;
-      if (m[p] == '>') --p;  // '->'
-      if (p == std::string::npos || p == 0) continue;
-      std::size_t e = prev_nonspace(m, p);
-      if (e == std::string::npos || !is_ident(m[e])) continue;
-      std::size_t b = e;
-      while (b > 0 && is_ident(m[b - 1])) --b;
-      const std::string name = m.substr(b, e - b + 1);
-      if (!candidates.contains(name)) continue;
-      emit(out, src, path, pos, "unordered-iteration",
-           "iterator walk over unordered container '" + name +
-               "' in a file that writes to an output sink; hash order is "
-               "not deterministic — use std::map/std::set or sort first");
-    }
-  }
-}
-
-// --------------------------------------------------------------------------
-// Rule 4: raw std::thread / detached threads outside common/parallel.
-// --------------------------------------------------------------------------
-void check_raw_thread(const Source& src, const std::string& path,
-                      std::vector<Diagnostic>& out) {
-  if (path.starts_with("src/common/parallel.")) return;
-  const std::string& m = src.masked;
-  for (const char* cls : {"thread", "jthread"}) {
-    for (const std::size_t pos : find_tokens(m, cls)) {
-      // Only the std:: spellings; a member named `thread` is fine.
-      if (pos < 2 || m[pos - 1] != ':' || m[pos - 2] != ':') continue;
-      std::size_t b = pos - 2;
-      std::size_t e = prev_nonspace(m, b);
-      if (e == std::string::npos) continue;
-      std::size_t s = e;
-      while (s > 0 && is_ident(m[s - 1])) --s;
-      if (m.substr(s, e - s + 1) != "std") continue;
-      emit(out, src, path, pos, "raw-thread",
-           std::string("std::") + cls +
-               " outside common/parallel; route concurrency through "
-               "ThreadPool/parallel_for_each so task-keyed RNG and "
-               "ordered reductions keep output jobs-invariant");
-    }
-  }
-  for (const std::size_t pos : find_tokens(m, "detach")) {
-    if (!member_access(m, pos)) continue;
-    if (!followed_by_call(m, pos + 6)) continue;
-    emit(out, src, path, pos, "raw-thread",
-         "detached threads outlive the scope that can join them; "
-         "common/parallel owns every worker's lifetime");
-  }
-}
-
-}  // namespace
 
 const std::vector<std::string>& rule_names() {
-  static const std::vector<std::string> kRules = {
-      "locale-number-io", "nondeterministic-seed", "unordered-iteration",
-      "raw-thread"};
-  return kRules;
+  static const std::vector<std::string> kNames = [] {
+    std::vector<std::string> names;
+    names.reserve(rules().size());
+    for (const Rule& rule : rules()) names.push_back(rule.name);
+    return names;
+  }();
+  return kNames;
 }
 
 std::vector<Diagnostic> lint_source(const std::string& path,
                                     const std::string& text) {
   const Source src = preprocess(text);
   std::vector<Diagnostic> out;
-  check_locale_number_io(src, path, out);
-  check_nondeterministic_seed(src, path, out);
-  check_unordered_iteration(src, path, out);
-  check_raw_thread(src, path, out);
+  for (const Rule& rule : rules()) rule.check(src, path, out);
   std::sort(out.begin(), out.end(), [](const Diagnostic& a,
                                        const Diagnostic& b) {
     if (a.line != b.line) return a.line < b.line;
@@ -557,24 +52,34 @@ std::vector<std::filesystem::path> default_scan_set(
 
 std::vector<Diagnostic> lint_files(
     const std::filesystem::path& root,
-    const std::vector<std::filesystem::path>& files) {
+    const std::vector<std::filesystem::path>& files, int jobs) {
   namespace fs = std::filesystem;
+  // Each file is lexed and checked independently (rule checks are pure),
+  // so the map parallelizes; the ordered reduction keeps diagnostics in
+  // file order regardless of completion order — the byte-identity
+  // contract the --jobs tests pin.
+  auto per_file = parallel_map_ordered(
+      files.size(),
+      [&](std::size_t i) -> std::vector<Diagnostic> {
+        const fs::path& file = files[i];
+        std::ifstream is(file, std::ios::binary);
+        if (!is.good())
+          throw std::runtime_error("ecotune_lint: cannot read '" +
+                                   file.string() + "'");
+        std::ostringstream buffer;
+        buffer << is.rdbuf();
+        const fs::path rel = file.lexically_proximate(root);
+        const std::string reported =
+            rel.empty() || rel.generic_string().starts_with("..")
+                ? file.generic_string()
+                : rel.generic_string();
+        return lint_source(reported, buffer.str());
+      },
+      jobs);
   std::vector<Diagnostic> out;
-  for (const fs::path& file : files) {
-    std::ifstream is(file, std::ios::binary);
-    if (!is.good())
-      throw std::runtime_error("ecotune_lint: cannot read '" +
-                               file.string() + "'");
-    std::ostringstream buffer;
-    buffer << is.rdbuf();
-    const fs::path rel = file.lexically_proximate(root);
-    const std::string reported =
-        rel.empty() || rel.generic_string().starts_with("..")
-            ? file.generic_string()
-            : rel.generic_string();
-    const auto found = lint_source(reported, buffer.str());
-    out.insert(out.end(), found.begin(), found.end());
-  }
+  for (auto& found : per_file)
+    out.insert(out.end(), std::make_move_iterator(found.begin()),
+               std::make_move_iterator(found.end()));
   return out;
 }
 

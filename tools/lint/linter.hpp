@@ -1,27 +1,25 @@
 #pragma once
 
+// Top layer of the ecotune analysis framework: scan-set discovery, the
+// (optionally parallel) file driver, and the text reporter. The layers
+// below are lint/source.hpp (lexer), lint/rules.hpp (rule registry),
+// lint/include_graph.hpp (module DAG), and lint/sarif.hpp (SARIF 2.1.0).
+
 #include <filesystem>
 #include <string>
 #include <vector>
 
-namespace ecotune::lint {
+#include "lint/rules.hpp"
 
-/// One finding: `path` is the file as reported (relative to the scan root
-/// when possible), `line` is 1-based, `rule` is the stable rule name used
-/// in inline `// ecotune-lint: allow(<rule>)` waivers.
-struct Diagnostic {
-  std::string path;
-  int line = 0;
-  std::string rule;
-  std::string message;
-};
+namespace ecotune::lint {
 
 /// Stable names of every rule the linter enforces, in report order.
 [[nodiscard]] const std::vector<std::string>& rule_names();
 
-/// Lints one translation unit. `path` must be the scan-root-relative path
-/// with forward slashes — the per-rule path whitelists (common/ wrappers,
-/// common/rng seed plumbing, common/parallel) key off it.
+/// Lints one translation unit against every registered rule. `path` must
+/// be the scan-root-relative path with forward slashes — the per-rule path
+/// whitelists (common/ wrappers, common/rng seed plumbing,
+/// common/parallel, the src/ module DAG) key off it.
 [[nodiscard]] std::vector<Diagnostic> lint_source(const std::string& path,
                                                   const std::string& text);
 
@@ -31,10 +29,14 @@ struct Diagnostic {
     const std::filesystem::path& root);
 
 /// Reads and lints `files` (paths are reported relative to `root` when they
-/// are inside it). Throws std::runtime_error on unreadable files.
+/// are inside it). `jobs` files are linted concurrently on the common/
+/// ThreadPool (<= 0 means hardware concurrency); per-file results are
+/// reduced in file order, so the diagnostics — and therefore the CLI
+/// output — are byte-identical for every jobs value. Throws
+/// std::runtime_error on unreadable files.
 [[nodiscard]] std::vector<Diagnostic> lint_files(
     const std::filesystem::path& root,
-    const std::vector<std::filesystem::path>& files);
+    const std::vector<std::filesystem::path>& files, int jobs = 1);
 
 /// "path:line: error: [rule] message" — the exact line the fixtures assert.
 [[nodiscard]] std::string format_diagnostic(const Diagnostic& d);

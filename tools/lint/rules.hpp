@@ -1,0 +1,49 @@
+#pragma once
+
+// Rule registry of the ecotune analysis framework. Each rule carries the
+// metadata the reporters need (stable name, severity, one-line summary,
+// help URI) next to its check function, so adding a rule is one table row
+// + one function — the CLI listing, the text reporter, and the SARIF
+// emitter all derive from this table.
+
+#include <string>
+#include <vector>
+
+#include "lint/source.hpp"
+
+namespace ecotune::lint {
+
+/// One finding: `path` is the file as reported (relative to the scan root
+/// when possible), `line` is 1-based, `rule` is the stable rule name used
+/// in inline `// ecotune-lint: allow(<rule>)` waivers.
+struct Diagnostic {
+  std::string path;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// Report severity, mapped onto SARIF `level` values by to_string().
+enum class Severity {
+  kWarning,
+  kError,
+};
+
+[[nodiscard]] std::string_view to_string(Severity severity);
+
+/// One registered analysis. `check` appends findings for a single
+/// translation unit; it must be pure (no global state) so files can be
+/// linted concurrently.
+struct Rule {
+  std::string name;      ///< stable id, used by waivers and SARIF ruleId
+  Severity severity;     ///< SARIF defaultConfiguration.level
+  std::string summary;   ///< one line, shown in listings and SARIF
+  std::string help_uri;  ///< where the policy is documented
+  void (*check)(const Source& src, const std::string& path,
+                std::vector<Diagnostic>& out);
+};
+
+/// Every rule the linter enforces, in stable registration order.
+[[nodiscard]] const std::vector<Rule>& rules();
+
+}  // namespace ecotune::lint

@@ -1,0 +1,116 @@
+#include "lint/sarif.hpp"
+
+#include <cstddef>
+#include <sstream>
+
+namespace ecotune::lint {
+namespace {
+
+/// JSON string escaping per RFC 8259: the two mandatory escapes plus
+/// control characters as \u00XX. Everything the linter emits is ASCII.
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* kHex = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xF];
+          out += kHex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string quoted(std::string_view text) {
+  return '"' + json_escape(text) + '"';
+}
+
+}  // namespace
+
+std::string sarif_report(const std::vector<Diagnostic>& diagnostics) {
+  const std::vector<Rule>& all = rules();
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"$schema\": "
+        "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"runs\": [\n"
+     << "    {\n"
+     << "      \"tool\": {\n"
+     << "        \"driver\": {\n"
+     << "          \"name\": \"ecotune_lint\",\n"
+     << "          \"informationUri\": \"README.md#correctness-tooling\",\n"
+     << "          \"rules\": [\n";
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const Rule& rule = all[i];
+    os << "            {\n"
+       << "              \"id\": " << quoted(rule.name) << ",\n"
+       << "              \"shortDescription\": { \"text\": "
+       << quoted(rule.summary) << " },\n"
+       << "              \"helpUri\": " << quoted(rule.help_uri) << ",\n"
+       << "              \"defaultConfiguration\": { \"level\": "
+       << quoted(to_string(rule.severity)) << " }\n"
+       << "            }" << (i + 1 < all.size() ? "," : "") << '\n';
+  }
+  os << "          ]\n"
+     << "        }\n"
+     << "      },\n"
+     << "      \"results\": [\n";
+  for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+    const Diagnostic& d = diagnostics[i];
+    std::size_t rule_index = 0;
+    std::string_view level = "error";
+    for (std::size_t r = 0; r < all.size(); ++r) {
+      if (all[r].name == d.rule) {
+        rule_index = r;
+        level = to_string(all[r].severity);
+        break;
+      }
+    }
+    os << "        {\n"
+       << "          \"ruleId\": " << quoted(d.rule) << ",\n"
+       << "          \"ruleIndex\": " << rule_index << ",\n"
+       << "          \"level\": " << quoted(level) << ",\n"
+       << "          \"message\": { \"text\": " << quoted(d.message)
+       << " },\n"
+       << "          \"locations\": [\n"
+       << "            {\n"
+       << "              \"physicalLocation\": {\n"
+       << "                \"artifactLocation\": { \"uri\": "
+       << quoted(d.path) << " },\n"
+       << "                \"region\": { \"startLine\": " << d.line
+       << " }\n"
+       << "              }\n"
+       << "            }\n"
+       << "          ]\n"
+       << "        }" << (i + 1 < diagnostics.size() ? "," : "") << '\n';
+  }
+  os << "      ]\n"
+     << "    }\n"
+     << "  ]\n"
+     << "}\n";
+  return os.str();
+}
+
+}  // namespace ecotune::lint

@@ -1,0 +1,23 @@
+#pragma once
+
+// SARIF 2.1.0 emitter for the ecotune analysis framework. Hand-rolled
+// serialization (no common/json dependency) so ecotune_lint stays
+// buildable before any module library is — the golden test round-trips
+// the output through common/json to prove it parses.
+
+#include <string>
+#include <vector>
+
+#include "lint/rules.hpp"
+
+namespace ecotune::lint {
+
+/// The complete SARIF 2.1.0 log for one run: tool.driver carries every
+/// registered rule (id, severity, summary, helpUri); each diagnostic
+/// becomes one result with ruleId, ruleIndex into that rules array,
+/// level, message, and a physical location (uri + 1-based startLine).
+/// Deterministic: byte-identical for identical diagnostics.
+[[nodiscard]] std::string sarif_report(
+    const std::vector<Diagnostic>& diagnostics);
+
+}  // namespace ecotune::lint

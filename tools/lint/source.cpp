@@ -1,0 +1,236 @@
+#include "lint/source.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace ecotune::lint {
+namespace {
+
+/// Parses "ecotune-lint: allow(a, b)" markers out of one comment's text and
+/// registers the named rules as waived for every line the comment touches.
+void harvest_allows(Source& src, const std::string& comment, int first_line,
+                    int last_line) {
+  const std::string tag = "ecotune-lint:";
+  std::size_t pos = comment.find(tag);
+  if (pos == std::string::npos) return;
+  pos = comment.find("allow(", pos);
+  if (pos == std::string::npos) return;
+  const std::size_t open = pos + 6;
+  const std::size_t close = comment.find(')', open);
+  if (close == std::string::npos) return;
+  std::string names = comment.substr(open, close - open);
+  std::set<std::string> rules;
+  std::istringstream is(names);
+  std::string name;
+  while (std::getline(is, name, ',')) {
+    name.erase(0, name.find_first_not_of(" \t"));
+    name.erase(name.find_last_not_of(" \t") + 1);
+    if (!name.empty()) rules.insert(name);
+  }
+  for (int line = first_line; line <= last_line; ++line)
+    src.allows[line].insert(rules.begin(), rules.end());
+}
+
+}  // namespace
+
+bool is_ident(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_space(char c) {
+  return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+
+int line_of(const Source& src, std::size_t offset) {
+  const auto it = std::upper_bound(src.line_starts.begin(),
+                                   src.line_starts.end(), offset);
+  return static_cast<int>(it - src.line_starts.begin());
+}
+
+Source preprocess(const std::string& text) {
+  Source src;
+  src.original = text;
+  src.masked = text;
+  src.line_starts.push_back(0);
+  for (std::size_t i = 0; i < text.size(); ++i)
+    if (text[i] == '\n') src.line_starts.push_back(i + 1);
+
+  std::string& m = src.masked;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  while (i < n) {
+    const char c = text[i];
+    if (c == '/' && i + 1 < n && (text[i + 1] == '/' || text[i + 1] == '*')) {
+      const bool block = text[i + 1] == '*';
+      const int first_line = line_of(src, i);
+      std::size_t end = i + 2;
+      if (block) {
+        while (end + 1 < n && !(text[end] == '*' && text[end + 1] == '/'))
+          ++end;
+        end = std::min(n, end + 2);
+      } else {
+        while (end < n && text[end] != '\n') ++end;
+      }
+      harvest_allows(src, text.substr(i, end - i), first_line,
+                     line_of(src, end == 0 ? 0 : end - 1));
+      for (std::size_t k = i; k < end; ++k)
+        if (m[k] != '\n') m[k] = ' ';
+      i = end;
+      continue;
+    }
+    if (c == '"') {
+      // Raw string?  R"delim( ... )delim"  (with optional u8/u/U/L prefix,
+      // i.e. the identifier hugging the quote ends in R).
+      bool raw = i > 0 && text[i - 1] == 'R' &&
+                 (i < 2 || !is_ident(text[i - 2]) ||
+                  text[i - 2] == 'u' || text[i - 2] == 'U' ||
+                  text[i - 2] == 'L' || text[i - 2] == '8');
+      std::size_t end;
+      if (raw) {
+        std::size_t p = i + 1;
+        while (p < n && text[p] != '(') ++p;
+        std::string closer;
+        closer += ')';
+        closer.append(text, i + 1, p - i - 1);
+        closer += '"';
+        const std::size_t at = text.find(closer, p);
+        end = at == std::string::npos ? n : at + closer.size();
+      } else {
+        end = i + 1;
+        while (end < n && text[end] != '"') {
+          if (text[end] == '\\' && end + 1 < n) ++end;
+          ++end;
+        }
+        end = std::min(n, end + 1);
+      }
+      for (std::size_t k = i; k < end; ++k)
+        if (m[k] != '\n') m[k] = ' ';
+      i = end;
+      continue;
+    }
+    if (c == '\'') {
+      // Distinguish char literals from digit separators (1'000, 0xFF'AA):
+      // a quote glued to an identifier char is a separator unless that
+      // char is a literal prefix (u, U, L, or the 8 of u8).
+      const char prev = i > 0 ? text[i - 1] : '\0';
+      const bool separator =
+          is_ident(prev) && prev != 'u' && prev != 'U' && prev != 'L' &&
+          !(prev == '8' && i > 1 && text[i - 2] == 'u');
+      if (separator) {
+        ++i;
+        continue;
+      }
+      std::size_t end = i + 1;
+      while (end < n && text[end] != '\'') {
+        if (text[end] == '\\' && end + 1 < n) ++end;
+        ++end;
+      }
+      end = std::min(n, end + 1);
+      for (std::size_t k = i; k < end; ++k)
+        if (m[k] != '\n') m[k] = ' ';
+      i = end;
+      continue;
+    }
+    ++i;
+  }
+  return src;
+}
+
+std::vector<std::size_t> find_tokens(const std::string& s,
+                                     const std::string& word) {
+  std::vector<std::size_t> out;
+  std::size_t pos = 0;
+  while ((pos = s.find(word, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !is_ident(s[pos - 1]);
+    const std::size_t after = pos + word.size();
+    const bool right_ok = after >= s.size() || !is_ident(s[after]);
+    if (left_ok && right_ok) out.push_back(pos);
+    pos = after;
+  }
+  return out;
+}
+
+std::size_t prev_nonspace(const std::string& s, std::size_t pos) {
+  while (pos > 0 && is_space(s[pos - 1])) --pos;
+  return pos == 0 ? std::string::npos : pos - 1;
+}
+
+std::size_t next_nonspace(const std::string& s, std::size_t pos) {
+  while (pos < s.size() && is_space(s[pos])) ++pos;
+  return pos;
+}
+
+bool member_access(const std::string& s, std::size_t pos) {
+  const std::size_t p = prev_nonspace(s, pos);
+  if (p == std::string::npos) return false;
+  if (s[p] == '.') return true;
+  return s[p] == '>' && p > 0 && s[p - 1] == '-';
+}
+
+bool followed_by_call(const std::string& s, std::size_t token_end) {
+  const std::size_t p = next_nonspace(s, token_end);
+  return p < s.size() && s[p] == '(';
+}
+
+bool looks_like_declaration(const std::string& s, std::size_t pos) {
+  const std::size_t p = prev_nonspace(s, pos);
+  if (p == std::string::npos || !is_ident(s[p])) return false;
+  std::size_t b = p;
+  while (b > 0 && is_ident(s[b - 1])) --b;
+  return s.substr(b, p - b + 1) != "return";
+}
+
+std::string call_literal_text(const Source& src, std::size_t token_end) {
+  const std::string& m = src.masked;
+  std::size_t p = next_nonspace(m, token_end);
+  if (p >= m.size() || m[p] != '(') return {};
+  int depth = 0;
+  std::string out;
+  for (; p < m.size(); ++p) {
+    if (m[p] == '(') ++depth;
+    if (m[p] == ')' && --depth == 0) break;
+    // A masked byte that differs from the original is literal content.
+    if (m[p] == ' ' && src.original[p] != ' ') out += src.original[p];
+  }
+  return out;
+}
+
+bool has_float_conversion(const std::string& fmt) {
+  for (std::size_t i = 0; i < fmt.size(); ++i) {
+    if (fmt[i] != '%') continue;
+    std::size_t j = i + 1;
+    if (j < fmt.size() && fmt[j] == '%') {
+      i = j;
+      continue;
+    }
+    while (j < fmt.size() &&
+           (std::string("-+ #0'*.0123456789hlLqjzt").find(fmt[j]) !=
+            std::string::npos))
+      ++j;
+    if (j < fmt.size() && std::string("aAeEfFgG").find(fmt[j]) !=
+                              std::string::npos)
+      return true;
+    i = j;
+  }
+  return false;
+}
+
+std::vector<std::string> idents_on(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (is_ident(text[i]) &&
+        std::isdigit(static_cast<unsigned char>(text[i])) == 0) {
+      std::size_t j = i;
+      while (j < text.size() && is_ident(text[j])) ++j;
+      out.push_back(text.substr(i, j - i));
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace ecotune::lint

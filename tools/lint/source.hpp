@@ -1,0 +1,77 @@
+#pragma once
+
+// Lexical layer of the ecotune analysis framework: offset-preserving
+// comment/literal masking plus the token helpers every rule builds on.
+// The scanner is lexical, not a full parser — that keeps it fast,
+// dependency-free, and immune to banned tokens appearing in strings or
+// comments (including the rule tables themselves).
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ecotune::lint {
+
+/// The source after lexing: `masked` has every comment and string/char
+/// literal replaced by spaces, byte-for-byte the same length as the
+/// original so offsets agree between the two. Rules match tokens against
+/// `masked`; anything that needs literal content (include paths, printf
+/// format strings) reads the same offsets out of `original`.
+struct Source {
+  std::string original;
+  std::string masked;
+  std::vector<std::size_t> line_starts;  ///< offset of each line's first byte
+  std::map<int, std::set<std::string>> allows;  ///< line -> waived rules
+};
+
+/// One-pass lexer: comments and literals become runs of spaces; newlines
+/// survive so line numbers stay exact. `// ecotune-lint: allow(rule)`
+/// waiver comments are harvested into `allows` before being masked.
+[[nodiscard]] Source preprocess(const std::string& text);
+
+/// 1-based line number of the byte at `offset`.
+[[nodiscard]] int line_of(const Source& src, std::size_t offset);
+
+[[nodiscard]] bool is_ident(char c);
+[[nodiscard]] bool is_space(char c);
+
+/// Occurrences of `word` as a whole identifier token.
+[[nodiscard]] std::vector<std::size_t> find_tokens(const std::string& s,
+                                                   const std::string& word);
+
+/// Offset of the last non-space byte before `pos`, or npos at the start.
+[[nodiscard]] std::size_t prev_nonspace(const std::string& s,
+                                        std::size_t pos);
+/// Offset of the first non-space byte at or after `pos` (size() at end).
+[[nodiscard]] std::size_t next_nonspace(const std::string& s,
+                                        std::size_t pos);
+
+/// True when the token at `pos` is reached through member access
+/// (obj.name / obj->name), i.e. it is not the global/std function.
+[[nodiscard]] bool member_access(const std::string& s, std::size_t pos);
+
+/// True when an opening paren follows the token ending at `token_end`.
+[[nodiscard]] bool followed_by_call(const std::string& s,
+                                    std::size_t token_end);
+
+/// True when the token at `pos` is preceded by another identifier that is
+/// not `return` — i.e. it is being *declared* (`double time() const`), not
+/// called (`return time(nullptr)`, `x = time(0)`).
+[[nodiscard]] bool looks_like_declaration(const std::string& s,
+                                          std::size_t pos);
+
+/// Extracts the original characters of every literal inside the call whose
+/// opening paren follows `token_end` (masked text drives paren matching, so
+/// parens inside strings don't confuse it).
+[[nodiscard]] std::string call_literal_text(const Source& src,
+                                            std::size_t token_end);
+
+/// Does printf-style format text contain a floating-point conversion?
+[[nodiscard]] bool has_float_conversion(const std::string& fmt);
+
+/// The identifiers on `text`, left to right (leading-digit runs skipped).
+[[nodiscard]] std::vector<std::string> idents_on(const std::string& text);
+
+}  // namespace ecotune::lint
