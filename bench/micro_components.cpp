@@ -5,9 +5,11 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.hpp"
+#include "common/simd.hpp"
 #include "hwsim/node.hpp"
 #include "instr/scorep_runtime.hpp"
 #include "model/energy_model.hpp"
+#include "nn/kernels.hpp"
 #include "nn/mlp.hpp"
 #include "pmc/counter_sampler.hpp"
 #include "readex/rrl.hpp"
@@ -95,8 +97,9 @@ void BM_MlpTrainEpoch(benchmark::State& state) {
 BENCHMARK(BM_MlpTrainEpoch)->Arg(2048)->Arg(19152);
 
 void BM_MlpForwardBatch(benchmark::State& state) {
-  // Batched inference over one 14x18 frequency grid (252 rows); bitwise
-  // identical to 252 scalar predict() calls.
+  // Batched inference over one 14x18 frequency grid (252 rows); on the
+  // scalar reference path bitwise identical to 252 scalar predict()
+  // calls, on the AVX2 engine equal within last-ulp FMA contraction.
   Rng rng(2);
   const nn::Mlp net(nn::MlpConfig{}, rng);
   const stats::Matrix x = bench::synthetic_grid_batch();
@@ -111,6 +114,81 @@ void BM_MlpForwardBatch(benchmark::State& state) {
                           static_cast<std::int64_t>(grid));
 }
 BENCHMARK(BM_MlpForwardBatch);
+
+void BM_DotKernelScalar(benchmark::State& state) {
+  // The width-agnostic dot kernel at the scalar reference level; the
+  // pairwise accumulation order makes this directly comparable (and
+  // bit-identical) to BM_DotKernelSimd.
+  const simd::ScopedLevel level(simd::Level::kScalar);
+  const auto& ks = nn::kernels::active();
+  std::vector<double> a(256), b(256);
+  Rng rng(5);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.normal(0.0, 1.0);
+    b[i] = rng.normal(0.0, 1.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ks.dot(a.data(), b.data(), a.size()));
+  }
+}
+BENCHMARK(BM_DotKernelScalar);
+
+void BM_DotKernelSimd(benchmark::State& state) {
+  // Same workload on the best vector level the CPU offers.
+  const auto& ks = nn::kernels::set_for(simd::detect_best());
+  std::vector<double> a(256), b(256);
+  Rng rng(5);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = rng.normal(0.0, 1.0);
+    b[i] = rng.normal(0.0, 1.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ks.dot(a.data(), b.data(), a.size()));
+  }
+}
+BENCHMARK(BM_DotKernelSimd);
+
+void BM_EnsembleFusedVsSequential(benchmark::State& state) {
+  // Five-member ensemble prediction over the 252-row grid: Arg(0) runs
+  // member-sequential scalar forwards (the reference path), Arg(1) the
+  // fused engine, which sweeps all members over one cache-resident
+  // four-sample lane group at a time.
+  const simd::ScopedLevel level(state.range(0) == 0 ? simd::Level::kScalar
+                                                    : simd::detect_best());
+  const auto model = bench::untrained_ensemble_model(5);
+  Rng rng(6);
+  stats::Matrix raw(252, 9);
+  for (std::size_t r = 0; r < raw.rows(); ++r)
+    for (std::size_t c = 0; c < raw.cols(); ++c)
+      raw(r, c) = rng.uniform(0.0, 2.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict_batch(raw).data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(raw.rows()));
+}
+BENCHMARK(BM_EnsembleFusedVsSequential)->Arg(0)->Arg(1);
+
+void BM_TrainEpochSimd(benchmark::State& state) {
+  // BM_MlpTrainEpoch/19152 pinned to a dispatch level: Arg(0) scalar
+  // reference, Arg(1) the fused AVX2 engine (the perf_report
+  // mlp_train_epoch metric runs whatever level is active).
+  const simd::ScopedLevel level(state.range(0) == 0 ? simd::Level::kScalar
+                                                    : simd::detect_best());
+  const std::size_t n = 19152;
+  stats::Matrix x;
+  std::vector<double> y;
+  bench::synthetic_training_data(n, x, y);
+  Rng rng(42);
+  nn::Mlp net(nn::MlpConfig{}, rng);
+  Rng shuffle(43);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.train_epoch(x, y, shuffle));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_TrainEpochSimd)->Arg(0)->Arg(1);
 
 void BM_GridArgminSweep(benchmark::State& state) {
   // Cost of predicting the full 14x18 frequency grid (the plugin's

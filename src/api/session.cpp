@@ -8,11 +8,16 @@
 #include "common/fingerprint.hpp"
 #include "common/logging.hpp"
 #include "common/parallel.hpp"
+#include "common/simd.hpp"
 
 namespace ecotune::api {
 
 Session::Session(SessionConfig config)
     : config_(std::move(config)), jobs_(resolve_jobs(config_.jobs())) {
+  // Process-wide by design: the kernel dispatch level must be uniform or
+  // the jobs-invariance guarantee (identical bits at any worker count)
+  // would depend on which session touched the model last.
+  if (!config_.simd()) simd::set_level(simd::Level::kScalar);
   // Store-mode resolution and the directory open both throw ecotune::Error
   // with a user-facing message; open_session_or_exit maps that to the
   // uniform CLI behavior (exit 2).

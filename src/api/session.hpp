@@ -149,6 +149,13 @@ class SessionConfig {
     spec_ = std::move(cpu_spec);
     return *this;
   }
+  /// simd(false) forces the scalar reference kernels (the historical
+  /// bit-exact path) process-wide, exactly like ECOTUNE_SIMD=off; true
+  /// (the default) keeps whatever dispatch level is already active.
+  SessionConfig& simd(bool on) {
+    simd_ = on;
+    return *this;
+  }
 
   // Read accessors (used by Session; public so shims can introspect).
   [[nodiscard]] std::uint64_t train_seed() const { return train_seed_; }
@@ -185,6 +192,7 @@ class SessionConfig {
     return governor_;
   }
   [[nodiscard]] const hwsim::CpuSpec& spec() const { return spec_; }
+  [[nodiscard]] bool simd() const { return simd_; }
 
  private:
   std::uint64_t train_seed_ = 42;
@@ -208,6 +216,7 @@ class SessionConfig {
   tuners::QLearningOptions qlearn_;
   tuners::GovernorOptions governor_;
   hwsim::CpuSpec spec_ = hwsim::haswell_ep_spec();
+  bool simd_ = true;
 };
 
 /// One design-time analysis outcome: everything the plugin produced plus

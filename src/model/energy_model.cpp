@@ -13,12 +13,11 @@ namespace ecotune::model {
 
 namespace {
 
-/// Per-thread scratch of the batched prediction path: scaled feature matrix,
-/// per-member prediction buffer and the NN workspace. Thread-local so a
-/// shared trained model can serve concurrent sweep tasks allocation-free.
+/// Per-thread scratch of the batched prediction path: scaled feature matrix
+/// and the NN workspace. Thread-local so a shared trained model can serve
+/// concurrent sweep tasks allocation-free.
 struct PredictScratch {
   stats::Matrix scaled;
-  std::vector<double> member;
   nn::Workspace ws;
 };
 
@@ -99,17 +98,13 @@ void EnergyModel::predict_rows(const stats::Matrix& raw,
   if (n == 0) return;
   PredictScratch& s = predict_scratch();
   scaler_.transform_into(raw, s.scaled);
-  if (s.member.size() < n) s.member.resize(n);
-  std::fill(out.begin(), out.end(), 0.0);
-  // Ensemble mean accumulated in member order per row — the same summation
-  // order as the historical per-point loop over nets_.
-  const std::span<double> member(s.member.data(), n);
-  for (const auto& net : nets_) {
-    net.forward_batch(s.scaled, member, s.ws);
-    for (std::size_t r = 0; r < n; ++r) out[r] += member[r];
-  }
-  const double count = static_cast<double>(nets_.size());
-  for (std::size_t r = 0; r < n; ++r) out[r] /= count;
+  // Fused ensemble sweep: one pass over the shared scaled matrix, members
+  // accumulated in net order per row — bitwise identical to the historical
+  // per-net forward_batch loop (and literally that loop when the scalar
+  // kernel set is active).
+  nn::forward_batch_ensemble(
+      std::span<const nn::Mlp>(nets_.data(), nets_.size()), s.scaled, out,
+      s.ws, /*mean=*/true);
 }
 
 double EnergyModel::predict(const std::vector<double>& features) const {

@@ -1,0 +1,297 @@
+#include "nn/kernels.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace ecotune::nn::kernels {
+
+namespace {
+
+constexpr std::size_t round_up4(std::size_t n) {
+  return (n + 3) & ~static_cast<std::size_t>(3);
+}
+
+/// Mirror of nn/mlp.cpp's flush_denormal (see the rationale there); the
+/// engines must reproduce it bit for bit.
+inline double flushd(double v) {
+  return (v < std::numeric_limits<double>::min() &&
+          v > -std::numeric_limits<double>::min())
+             ? 0.0
+             : v;
+}
+
+/// Scalar pairwise dot: the same four virtual accumulators as the vector
+/// kernels (lane k sums indices ≡ k mod 4, ascending), so the result is
+/// identical at every dispatch level.
+double dot_scalar_impl(const double* a, const double* b, std::size_t n) {
+  double s[4] = {0.0, 0.0, 0.0, 0.0};
+  for (std::size_t i = 0; i < n; ++i) s[i % 4] += a[i] * b[i];
+  return (s[0] + s[1]) + (s[2] + s[3]);
+}
+
+void axpy_scalar_impl(double* y, double a, const double* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+#if ECOTUNE_SIMD_X86
+
+/// Fixed-depth constexpr mirror of TrainPlan, built by the same offset
+/// algorithm as build_train_plan. The 9-5-5-1 instance below lets the
+/// engine templates constant-fold the paper architecture's entire layout
+/// (every loop bound and buffer offset), which is worth ~2x on the hot
+/// benchmarks versus the runtime-geometry instantiation.
+template <std::size_t L>
+struct PlanK {
+  std::array<std::size_t, L + 1> sizes{};
+  std::array<LayerGeom, L> layers{};
+  std::size_t head_size = 0;
+  std::size_t total = 0;
+  std::array<std::size_t, L + 1> act_off{};
+  std::array<std::size_t, L> pre_off{};
+};
+
+template <std::size_t L>
+constexpr PlanK<L> build_plan_k(std::array<std::size_t, L + 1> sizes,
+                                std::array<bool, L> relu) {
+  PlanK<L> plan{};
+  plan.sizes = sizes;
+  std::size_t off = 0;
+  for (std::size_t l = 0; l < L; ++l) {
+    LayerGeom& g = plan.layers[l];
+    g.rows = sizes[l + 1];
+    g.cols = sizes[l];
+    g.relu = relu[l];
+    g.nb = g.rows / 4;
+    g.tail = g.rows % 4;
+    g.bias_off = off;
+    off += round_up4(g.rows);
+    g.tail_off = off;
+    off += round_up4(g.cols * g.tail);
+  }
+  plan.head_size = off;
+  for (std::size_t l = 0; l < L; ++l) {
+    plan.layers[l].block_off = off;
+    off += plan.layers[l].cols * plan.layers[l].nb * 4;
+  }
+  plan.total = off;
+  std::size_t scratch = 0;
+  for (std::size_t l = 0; l <= L; ++l) {
+    plan.act_off[l] = scratch;
+    scratch += round_up4(sizes[l]);
+  }
+  scratch = 0;
+  for (std::size_t l = 0; l < L; ++l) {
+    plan.pre_off[l] = scratch;
+    scratch += round_up4(sizes[l + 1]);
+  }
+  return plan;
+}
+
+constexpr PlanK<3> kPlan9551 =
+    build_plan_k<3>({9, 5, 5, 1}, {true, true, true});
+static_assert(kPlan9551.head_size == 48 && kPlan9551.total == 104 &&
+                  kPlan9551.layers[0].block_off == 48 &&
+                  kPlan9551.layers[1].block_off == 84,
+              "9-5-5-1 blocked layout drifted from the documented offsets");
+
+/// Geometry providers for the engine templates in kernels_engine.inc: the
+/// runtime provider reads a TrainPlan, the static one exposes the 9-5-5-1
+/// constants. Both feed the identical engine statements, so the two
+/// instantiations are bit-identical.
+struct RuntimeGeom {
+  const TrainPlan* plan;
+  std::size_t nlayers() const { return plan->layers.size(); }
+  const LayerGeom& layer(std::size_t l) const { return plan->layers[l]; }
+  std::size_t size0() const { return plan->sizes[0]; }
+  std::size_t head_size() const { return plan->head_size; }
+  std::size_t act_off(std::size_t l) const { return plan->act_off[l]; }
+  std::size_t pre_off(std::size_t l) const { return plan->pre_off[l]; }
+};
+
+struct StaticGeom9551 {
+  static constexpr std::size_t nlayers() { return 3; }
+  static constexpr LayerGeom layer(std::size_t l) {
+    return kPlan9551.layers[l];
+  }
+  static constexpr std::size_t size0() { return kPlan9551.sizes[0]; }
+  static constexpr std::size_t head_size() { return kPlan9551.head_size; }
+  static constexpr std::size_t act_off(std::size_t l) {
+    return kPlan9551.act_off[l];
+  }
+  static constexpr std::size_t pre_off(std::size_t l) {
+    return kPlan9551.pre_off[l];
+  }
+};
+
+bool plan_matches_9551(const TrainPlan& plan) {
+  if (plan.sizes.size() != kPlan9551.sizes.size()) return false;
+  for (std::size_t l = 0; l < kPlan9551.sizes.size(); ++l)
+    if (plan.sizes[l] != kPlan9551.sizes[l]) return false;
+  for (const LayerGeom& g : plan.layers)
+    if (!g.relu) return false;
+  // Fingerprint that the runtime layout still equals the constexpr mirror
+  // (same algorithm; this guards against the two ever drifting apart — on
+  // mismatch the runtime-geometry instantiation handles the plan).
+  return plan.head_size == kPlan9551.head_size &&
+         plan.total == kPlan9551.total;
+}
+
+/// Per-net shapes are validated identical by forward_batch_ensemble, so
+/// matching the first net suffices.
+bool shape_matches_9551(const NetLayerRef* layers, std::size_t nlayers) {
+  if (nlayers != 3) return false;
+  for (std::size_t l = 0; l < 3; ++l) {
+    if (layers[l].rows != kPlan9551.layers[l].rows ||
+        layers[l].cols != kPlan9551.layers[l].cols || !layers[l].relu)
+      return false;
+  }
+  return true;
+}
+
+/// Shape providers for the fused-inference engine.
+struct FwdRuntimeShape {
+  const NetLayerRef* first;
+  std::size_t n;
+  std::size_t nlayers() const { return n; }
+  std::size_t rows(std::size_t l) const { return first[l].rows; }
+  std::size_t cols(std::size_t l) const { return first[l].cols; }
+  bool relu(std::size_t l) const { return first[l].relu; }
+};
+
+struct FwdStatic9551 {
+  static constexpr std::size_t nlayers() { return 3; }
+  static constexpr std::size_t rows(std::size_t l) {
+    return kPlan9551.layers[l].rows;
+  }
+  static constexpr std::size_t cols(std::size_t l) {
+    return kPlan9551.layers[l].cols;
+  }
+  static constexpr bool relu(std::size_t) { return true; }
+};
+
+// The fused train/forward engines (ET_ENGINES) exist only at the AVX2
+// level: they rely on V::fma, and SSE2 has no fused operation (emulating
+// one with mul+add would round twice and void the fixed-rounding
+// determinism contract). The SSE2 instantiation carries just the
+// bit-identical dot/axpy kernels.
+#define ET_SUFFIX _avx2
+#define ET_TARGET ECOTUNE_TARGET_AVX2
+#define ET_V ecotune::simd::V4
+#define ET_ENGINES 1
+#include "nn/kernels_engine.inc"  // NOLINT(bugprone-suspicious-include)
+#undef ET_SUFFIX
+#undef ET_TARGET
+#undef ET_V
+#undef ET_ENGINES
+
+#define ET_SUFFIX _sse2
+#define ET_TARGET
+#define ET_V ecotune::simd::V2x2
+#define ET_ENGINES 0
+#include "nn/kernels_engine.inc"  // NOLINT(bugprone-suspicious-include)
+#undef ET_SUFFIX
+#undef ET_TARGET
+#undef ET_V
+#undef ET_ENGINES
+
+#endif  // ECOTUNE_SIMD_X86
+
+}  // namespace
+
+TrainPlan build_train_plan(const std::vector<std::size_t>& sizes,
+                           const std::vector<std::uint8_t>& relu,
+                           double learning_rate, double beta1, double beta2,
+                           double epsilon) {
+  ECOTUNE_CHECK(sizes.size() >= 2 && relu.size() + 1 == sizes.size(),
+                "build_train_plan: inconsistent layer geometry");
+  TrainPlan plan;
+  plan.sizes = sizes;
+  plan.learning_rate = learning_rate;
+  plan.beta1 = beta1;
+  plan.beta2 = beta2;
+  plan.epsilon = epsilon;
+  plan.max_width = *std::max_element(sizes.begin(), sizes.end());
+  const std::size_t num_layers = sizes.size() - 1;
+  plan.layers.resize(num_layers);
+  std::size_t off = 0;
+  for (std::size_t l = 0; l < num_layers; ++l) {
+    LayerGeom& g = plan.layers[l];
+    g.rows = sizes[l + 1];
+    g.cols = sizes[l];
+    g.relu = relu[l] != 0;
+    g.nb = g.rows / 4;
+    g.tail = g.rows % 4;
+    g.bias_off = off;
+    off += round_up4(g.rows);
+    g.tail_off = off;
+    off += round_up4(g.cols * g.tail);
+  }
+  plan.head_size = off;
+  for (std::size_t l = 0; l < num_layers; ++l) {
+    LayerGeom& g = plan.layers[l];
+    g.block_off = off;
+    off += g.cols * g.nb * 4;
+  }
+  plan.total = off;
+
+  plan.act_off.resize(num_layers + 1);
+  std::size_t scratch = 0;
+  for (std::size_t l = 0; l <= num_layers; ++l) {
+    plan.act_off[l] = scratch;
+    scratch += round_up4(sizes[l]);
+  }
+  plan.act_total = scratch;
+  plan.pre_off.resize(num_layers);
+  scratch = 0;
+  for (std::size_t l = 0; l < num_layers; ++l) {
+    plan.pre_off[l] = scratch;
+    scratch += round_up4(sizes[l + 1]);
+  }
+  plan.pre_total = scratch;
+  return plan;
+}
+
+void init_train_state(const TrainPlan& plan, TrainState& st) {
+  st.p.assign(plan.total, 0.0);
+  st.m.assign(plan.total, 0.0);
+  st.v.assign(plan.total, 0.0);
+  st.g.assign(plan.total, 0.0);
+  st.act.assign(plan.act_total, 0.0);
+  st.pre.assign(plan.pre_total, 0.0);
+  const std::size_t width = round_up4(plan.max_width);
+  st.delta_a.assign(width, 0.0);
+  st.delta_b.assign(width, 0.0);
+  st.timestep = 0;
+  st.bc1_saturated = false;
+  st.bc2_saturated = false;
+}
+
+const KernelSet& set_for(simd::Level level) {
+  static const KernelSet scalar_set{simd::Level::kScalar, &dot_scalar_impl,
+                                    &axpy_scalar_impl, nullptr, nullptr};
+#if ECOTUNE_SIMD_X86
+  static const KernelSet sse2_set{simd::Level::kSse2, &dot_sse2, &axpy_sse2,
+                                  nullptr, nullptr};
+  static const KernelSet avx2_set{simd::Level::kAvx2, &dot_avx2, &axpy_avx2,
+                                  &train_epoch_avx2, &forward_batch_avx2};
+  switch (level) {
+    case simd::Level::kAvx2:
+      return avx2_set;
+    case simd::Level::kSse2:
+      return sse2_set;
+    case simd::Level::kScalar:
+      break;
+  }
+#else
+  (void)level;
+#endif
+  return scalar_set;
+}
+
+const KernelSet& active() { return set_for(simd::active_level()); }
+
+}  // namespace ecotune::nn::kernels

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
+#include <memory>
 #include <numeric>
 
 #include "common/check.hpp"
@@ -58,6 +60,25 @@ void Workspace::bind_batch(std::size_t rows) {
 
 Mlp::Mlp(MlpConfig config) : config_(std::move(config)) {
   ensure(config_.layer_sizes.size() >= 2, "Mlp: need at least two layers");
+}
+
+Mlp::Mlp(const Mlp& other)
+    : config_(other.config_),
+      layers_(other.layers_),
+      timestep_(other.timestep_),
+      bc1_saturated_(other.bc1_saturated_),
+      bc2_saturated_(other.bc2_saturated_) {}
+
+Mlp& Mlp::operator=(const Mlp& other) {
+  if (this != &other) {
+    config_ = other.config_;
+    layers_ = other.layers_;
+    timestep_ = other.timestep_;
+    bc1_saturated_ = other.bc1_saturated_;
+    bc2_saturated_ = other.bc2_saturated_;
+    engine_.reset();
+  }
+  return *this;
 }
 
 Mlp::Mlp(MlpConfig config, Rng& rng) : Mlp(std::move(config)) {
@@ -133,6 +154,11 @@ void Mlp::forward_batch(const stats::Matrix& x, std::span<double> out,
   ensure(out.size() == x.rows(), "Mlp::forward_batch: output size mismatch");
   const std::size_t n = x.rows();
   if (n == 0) return;
+  if (kernels::active().forward_batch != nullptr) {
+    forward_batch_ensemble(std::span<const Mlp>(this, 1), x, out, ws,
+                           /*mean=*/false);
+    return;
+  }
   ws.bind(config_.layer_sizes);
   ws.bind_batch(n);
 
@@ -325,6 +351,10 @@ double Mlp::train_epoch(const stats::Matrix& x, const std::vector<double>& y,
         shuffle_rng.uniform_int(0, static_cast<std::int64_t>(i)));
     std::swap(order[i], order[j]);
   }
+  // The shuffle draws happen before dispatch, so both paths consume the
+  // RNG identically and visit the rows in the same order.
+  const kernels::KernelSet& ks = kernels::active();
+  if (ks.train_epoch != nullptr) return train_epoch_kernel(ks, x, y, order);
   train_ws_.bind(config_.layer_sizes);
   const double* data = x.data().data();
   const std::size_t stride = x.cols();
@@ -332,6 +362,148 @@ double Mlp::train_epoch(const stats::Matrix& x, const std::vector<double>& y,
   for (const auto idx : order)
     total += train_sample_bound(data + idx * stride, &y[idx]);
   return total / static_cast<double>(x.rows());
+}
+
+void Mlp::engine_pack() {
+  TrainEngine& e = *engine_;
+  double* p = e.state.p.data();
+  double* m = e.state.m.data();
+  double* v = e.state.v.data();
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    const kernels::LayerGeom& g = e.plan.layers[l];
+    for (std::size_t i = 0; i < g.rows; ++i) {
+      p[g.bias_off + i] = layer.b[i];
+      m[g.bias_off + i] = layer.mb[i];
+      v[g.bias_off + i] = layer.vb[i];
+    }
+    for (std::size_t i = 0; i < g.rows; ++i) {
+      for (std::size_t j = 0; j < g.cols; ++j) {
+        const std::size_t k =
+            i < 4 * g.nb
+                ? g.block_off + (j * g.nb + i / 4) * 4 + i % 4
+                : g.tail_off + j * g.tail + (i - 4 * g.nb);
+        p[k] = layer.w(i, j);
+        m[k] = layer.mw(i, j);
+        v[k] = layer.vw(i, j);
+      }
+    }
+  }
+  e.state.timestep = timestep_;
+  e.state.bc1_saturated = bc1_saturated_;
+  e.state.bc2_saturated = bc2_saturated_;
+}
+
+void Mlp::engine_unpack() {
+  const TrainEngine& e = *engine_;
+  const double* p = e.state.p.data();
+  const double* m = e.state.m.data();
+  const double* v = e.state.v.data();
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    Layer& layer = layers_[l];
+    const kernels::LayerGeom& g = e.plan.layers[l];
+    for (std::size_t i = 0; i < g.rows; ++i) {
+      layer.b[i] = p[g.bias_off + i];
+      layer.mb[i] = m[g.bias_off + i];
+      layer.vb[i] = v[g.bias_off + i];
+    }
+    for (std::size_t i = 0; i < g.rows; ++i) {
+      for (std::size_t j = 0; j < g.cols; ++j) {
+        const std::size_t k =
+            i < 4 * g.nb
+                ? g.block_off + (j * g.nb + i / 4) * 4 + i % 4
+                : g.tail_off + j * g.tail + (i - 4 * g.nb);
+        layer.w(i, j) = p[k];
+        layer.mw(i, j) = m[k];
+        layer.vw(i, j) = v[k];
+        layer.wt(j, i) = p[k];
+      }
+    }
+  }
+  timestep_ = e.state.timestep;
+  bc1_saturated_ = e.state.bc1_saturated;
+  bc2_saturated_ = e.state.bc2_saturated;
+}
+
+double Mlp::train_epoch_kernel(const kernels::KernelSet& ks,
+                               const stats::Matrix& x,
+                               const std::vector<double>& y,
+                               const std::vector<std::size_t>& order) {
+  if (!engine_) {
+    engine_ = std::make_unique<TrainEngine>();
+    std::vector<std::uint8_t> relu;
+    relu.reserve(layers_.size());
+    for (const Layer& layer : layers_) relu.push_back(layer.relu ? 1 : 0);
+    engine_->plan = kernels::build_train_plan(
+        config_.layer_sizes, relu, config_.learning_rate, config_.beta1,
+        config_.beta2, config_.epsilon);
+    kernels::init_train_state(engine_->plan, engine_->state);
+  }
+  engine_pack();
+  const double total = ks.train_epoch(engine_->plan, engine_->state,
+                                      x.data().data(), x.cols(), y.data(),
+                                      order.data(), order.size());
+  engine_unpack();
+  return total / static_cast<double>(x.rows());
+}
+
+void forward_batch_ensemble(std::span<const Mlp> nets, const stats::Matrix& x,
+                            std::span<double> out, Workspace& ws, bool mean) {
+  ensure(!nets.empty(), "forward_batch_ensemble: empty ensemble");
+  const Mlp& first = nets.front();
+  ensure(first.output_size() == 1,
+         "forward_batch_ensemble: networks are not scalar-valued");
+  for (const Mlp& net : nets)
+    ensure(net.config_.layer_sizes == first.config_.layer_sizes,
+           "forward_batch_ensemble: ensemble shape mismatch");
+  ensure(x.cols() == first.input_size(),
+         "forward_batch_ensemble: input size mismatch");
+  ensure(out.size() == x.rows(),
+         "forward_batch_ensemble: output size mismatch");
+  const std::size_t n = x.rows();
+  if (n == 0) return;
+  const kernels::KernelSet& ks = kernels::active();
+  if (ks.forward_batch == nullptr) {
+    // Scalar reference path: per-member batched sweeps accumulated in
+    // member order — the historical EnergyModel::predict_rows loop.
+    ws.bind(first.config_.layer_sizes);
+    if (ws.ens_member_.size() < n) ws.ens_member_.resize(n);
+    std::fill(out.begin(), out.end(), 0.0);
+    const std::span<double> member(ws.ens_member_.data(), n);
+    for (const Mlp& net : nets) {
+      net.forward_batch(x, member, ws);
+      for (std::size_t r = 0; r < n; ++r) out[r] += member[r];
+    }
+    if (mean) {
+      const double count = static_cast<double>(nets.size());
+      for (std::size_t r = 0; r < n; ++r) out[r] /= count;
+    }
+    return;
+  }
+  ws.bind(first.config_.layer_sizes);
+  const std::size_t cols = first.input_size();
+  const std::size_t padded = (n + 3) & ~static_cast<std::size_t>(3);
+  if (ws.cm_.size() < padded * cols) ws.cm_.resize(padded * cols);
+  for (std::size_t j = 0; j < cols; ++j) {
+    double* col = ws.cm_.data() + j * padded;
+    for (std::size_t r = 0; r < n; ++r) col[r] = x(r, j);
+    for (std::size_t r = n; r < padded; ++r) col[r] = 0.0;
+  }
+  const std::size_t lane_len = 4 * ws.max_width_;
+  if (ws.lane_a_.size() < lane_len) {
+    ws.lane_a_.resize(lane_len);
+    ws.lane_b_.resize(lane_len);
+  }
+  ws.refs_.clear();
+  for (const Mlp& net : nets) {
+    for (const Mlp::Layer& layer : net.layers_) {
+      ws.refs_.push_back({layer.w.data().data(), layer.b.data(),
+                          layer.w.rows(), layer.w.cols(), layer.relu});
+    }
+  }
+  ks.forward_batch(ws.refs_.data(), first.layers_.size(), nets.size(),
+                   ws.cm_.data(), padded, n, out.data(), mean,
+                   ws.lane_a_.data(), ws.lane_b_.data());
 }
 
 std::size_t Mlp::parameter_count() const {

@@ -1,10 +1,13 @@
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "common/json.hpp"
 #include "common/rng.hpp"
+#include "nn/kernels.hpp"
 #include "stats/linalg.hpp"
 
 namespace ecotune::nn {
@@ -27,6 +30,17 @@ struct MlpConfig {
 };
 
 class Mlp;
+class Workspace;
+
+/// Fused batched inference over an ensemble of identically shaped
+/// scalar-output networks: one pass over `x` (one column-major packing,
+/// all members' layer sweeps interleaved over the same cache-resident
+/// rows) writing the member-order ensemble sum — the mean when `mean` is
+/// set — into `out`. Bitwise identical to calling net.forward_batch per
+/// member and accumulating in member order, on every dispatch level; with
+/// the scalar kernel set active it literally runs that reference loop.
+void forward_batch_ensemble(std::span<const Mlp> nets, const stats::Matrix& x,
+                            std::span<double> out, Workspace& ws, bool mean);
 
 /// Reusable scratch buffers for Mlp forward/backward passes. A workspace
 /// binds lazily to a network's layer geometry on first use and is reused
@@ -38,6 +52,10 @@ class Workspace {
 
  private:
   friend class Mlp;
+  friend void forward_batch_ensemble(std::span<const Mlp> nets,
+                                     const stats::Matrix& x,
+                                     std::span<double> out, Workspace& ws,
+                                     bool mean);
 
   /// Grows the per-point buffers to `sizes` (the network's layer widths).
   void bind(const std::vector<std::size_t>& sizes);
@@ -51,6 +69,12 @@ class Workspace {
   std::vector<double> delta_, prev_delta_;    ///< backprop buffers
   std::vector<double> batch_a_, batch_b_;     ///< batched layer ping-pong
   std::size_t batch_rows_ = 0;
+  /// Fused-inference scratch: the column-major batch (columns padded to a
+  /// multiple of 4 rows), two aligned lane rows, the per-member buffer of
+  /// the scalar reference path, and the borrowed layer refs.
+  simd::aligned_vector<double> cm_, lane_a_, lane_b_;
+  std::vector<double> ens_member_;
+  std::vector<kernels::NetLayerRef> refs_;
 };
 
 /// Fully connected feed-forward network trained by per-sample stochastic
@@ -66,6 +90,14 @@ class Mlp {
  public:
   /// Initializes weights ~ N(0,1) * sqrt(2/n_in) (He et al.), biases zero.
   Mlp(MlpConfig config, Rng& rng);
+
+  /// Copies transfer the network and optimizer state but not the cached
+  /// kernel-engine scratch (it rebinds lazily on the next train_epoch).
+  Mlp(const Mlp& other);
+  Mlp& operator=(const Mlp& other);
+  Mlp(Mlp&&) = default;
+  Mlp& operator=(Mlp&&) = default;
+  ~Mlp() = default;
 
   [[nodiscard]] const MlpConfig& config() const { return config_; }
   [[nodiscard]] std::size_t input_size() const {
@@ -131,10 +163,32 @@ class Mlp {
     bool relu = true;        ///< activation after this layer
   };
 
+  friend void forward_batch_ensemble(std::span<const Mlp> nets,
+                                     const stats::Matrix& x,
+                                     std::span<double> out, Workspace& ws,
+                                     bool mean);
+
+  /// Cached kernel-engine training scratch: the blocked layout plan and the
+  /// packed parameter/moment state. Exists only between pack (train_epoch
+  /// entry) and unpack (exit) — layers_ stays the canonical storage at
+  /// rest, so serialization and inference never see the blocked form.
+  struct TrainEngine {
+    kernels::TrainPlan plan;
+    kernels::TrainState state;
+  };
+
   explicit Mlp(MlpConfig config);  // uninitialized (for from_json)
   /// train_sample with sizes validated and the workspace already bound (the
   /// per-row body of train_epoch).
   double train_sample_bound(const double* x, const double* y);
+  /// The vector-engine epoch: pack layers_ into the blocked state, run the
+  /// kernel engine over `order`, unpack. Bit-identical to the scalar loop.
+  double train_epoch_kernel(const kernels::KernelSet& ks,
+                            const stats::Matrix& x,
+                            const std::vector<double>& y,
+                            const std::vector<std::size_t>& order);
+  void engine_pack();
+  void engine_unpack();
   /// Fused backward step for one layer: ADAM update of (w, b) from the
   /// layer's delta and input activation. Operand order matches the
   /// historical grad-then-adam_step formulation bit for bit. When
@@ -154,6 +208,7 @@ class Mlp {
   bool bc1_saturated_ = false;
   bool bc2_saturated_ = false;
   Workspace train_ws_;  ///< scratch for the training hot path
+  std::unique_ptr<TrainEngine> engine_;  ///< lazy vector-engine scratch
 };
 
 }  // namespace ecotune::nn

@@ -4,10 +4,14 @@
 #include <span>
 #include <vector>
 
+#include "common/simd.hpp"
+
 namespace ecotune::stats {
 
 /// Dense row-major matrix of doubles. Deliberately small: exactly the
 /// operations the regression pipeline and the neural network need.
+/// Storage is 64-byte aligned so the SIMD kernel layer can use aligned
+/// vector loads over feature batches without copying.
 class Matrix {
  public:
   Matrix() = default;
@@ -30,8 +34,10 @@ class Matrix {
     return data_[r * cols_ + c];
   }
 
-  [[nodiscard]] const std::vector<double>& data() const { return data_; }
-  [[nodiscard]] std::vector<double>& data() { return data_; }
+  [[nodiscard]] const simd::aligned_vector<double>& data() const {
+    return data_;
+  }
+  [[nodiscard]] simd::aligned_vector<double>& data() { return data_; }
 
   /// One row as a vector copy.
   [[nodiscard]] std::vector<double> row(std::size_t r) const;
@@ -57,7 +63,7 @@ class Matrix {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<double> data_;
+  simd::aligned_vector<double> data_;
 };
 
 /// Solves A x = b for symmetric positive-definite A via Cholesky; if the

@@ -1,0 +1,9 @@
+// Lint fixture (never compiled): raw x86 intrinsics outside the
+// sanctioned src/common/simd.hpp wrapper layer.
+#include <immintrin.h>  // VIOLATION line 3
+
+double sum4(const double* p) {
+  const __m256d v = _mm256_loadu_pd(p);  // VIOLATION line 6 (x2)
+  __m128d lo = _mm256_castpd256_pd128(v);  // VIOLATION line 7 (x2)
+  return _mm_cvtsd_f64(lo);  // VIOLATION line 8
+}

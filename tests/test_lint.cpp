@@ -221,7 +221,7 @@ TEST(EcotuneLint, ListRulesNamesEveryRule) {
             (std::vector<std::string>{
                 "locale-number-io", "nondeterministic-seed",
                 "unordered-iteration", "raw-thread", "lock-discipline",
-                "include-layering"}));
+                "include-layering", "raw-intrinsics"}));
 }
 
 TEST(EcotuneLint, RuleRegistryCarriesMetadata) {
@@ -279,6 +279,31 @@ TEST(EcotuneLint, IncludeLayeringOnlyGovernsSrcModules) {
   const std::string text = "#include \"tuners/registry.hpp\"\n";
   EXPECT_TRUE(lint::lint_source("tools/calibrate.cpp", text).empty());
   EXPECT_EQ(lint::lint_source("src/hwsim/node.cpp", text).size(), 1u);
+}
+
+TEST(EcotuneLint, RawIntrinsicsViolations) {
+  EXPECT_EQ(lint_fixture("raw_intrinsics_violation.cpp"),
+            (std::vector<std::string>{
+                "raw_intrinsics_violation.cpp:3 [raw-intrinsics]",
+                "raw_intrinsics_violation.cpp:6 [raw-intrinsics]",
+                "raw_intrinsics_violation.cpp:6 [raw-intrinsics]",
+                "raw_intrinsics_violation.cpp:7 [raw-intrinsics]",
+                "raw_intrinsics_violation.cpp:7 [raw-intrinsics]",
+                "raw_intrinsics_violation.cpp:8 [raw-intrinsics]"}));
+}
+
+TEST(EcotuneLint, RawIntrinsicsClean) {
+  EXPECT_TRUE(lint_fixture("raw_intrinsics_clean.cpp").empty());
+}
+
+TEST(EcotuneLint, RawIntrinsicsWhitelistIsSimdHppOnly) {
+  // The wrapper layer itself is built from raw intrinsics; anything else
+  // under src/ — including the kernel engines that consume the wrappers —
+  // is not.
+  const std::string text =
+      "#include <immintrin.h>\n__m256d z = _mm256_setzero_pd();\n";
+  EXPECT_TRUE(lint::lint_source("src/common/simd.hpp", text).empty());
+  EXPECT_EQ(lint::lint_source("src/nn/kernels.cpp", text).size(), 3u);
 }
 
 TEST(EcotuneLint, ModuleDagShapeMatchesCmake) {

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/simd.hpp"
 #include "nn/mlp.hpp"
 #include "stats/metrics.hpp"
 
@@ -175,9 +176,13 @@ TEST(Mlp, RejectsDegenerateConfig) {
 }
 
 TEST(Mlp, ForwardBatchMatchesScalarBitwise) {
-  // The batched path must be indistinguishable from per-point forwards:
-  // exact equality (EXPECT_EQ on doubles), across shapes and activation
-  // configurations.
+  // On the scalar reference path the batched forward must be
+  // indistinguishable from per-point forwards: exact equality (EXPECT_EQ
+  // on doubles), across shapes and activation configurations. The fused
+  // AVX2 engine is deliberately not bit-identical to predict() — its
+  // equivalence (ULP bounds, determinism) is pinned in
+  // test_simd_kernels.cpp.
+  const simd::ScopedLevel force_scalar(simd::Level::kScalar);
   const std::vector<std::vector<std::size_t>> shapes{
       {9, 5, 5, 1}, {4, 8, 1}, {2, 3, 3, 3, 1}};
   for (std::size_t s = 0; s < shapes.size(); ++s) {
@@ -203,10 +208,8 @@ TEST(Mlp, ForwardBatchMatchesScalarBitwise) {
   }
 }
 
-TEST(Mlp, TrainEpochGoldenLossSequence) {
-  // Golden values captured from the pre-workspace (PR-3) implementation:
-  // the allocation-free refactor must reproduce the training trajectory
-  // bit for bit (same shuffles, same per-dot-product operation order).
+/// Shared scenario for the golden-loss-sequence tests below.
+void run_golden_sequence(const double (&golden)[6]) {
   const std::size_t n = 2048;
   Rng data_rng(0xDA7A);
   stats::Matrix x(n, 9);
@@ -218,12 +221,38 @@ TEST(Mlp, TrainEpochGoldenLossSequence) {
   Rng rng(0x60D1);
   Mlp net(MlpConfig{}, rng);
   Rng shuffle(0x60D2);
-  const double golden[6] = {
-      0.59483072942753357,  0.10501934169583924, 0.091494347610431057,
-      0.087954805496645874, 0.08665858603551152, 0.085485810282438013};
   for (int e = 0; e < 6; ++e) {
     EXPECT_EQ(net.train_epoch(x, y, shuffle), golden[e]) << "epoch " << e;
   }
+}
+
+TEST(Mlp, TrainEpochGoldenLossSequence) {
+  // Golden values captured from the pre-workspace (PR-3) implementation:
+  // on the scalar reference path every later refactor must reproduce the
+  // training trajectory bit for bit (same shuffles, same per-dot-product
+  // operation order).
+  const simd::ScopedLevel force_scalar(simd::Level::kScalar);
+  const double golden[6] = {
+      0.59483072942753357,  0.10501934169583924, 0.091494347610431057,
+      0.087954805496645874, 0.08665858603551152, 0.085485810282438013};
+  run_golden_sequence(golden);
+}
+
+TEST(Mlp, TrainEpochGoldenLossSequenceAvx2Engine) {
+  // The fused AVX2 engine trains with FMA contraction, so its trajectory
+  // differs from the scalar goldens in the last ulps — but it must be
+  // exactly reproducible on any FMA machine. These values were captured
+  // from the engine itself when it landed; a mismatch means the engine's
+  // fixed rounding sequence changed (reordered accumulation, a dropped
+  // fuse, ...), which would also break warm-restart byte-identity.
+  if (!simd::supported(simd::Level::kAvx2)) {
+    GTEST_SKIP() << "CPU lacks AVX2+FMA";
+  }
+  const simd::ScopedLevel force_avx2(simd::Level::kAvx2);
+  const double golden[6] = {
+      0.59483072942753346,  0.10501934169583925, 0.09149434761043107,
+      0.08795480549664586,  0.086658586035511534, 0.085485810282437971};
+  run_golden_sequence(golden);
 }
 
 TEST(Mlp, AdamStateSurvivesSerializationRoundTrip) {

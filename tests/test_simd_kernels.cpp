@@ -1,0 +1,226 @@
+// Contract tests for the SIMD kernel layer (common/simd.hpp +
+// nn/kernels.*): level parsing and dispatch, the exact cross-level
+// guarantees (dot/axpy bit-identical everywhere), the fused AVX2 engine's
+// looser guarantee (last-ulp agreement with the scalar reference path,
+// exact run-to-run determinism), and the documented 9-5-5-1 blocked
+// parameter layout.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/simd.hpp"
+#include "nn/kernels.hpp"
+#include "nn/mlp.hpp"
+#include "stats/linalg.hpp"
+
+namespace ecotune::nn {
+namespace {
+
+std::vector<simd::Level> supported_levels() {
+  std::vector<simd::Level> out{simd::Level::kScalar};
+  if (simd::supported(simd::Level::kSse2)) out.push_back(simd::Level::kSse2);
+  if (simd::supported(simd::Level::kAvx2)) out.push_back(simd::Level::kAvx2);
+  return out;
+}
+
+/// |a - b| within `ulps` units in the last place of the larger magnitude
+/// (absolute epsilon floor for values near zero). The fused engine is
+/// allowed this much drift from the scalar reference; anything larger
+/// means an accumulation order changed.
+::testing::AssertionResult near_ulps(double a, double b, double ulps) {
+  const double eps = std::numeric_limits<double>::epsilon();
+  const double scale = std::max({std::fabs(a), std::fabs(b), 1.0});
+  if (std::fabs(a - b) <= ulps * eps * scale)
+    return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << a << " vs " << b << " differ by " << std::fabs(a - b) << " (> "
+         << ulps << " ulps at scale " << scale << ")";
+}
+
+TEST(SimdLevel, ParseAcceptsDocumentedSpellings) {
+  EXPECT_EQ(simd::parse_level("off"), simd::Level::kScalar);
+  EXPECT_EQ(simd::parse_level("scalar"), simd::Level::kScalar);
+  EXPECT_EQ(simd::parse_level("sse2"), simd::Level::kSse2);
+  EXPECT_EQ(simd::parse_level("avx2"), simd::Level::kAvx2);
+  EXPECT_EQ(simd::parse_level(""), simd::detect_best());
+  EXPECT_EQ(simd::parse_level("auto"), simd::detect_best());
+  EXPECT_EQ(simd::parse_level("on"), simd::detect_best());
+}
+
+TEST(SimdLevel, ParseRejectsTypos) {
+  // A typo must not silently fall back to some other code path.
+  EXPECT_THROW((void)simd::parse_level("avx512"), ConfigError);
+  EXPECT_THROW((void)simd::parse_level("OFF"), ConfigError);
+  EXPECT_THROW((void)simd::parse_level("none"), ConfigError);
+}
+
+TEST(SimdLevel, DetectBestIsSupportedAndOrdered) {
+  EXPECT_TRUE(simd::supported(simd::detect_best()));
+  EXPECT_TRUE(simd::supported(simd::Level::kScalar));
+}
+
+TEST(SimdLevel, ScopedLevelDrivesDispatch) {
+  for (const simd::Level level : supported_levels()) {
+    const simd::ScopedLevel scope(level);
+    EXPECT_EQ(simd::active_level(), level);
+    EXPECT_EQ(kernels::active().level, level);
+  }
+}
+
+TEST(SimdLevel, EngineSlotsMatchTheContract) {
+  // Fused train/forward engines exist only at the AVX2 level (they need
+  // FMA); every level carries the generic dot/axpy primitives.
+  for (const simd::Level level : supported_levels()) {
+    const kernels::KernelSet& ks = kernels::set_for(level);
+    EXPECT_EQ(ks.level, level);
+    EXPECT_NE(ks.dot, nullptr);
+    EXPECT_NE(ks.axpy, nullptr);
+    const bool fused = level == simd::Level::kAvx2;
+    EXPECT_EQ(ks.train_epoch != nullptr, fused) << simd::to_string(level);
+    EXPECT_EQ(ks.forward_batch != nullptr, fused) << simd::to_string(level);
+  }
+}
+
+TEST(SimdKernels, DotBitIdenticalAcrossAllLevels) {
+  // The pairwise-accumulation contract: lane k sums indices ≡ k (mod 4)
+  // ascending, combined (s0+s1)+(s2+s3) — EXPECT_EQ, not near.
+  Rng rng(0x5EED);
+  for (const std::size_t n :
+       {std::size_t{0}, std::size_t{1}, std::size_t{2}, std::size_t{3},
+        std::size_t{4}, std::size_t{5}, std::size_t{7}, std::size_t{8},
+        std::size_t{15}, std::size_t{16}, std::size_t{17}, std::size_t{64},
+        std::size_t{67}, std::size_t{256}}) {
+    std::vector<double> a(n), b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i] = rng.normal(0.0, 3.0);
+      b[i] = rng.normal(0.0, 3.0);
+    }
+    const double ref =
+        kernels::set_for(simd::Level::kScalar).dot(a.data(), b.data(), n);
+    for (const simd::Level level : supported_levels()) {
+      EXPECT_EQ(kernels::set_for(level).dot(a.data(), b.data(), n), ref)
+          << "n=" << n << " level=" << simd::to_string(level);
+    }
+  }
+}
+
+TEST(SimdKernels, AxpyBitIdenticalAcrossAllLevels) {
+  Rng rng(0xA1FA);
+  for (const std::size_t n : {std::size_t{1}, std::size_t{6}, std::size_t{8},
+                              std::size_t{33}, std::size_t{128}}) {
+    std::vector<double> x(n), y0(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] = rng.normal(0.0, 2.0);
+      y0[i] = rng.normal(0.0, 2.0);
+    }
+    std::vector<double> ref = y0;
+    kernels::set_for(simd::Level::kScalar)
+        .axpy(ref.data(), 1.7, x.data(), n);
+    for (const simd::Level level : supported_levels()) {
+      std::vector<double> y = y0;
+      kernels::set_for(level).axpy(y.data(), 1.7, x.data(), n);
+      EXPECT_EQ(y, ref) << "n=" << n << " level=" << simd::to_string(level);
+    }
+  }
+}
+
+TEST(SimdKernels, TrainPlanPinsTheDocumented9551Layout) {
+  // The offsets documented in nn/kernels.hpp (and mirrored as constexpr
+  // by the engine's static geometry): head regions first, then the
+  // lane-blocked weight blocks.
+  const kernels::TrainPlan plan = kernels::build_train_plan(
+      {9, 5, 5, 1}, {1, 1, 1}, 1e-3, 0.9, 0.999, 1e-8);
+  EXPECT_EQ(plan.head_size, 48u);
+  EXPECT_EQ(plan.total, 104u);
+  ASSERT_EQ(plan.layers.size(), 3u);
+  EXPECT_EQ(plan.layers[0].bias_off, 0u);
+  EXPECT_EQ(plan.layers[0].tail_off, 8u);
+  EXPECT_EQ(plan.layers[0].block_off, 48u);
+  EXPECT_EQ(plan.layers[1].bias_off, 20u);
+  EXPECT_EQ(plan.layers[1].tail_off, 28u);
+  EXPECT_EQ(plan.layers[1].block_off, 84u);
+  EXPECT_EQ(plan.layers[2].bias_off, 36u);
+  EXPECT_EQ(plan.layers[2].tail_off, 40u);
+  EXPECT_EQ(plan.layers[2].nb, 0u);
+  EXPECT_EQ(plan.layers[2].tail, 1u);
+}
+
+TEST(SimdKernels, ForwardBatchEngineMatchesReferenceWithinUlps) {
+  if (!simd::supported(simd::Level::kAvx2)) {
+    GTEST_SKIP() << "CPU lacks AVX2+FMA";
+  }
+  const std::vector<std::vector<std::size_t>> shapes{
+      {9, 5, 5, 1}, {4, 8, 1}, {2, 3, 3, 3, 1}};
+  for (std::size_t s = 0; s < shapes.size(); ++s) {
+    for (const bool relu_out : {true, false}) {
+      MlpConfig cfg;
+      cfg.layer_sizes = shapes[s];
+      cfg.relu_output = relu_out;
+      Rng rng(300 + 10 * s + (relu_out ? 1 : 0));
+      const Mlp net(cfg, rng);
+      Rng data(400 + s);
+      stats::Matrix x(61, shapes[s].front());  // odd count: partial group
+      for (std::size_t r = 0; r < x.rows(); ++r)
+        for (std::size_t c = 0; c < x.cols(); ++c)
+          x(r, c) = data.normal(0.0, 2.0);
+      Workspace ws;
+      std::vector<double> ref(x.rows()), fused(x.rows()),
+          again(x.rows());
+      {
+        const simd::ScopedLevel scalar(simd::Level::kScalar);
+        net.forward_batch(x, std::span<double>(ref), ws);
+      }
+      {
+        const simd::ScopedLevel avx2(simd::Level::kAvx2);
+        net.forward_batch(x, std::span<double>(fused), ws);
+        net.forward_batch(x, std::span<double>(again), ws);
+      }
+      for (std::size_t r = 0; r < x.rows(); ++r) {
+        EXPECT_TRUE(near_ulps(fused[r], ref[r], 16.0))
+            << "shape " << s << " relu_out " << relu_out << " row " << r;
+        // Exact determinism: identical bits on every run.
+        EXPECT_EQ(fused[r], again[r]) << "row " << r;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, TrainEpochEngineDeterministicAndCloseToReference) {
+  if (!simd::supported(simd::Level::kAvx2)) {
+    GTEST_SKIP() << "CPU lacks AVX2+FMA";
+  }
+  const std::size_t n = 512;
+  Rng data_rng(0xF00D);
+  stats::Matrix x(n, 9);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < 9; ++j) x(i, j) = data_rng.normal(0.0, 1.0);
+    y[i] = data_rng.uniform(0.5, 1.5);
+  }
+  auto losses_at = [&](simd::Level level) {
+    const simd::ScopedLevel scope(level);
+    Rng rng(0xBEEF);
+    Mlp net(MlpConfig{}, rng);
+    Rng shuffle(0xCAFE);
+    std::vector<double> losses;
+    for (int e = 0; e < 4; ++e) losses.push_back(net.train_epoch(x, y, shuffle));
+    return losses;
+  };
+  const auto ref = losses_at(simd::Level::kScalar);
+  const auto fused = losses_at(simd::Level::kAvx2);
+  const auto fused_again = losses_at(simd::Level::kAvx2);
+  // Exact run-to-run reproducibility of the fused trajectory...
+  EXPECT_EQ(fused, fused_again);
+  // ...that stays within FMA-contraction distance of the reference. The
+  // bound is loose-ish (drift compounds over 2048 ADAM steps) but far
+  // below anything a logic bug would produce.
+  for (std::size_t e = 0; e < ref.size(); ++e) {
+    EXPECT_TRUE(near_ulps(fused[e], ref[e], 4096.0)) << "epoch " << e;
+  }
+}
+
+}  // namespace
+}  // namespace ecotune::nn

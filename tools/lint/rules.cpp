@@ -1,4 +1,4 @@
-// The six ecotune analyses — repo-specific invariants no generic tool
+// The seven ecotune analyses — repo-specific invariants no generic tool
 // enforces:
 //
 //   locale-number-io     C locale-dependent number parsing/formatting
@@ -18,6 +18,11 @@
 //                        Clang-provable MutexLock.
 //   include-layering     #include edges that cross the src/ module DAG
 //                        declared by the DEPS lists in src/*/CMakeLists.txt.
+//   raw-intrinsics       x86 vector intrinsics (_mm* calls, __m128/__m256/
+//                        __m512 types, *intrin.h headers) outside
+//                        src/common/simd.hpp — the one file that owns the
+//                        width wrappers, the dispatch levels, and the
+//                        determinism contract they promise.
 //
 // Waiver: a trailing comment on the flagged line of the form
 //   // ecotune-lint: allow(<rule>[, <rule>...])  -- reason
@@ -388,6 +393,76 @@ void check_include_layering(const Source& src, const std::string& path,
   }
 }
 
+// --------------------------------------------------------------------------
+// raw-intrinsics: x86 vector intrinsics outside src/common/simd.hpp.
+// --------------------------------------------------------------------------
+void check_raw_intrinsics(const Source& src, const std::string& path,
+                          std::vector<Diagnostic>& out) {
+  // simd.hpp is the sanctioned intrinsics site: it owns the V4/V2x2
+  // wrappers, the target attributes, and the rounding-order contract the
+  // kernel tests pin. Everywhere else must speak through those wrappers
+  // so a new instruction set is one file, not a grep.
+  if (path == "src/common/simd.hpp") return;
+
+  // Intrinsic headers: directives are parsed from the ORIGINAL text (the
+  // mask blanks quoted paths, and <...> paths are not worth special-casing
+  // when the line scan sees both spellings the same way).
+  static const std::set<std::string> kHeaders = {
+      "immintrin.h", "emmintrin.h", "xmmintrin.h", "pmmintrin.h",
+      "smmintrin.h", "tmmintrin.h", "nmmintrin.h", "wmmintrin.h",
+      "x86intrin.h"};
+  for (std::size_t li = 0; li < src.line_starts.size(); ++li) {
+    const std::size_t start = src.line_starts[li];
+    const std::size_t stop = li + 1 < src.line_starts.size()
+                                 ? src.line_starts[li + 1]
+                                 : src.original.size();
+    const std::string line = src.original.substr(start, stop - start);
+    std::size_t p = next_nonspace(line, 0);
+    if (p >= line.size() || line[p] != '#') continue;
+    p = next_nonspace(line, p + 1);
+    if (line.compare(p, 7, "include") != 0) continue;
+    p = next_nonspace(line, p + 7);
+    if (p >= line.size() || (line[p] != '<' && line[p] != '"')) continue;
+    const char closer = line[p] == '<' ? '>' : '"';
+    const std::size_t close = line.find(closer, p + 1);
+    if (close == std::string::npos) continue;
+    std::string target = line.substr(p + 1, close - p - 1);
+    const std::size_t slash = target.rfind('/');
+    if (slash != std::string::npos) target = target.substr(slash + 1);
+    if (!kHeaders.contains(target)) continue;
+    emit(out, src, path, start, "raw-intrinsics",
+         "#include <" + target +
+             "> pulls raw x86 intrinsics into this file; include "
+             "common/simd.hpp and extend its width wrappers instead — "
+             "src/common/simd.hpp is the only sanctioned intrinsics site");
+  }
+
+  // Intrinsic tokens: _mm_* / _mm256_* / _mm512_* calls and the __m128 /
+  // __m256 / __m512 register types (any suffix: d, i, h, ...).
+  const std::string& m = src.masked;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (!is_ident(m[i]) || (i > 0 && is_ident(m[i - 1]))) continue;
+    std::size_t e = i;
+    while (e < m.size() && is_ident(m[e])) ++e;
+    const std::string token = m.substr(i, e - i);
+    const bool vec_type = token.starts_with("__m128") ||
+                          token.starts_with("__m256") ||
+                          token.starts_with("__m512");
+    const bool mm_call =
+        token.starts_with("_mm") && token.size() > 3 &&
+        (token[3] == '_' ||
+         std::isdigit(static_cast<unsigned char>(token[3])) != 0);
+    if (vec_type || mm_call)
+      emit(out, src, path, i, "raw-intrinsics",
+           "'" + token +
+               "' is a raw x86 intrinsic outside src/common/simd.hpp; use "
+               "the V4/V2x2 wrappers (or add the missing operation there) "
+               "so dispatch, the scalar fallback, and the determinism "
+               "contract stay in one audited file");
+    i = e;
+  }
+}
+
 }  // namespace
 
 std::string_view to_string(Severity severity) {
@@ -423,6 +498,10 @@ const std::vector<Rule>& rules() {
       {"include-layering", Severity::kError,
        "#include edges that cross the src/ module DAG declared in CMake",
        "README.md#include-layering", &check_include_layering},
+      {"raw-intrinsics", Severity::kError,
+       "x86 vector intrinsics (_mm*, __m128/__m256/__m512, *intrin.h) "
+       "outside src/common/simd.hpp",
+       "README.md#raw-intrinsics", &check_raw_intrinsics},
   };
   return kRules;
 }

@@ -6,18 +6,32 @@
 //
 //   perf_report [--out FILE] [--repeats N] [--quick]
 //               [--extra key=value]...
+//   perf_report --compare OLD.json NEW.json
+//   perf_report --trajectory [DIR]
 //
 // Workloads mirror the reproduction pipeline: the training benchmark runs
 // at fig5 scale (19152 x 9 standardized samples, 10 consecutive epochs on
 // one network, running ADAM timestep), inference sweeps the 14 x 18
 // Haswell-EP frequency grid. Each metric reports the minimum over
 // --repeats runs (the standard robust microbenchmark estimator).
+//
+// --compare and --trajectory render previously written reports instead of
+// benchmarking: compare prints an old-vs-new speedup table (all metrics
+// are lower-is-better, so speedup = old/new), trajectory tabulates every
+// BENCH_PR*.json checked in at the repo root in PR order. Both understand
+// the two checked-in schemas: ecotune-perf-report/1 (metrics under
+// "results") and the older ecotune-perf-trajectory/1 (metrics under
+// "current").
 #include <algorithm>
 #include <charconv>
 #include <chrono>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
+#include <map>
+#include <sstream>
 #include <string>
 #include <system_error>
 #include <vector>
@@ -51,14 +65,138 @@ struct Options {
 [[noreturn]] void usage(int code) {
   std::cout << "usage: perf_report [--out FILE] [--repeats N] [--quick]\n"
                "                   [--extra key=value]...\n"
+               "       perf_report --compare OLD.json NEW.json\n"
+               "       perf_report --trajectory [DIR]\n"
                "  --out FILE       write the JSON report here (default: "
                "stdout)\n"
                "  --repeats N      repetitions per metric; the minimum is "
                "reported (default 3)\n"
                "  --quick          smaller workloads (CI smoke test)\n"
                "  --extra k=v      attach an externally measured metric "
-               "(e.g. fig5_wall_seconds=12)\n";
+               "(e.g. fig5_wall_seconds=12)\n"
+               "  --compare A B    print a speedup table between two "
+               "checked-in reports\n"
+               "  --trajectory     tabulate all BENCH_PR*.json in DIR "
+               "(default: cwd) in PR order\n";
   std::exit(code);
+}
+
+/// Flat metric map from either checked-in report schema. Non-metric
+/// numeric bookkeeping ("pr") is excluded; string fields filter out via
+/// the is_number() check.
+std::map<std::string, double> load_metrics(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    std::cerr << "error: cannot read " << path << '\n';
+    std::exit(2);
+  }
+  std::stringstream ss;
+  ss << f.rdbuf();
+  std::map<std::string, double> out;
+  try {
+    const Json j = Json::parse(ss.str());
+    const std::string schema = j.at("schema").as_string();
+    const Json* src = nullptr;
+    if (schema == "ecotune-perf-report/1") {
+      src = &j.at("results");
+    } else if (schema == "ecotune-perf-trajectory/1") {
+      src = &j.at("current");
+    } else {
+      std::cerr << "error: " << path << ": unknown schema '" << schema
+                << "'\n";
+      std::exit(2);
+    }
+    for (const auto& [k, v] : src->as_object())
+      if (k != "pr" && v.is_number()) out[k] = v.as_number();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << path << ": " << e.what() << '\n';
+    std::exit(2);
+  }
+  return out;
+}
+
+int run_compare(const std::string& old_path, const std::string& new_path) {
+  const auto before = load_metrics(old_path);
+  const auto after = load_metrics(new_path);
+  std::map<std::string, std::pair<const double*, const double*>> rows;
+  for (const auto& [k, v] : before) rows[k].first = &v;
+  for (const auto& [k, v] : after) rows[k].second = &v;
+  std::size_t width = 6;
+  for (const auto& [k, row] : rows) width = std::max(width, k.size());
+  std::cout << std::left << std::setw(static_cast<int>(width)) << "metric"
+            << std::right << std::setw(14) << "old" << std::setw(14)
+            << "new" << std::setw(10) << "speedup" << '\n';
+  for (const auto& [k, row] : rows) {
+    std::cout << std::left << std::setw(static_cast<int>(width)) << k
+              << std::right << std::fixed << std::setprecision(2);
+    if (row.first != nullptr)
+      std::cout << std::setw(14) << *row.first;
+    else
+      std::cout << std::setw(14) << "-";
+    if (row.second != nullptr)
+      std::cout << std::setw(14) << *row.second;
+    else
+      std::cout << std::setw(14) << "-";
+    // Every tracked metric is lower-is-better (ns/us/seconds per unit of
+    // work), so the improvement factor is old/new.
+    if (row.first != nullptr && row.second != nullptr && *row.second > 0.0)
+      std::cout << std::setw(9) << *row.first / *row.second << 'x';
+    else
+      std::cout << std::setw(10) << "-";
+    std::cout << '\n';
+  }
+  return 0;
+}
+
+int run_trajectory(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::map<int, std::map<std::string, double>> by_pr;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("BENCH_PR", 0) != 0) continue;
+    const auto dot = name.find(".json");
+    if (dot == std::string::npos) continue;
+    const std::string num = name.substr(8, dot - 8);
+    int pr = 0;
+    const auto res =
+        std::from_chars(num.data(), num.data() + num.size(), pr, 10);
+    if (res.ec != std::errc() || res.ptr != num.data() + num.size())
+      continue;
+    by_pr[pr] = load_metrics(entry.path().string());
+  }
+  if (ec) {
+    std::cerr << "error: cannot list " << dir << ": " << ec.message()
+              << '\n';
+    return 2;
+  }
+  if (by_pr.empty()) {
+    std::cerr << "error: no BENCH_PR*.json found in " << dir << '\n';
+    return 2;
+  }
+  std::map<std::string, bool> metrics;
+  for (const auto& [pr, m] : by_pr)
+    for (const auto& [k, v] : m) metrics[k] = true;
+  std::size_t width = 6;
+  for (const auto& [k, unused] : metrics) width = std::max(width, k.size());
+  std::cout << std::left << std::setw(static_cast<int>(width)) << "metric"
+            << std::right;
+  for (const auto& [pr, m] : by_pr)
+    std::cout << std::setw(14) << ("PR" + std::to_string(pr));
+  std::cout << '\n';
+  for (const auto& [k, unused] : metrics) {
+    std::cout << std::left << std::setw(static_cast<int>(width)) << k
+              << std::right << std::fixed << std::setprecision(2);
+    for (const auto& [pr, m] : by_pr) {
+      const auto it = m.find(k);
+      if (it == m.end())
+        std::cout << std::setw(14) << "-";
+      else
+        std::cout << std::setw(14) << it->second;
+    }
+    std::cout << '\n';
+  }
+  return 0;
 }
 
 Options parse(int argc, char** argv) {
@@ -197,6 +335,22 @@ double bench_model_predict(const Options& o) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Report-rendering modes: no benchmarking, exit before the bench setup.
+  if (argc > 1 && std::strcmp(argv[1], "--compare") == 0) {
+    if (argc != 4) {
+      std::cerr << "error: --compare needs exactly two report files\n";
+      return 2;
+    }
+    return run_compare(argv[2], argv[3]);
+  }
+  if (argc > 1 && std::strcmp(argv[1], "--trajectory") == 0) {
+    if (argc > 3) {
+      std::cerr << "error: --trajectory takes at most one directory\n";
+      return 2;
+    }
+    return run_trajectory(argc == 3 ? argv[2] : ".");
+  }
+
   const Options o = parse(argc, argv);
 
   Json results = Json::object();
