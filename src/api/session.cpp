@@ -24,7 +24,7 @@ Session::Session(SessionConfig config)
   store_.open(
       config_.cache_dir(),
       store::resolve_store_mode(config_.cache_mode(), config_.cache_dir()),
-      config_.scope());
+      config_.scope(), config_.store_shards());
 }
 
 hwsim::NodeSimulator& Session::training_node() {
@@ -291,6 +291,183 @@ SavingsReport Session::evaluate_savings(
 core::SavingsRow Session::evaluate_savings(const workload::Benchmark& app) {
   auto report = evaluate_savings(std::vector<workload::Benchmark>{app});
   return std::move(report.rows.front());
+}
+
+void Session::warmup() {
+  training_node();
+  tuning_node();
+  train_model();
+}
+
+DtaReport Session::run_dta_shared(const workload::Benchmark& app,
+                                  const std::string& request_key) {
+  ensure(!request_key.empty(), "Session::run_dta_shared: empty request key");
+  ensure(warmed_up(),
+         "Session::run_dta_shared: call warmup() before shared entry points");
+  const auto& trained = *model_;
+  const auto& base = *tuning_node_;  // read-only: shared calls are pure
+  const core::DvfsUfsPlugin::Options po = plugin_options();
+  const std::string noise_key = "serve-" + request_key;
+
+  // Whole-DTA caching mirroring run_dta_campaign's rows (same fingerprint
+  // recipe, same payload shape), but keyed by the request instead of a
+  // campaign slot and without advancing the base node: a warm restart of
+  // the daemon replays whole reports with zero engine misses.
+  store::MeasurementStore* cache = store_.enabled() ? &store_ : nullptr;
+  store::MeasurementKey key;
+  if (cache != nullptr) {
+    Fingerprint fp;
+    fp.add_digest("node", base.state_fingerprint())
+        .add("plugin_config", po.config.to_json().dump(-1))
+        .add("engine.iterations_per_scenario",
+             po.engine.iterations_per_scenario)
+        .add("engine.measurement_noise", po.engine.measurement_noise)
+        .add("engine.seed", po.engine.seed)
+        .add("model", trained.to_json().dump(-1))
+        .add("noise_key", noise_key)
+        .add_digest("app", app.fingerprint_digest());
+    key.task = "dta/" + noise_key;
+    key.fingerprint = fp.digest();
+    if (const auto hit = cache->lookup(key)) {
+      try {
+        DtaReport report;
+        report.benchmark = app.name();
+        report.objective = config_.objective();
+        report.result = core::DtaResult::from_json(hit->at("dta"));
+        return report;
+      } catch (const std::exception& e) {
+        log::error("api") << "undecodable cache payload for '" << key.task
+                          << "' (" << e.what() << "); re-running the DTA";
+      }
+    }
+  }
+
+  hwsim::NodeSimulator node = base.clone(noise_key);
+  const Seconds t0 = node.now();
+  core::DvfsUfsPlugin::Options row_po = po;
+  // The daemon already parallelizes across requests; keep each request's
+  // engine serial so concurrent traffic never multiplies worker counts.
+  row_po.engine.jobs = 1;
+  // Engine-level store entries of concurrent requests must not collide on
+  // identical task ids (same benchmark, step counters from zero).
+  row_po.engine.key_scope = noise_key;
+  core::DvfsUfsPlugin plugin(trained, row_po);
+  DtaReport report;
+  report.benchmark = app.name();
+  report.objective = config_.objective();
+  report.result = plugin.run_dta(app, node);
+
+  if (cache != nullptr) {
+    Json payload = Json::object();
+    payload["dta"] = report.result.to_json();
+    payload["elapsed"] = (node.now() - t0).value();
+    cache->insert(key, payload);
+  }
+  return report;
+}
+
+DtaReport Session::run_dta_shared(const std::string& benchmark_name,
+                                  const std::string& request_key) {
+  return run_dta_shared(workload::BenchmarkSuite::by_name(benchmark_name),
+                        request_key);
+}
+
+TuningOutcome Session::tune_shared(const std::string& tuner_name,
+                                   const workload::Benchmark& app,
+                                   const std::string& objective,
+                                   const std::string& request_key) {
+  ensure(!request_key.empty(), "Session::tune_shared: empty request key");
+  ensure(tuning_node_.has_value(),
+         "Session::tune_shared: call warmup() before shared entry points");
+  const std::string noise_key = "serve-" + request_key;
+  hwsim::NodeSimulator node = tuning_node_->clone(noise_key);
+
+  tuners::TunerContext ctx;
+  ctx.node = &node;
+  // model(), not train_model(): training inside a concurrent request would
+  // race; warmup() trained the model up front.
+  ctx.model = [this]() -> const model::EnergyModel& { return model(); };
+  // One request, one worker: the daemon parallelizes across requests.
+  ctx.jobs = 1;
+  ctx.store = &store_;
+  ctx.key_scope = noise_key;
+  ctx.static_search = config_.static_search();
+  ctx.exhaustive_search = config_.exhaustive_search();
+  ctx.plugin = plugin_options();
+  ctx.qlearn = config_.qlearn();
+  ctx.governor = config_.governor();
+  const auto strategy = tuners::default_registry().make(tuner_name, ctx);
+  const TuningRequest request{
+      app, objective.empty() ? config_.objective() : objective};
+  return strategy->tune(request);
+}
+
+core::SavingsRow Session::evaluate_savings_shared(
+    const workload::Benchmark& app, const std::string& request_key) {
+  ensure(!request_key.empty(),
+         "Session::evaluate_savings_shared: empty request key");
+  ensure(warmed_up(),
+         "Session::evaluate_savings_shared: call warmup() before shared "
+         "entry points");
+  const auto& trained = *model_;
+  const auto& base = *tuning_node_;
+  const std::string noise_key = "serve-" + request_key;
+
+  core::SavingsOptions opts;
+  opts.repeats = config_.repeats();
+  opts.static_search = config_.static_search();
+  opts.plugin = plugin_options();
+  opts.plugin.engine.jobs = 1;
+  opts.jobs = 1;
+  opts.store = &store_;
+  // Namespace the inner static-search and DTA-engine entries by request.
+  opts.static_search.key_scope = noise_key;
+  opts.plugin.engine.key_scope = noise_key;
+
+  // Whole-row caching mirroring SavingsEvaluator::evaluate_all (same
+  // fingerprint recipe, same payload shape), keyed by the request.
+  store::MeasurementStore* cache = store_.enabled() ? &store_ : nullptr;
+  store::MeasurementKey key;
+  if (cache != nullptr) {
+    Fingerprint fp;
+    fp.add_digest("node", base.state_fingerprint())
+        .add("repeats", opts.repeats)
+        .add("plugin_config", opts.plugin.config.to_json().dump(-1))
+        .add("engine.iterations_per_scenario",
+             opts.plugin.engine.iterations_per_scenario)
+        .add("engine.measurement_noise", opts.plugin.engine.measurement_noise)
+        .add("engine.seed", opts.plugin.engine.seed)
+        .add("static.cf_stride", opts.static_search.cf_stride)
+        .add("static.ucf_stride", opts.static_search.ucf_stride)
+        .add("static.phase_iterations", opts.static_search.phase_iterations)
+        .add("model", trained.to_json().dump(-1));
+    for (int t : opts.static_search.thread_counts)
+      fp.add("static.thread_count", t);
+    fp.add("noise_key", noise_key).add_digest("app", app.fingerprint_digest());
+    key.task = "savings/" + noise_key;
+    key.fingerprint = fp.digest();
+    if (const auto hit = cache->lookup(key)) {
+      try {
+        return core::SavingsRow::from_json(hit->at("row"));
+      } catch (const std::exception& e) {
+        log::error("api") << "undecodable cache payload for '" << key.task
+                          << "' (" << e.what() << "); re-evaluating";
+      }
+    }
+  }
+
+  hwsim::NodeSimulator node = base.clone(noise_key);
+  const Seconds t0 = node.now();
+  core::SavingsEvaluator evaluator(node, trained, opts);
+  core::SavingsRow row = evaluator.evaluate(app);
+
+  if (cache != nullptr) {
+    Json payload = Json::object();
+    payload["row"] = row.to_json();
+    payload["elapsed"] = (node.now() - t0).value();
+    cache->insert(key, payload);
+  }
+  return row;
 }
 
 void Session::print_store_summary() const {

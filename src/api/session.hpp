@@ -156,6 +156,14 @@ class SessionConfig {
     simd_ = on;
     return *this;
   }
+  /// In-memory shard count of the measurement store's index (0 = the
+  /// store's kDefaultShardCount). Purely a concurrency knob: lookup
+  /// results, stats totals, and the on-disk format are identical for every
+  /// value.
+  SessionConfig& store_shards(std::size_t n) {
+    store_shards_ = n;
+    return *this;
+  }
 
   // Read accessors (used by Session; public so shims can introspect).
   [[nodiscard]] std::uint64_t train_seed() const { return train_seed_; }
@@ -193,6 +201,7 @@ class SessionConfig {
   }
   [[nodiscard]] const hwsim::CpuSpec& spec() const { return spec_; }
   [[nodiscard]] bool simd() const { return simd_; }
+  [[nodiscard]] std::size_t store_shards() const { return store_shards_; }
 
  private:
   std::uint64_t train_seed_ = 42;
@@ -217,6 +226,7 @@ class SessionConfig {
   tuners::GovernorOptions governor_;
   hwsim::CpuSpec spec_ = hwsim::haswell_ep_spec();
   bool simd_ = true;
+  std::size_t store_shards_ = 0;
 };
 
 /// One design-time analysis outcome: everything the plugin produced plus
@@ -342,6 +352,50 @@ class Session {
   /// Static-vs-dynamic savings (Table VI protocol); trains first if needed.
   SavingsReport evaluate_savings(const std::vector<workload::Benchmark>& apps);
   core::SavingsRow evaluate_savings(const workload::Benchmark& app);
+
+  // -- Multi-tenant service entry points (tools/ecotune_serve). -----------
+  //
+  // The _shared calls below are pure functions of (session config,
+  // request_key, request): they never advance the session's base node or
+  // any per-session counter, so many threads may call them concurrently on
+  // one Session and every response is bitwise identical to the same request
+  // served serially, in any order. Each request runs on a private clone of
+  // the tuning node whose noise stream is keyed by the request key
+  // (NodeSimulator::clone / Rng::fork), and all measurement-store task keys
+  // are namespaced by the request key so concurrent requests against the
+  // same benchmark cannot collide.
+
+  /// Eagerly constructs both simulated nodes and trains the energy model so
+  /// the shared entry points never race lazy initialization. Idempotent;
+  /// call it once, single-threaded, before serving concurrent traffic.
+  void warmup();
+  /// True once warmup() (or equivalent eager use) has completed.
+  [[nodiscard]] bool warmed_up() const {
+    return tuning_node_.has_value() && model_.has_value();
+  }
+
+  /// Full DTA for `app` on a request-keyed clone. Whole reports replay
+  /// from the measurement store on a warm restart (zero engine misses).
+  /// Requires warmup(); throws PreconditionError otherwise.
+  DtaReport run_dta_shared(const workload::Benchmark& app,
+                           const std::string& request_key);
+  DtaReport run_dta_shared(const std::string& benchmark_name,
+                           const std::string& request_key);
+
+  /// Runs the named strategy (any default_registry() name) on a
+  /// request-keyed clone with a fresh strategy instance, so call
+  /// decorrelation counters start at zero and the outcome depends only on
+  /// the request. Empty `objective` means the session's. Requires warmup()
+  /// for model-backed strategies ("dta").
+  TuningOutcome tune_shared(const std::string& tuner_name,
+                            const workload::Benchmark& app,
+                            const std::string& objective,
+                            const std::string& request_key);
+
+  /// Table VI savings row for `app` on a request-keyed clone; whole rows
+  /// replay from the store on a warm restart. Requires warmup().
+  core::SavingsRow evaluate_savings_shared(const workload::Benchmark& app,
+                                           const std::string& request_key);
 
   // -- Owned infrastructure. ----------------------------------------------
 

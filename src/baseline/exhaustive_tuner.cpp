@@ -88,7 +88,10 @@ ExhaustiveTuningResult ExhaustiveTuner::tune(
         if (cache != nullptr) {
           Fingerprint fp = base_fp;
           fp.add("noise_key", noise_key).add("config", configs[i]);
-          cache_key.task = "exhaustive/" + app.name() + "/" + noise_key;
+          cache_key.task =
+              "exhaustive/" + app.name() +
+              (options_.key_scope.empty() ? "" : "/" + options_.key_scope) +
+              "/" + noise_key;
           cache_key.fingerprint = fp.digest();
           if (const auto hit = cache->lookup(cache_key)) {
             try {

@@ -29,6 +29,9 @@ struct ExhaustiveTunerOptions {
   /// configuration runs from a previous session when benchmark, config, and
   /// node-state fingerprint match. Jobs-invariant by construction.
   store::MeasurementStore* store = nullptr;
+  /// Optional store task-key namespace ("exhaustive/<app>/<key_scope>/...");
+  /// see StaticTunerOptions::key_scope.
+  std::string key_scope;
 };
 
 /// Search result with both the actual simulated cost and the paper's cost

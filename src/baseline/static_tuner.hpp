@@ -31,6 +31,11 @@ struct StaticTunerOptions {
   /// configuration evaluations from a previous session when benchmark,
   /// config, and node-state fingerprint match. Jobs-invariant.
   store::MeasurementStore* store = nullptr;
+  /// Optional store task-key namespace ("static/<app>/<key_scope>/...").
+  /// Concurrent searches over the same benchmark (service requests, rows of
+  /// one evaluation) must carry distinct scopes or their per-config entries
+  /// collide on identical task ids and ping-pong-invalidate each other.
+  std::string key_scope;
 };
 
 /// One evaluated configuration.

@@ -18,8 +18,14 @@ int Frontend::run(TuningPlugin& plugin, const workload::Benchmark& app,
     if (scenarios.empty()) continue;
     // Each step gets its own engine (the filter may change between steps);
     // scope their store keys so step N cannot shadow step N-1's entries.
+    // A caller-provided scope (campaign row, service request) composes as a
+    // prefix so concurrent frontends over the same app cannot collide on
+    // identical step task ids either.
     EngineOptions step_options = engine_options_;
-    step_options.key_scope = "step-" + std::to_string(step++);
+    step_options.key_scope =
+        (engine_options_.key_scope.empty() ? ""
+                                           : engine_options_.key_scope + "/") +
+        "step-" + std::to_string(step++);
     ExperimentsEngine engine(node, app, plugin.instrumentation_filter(),
                              step_options);
     const auto results = engine.run(scenarios, plugin.scenario_base());

@@ -1,0 +1,119 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/json.hpp"
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+#include "serve/protocol.hpp"
+#include "serve/service.hpp"
+
+namespace ecotune::serve {
+
+/// AF_UNIX stream-socket front end for a TuningService: accepts any number
+/// of client connections, decodes length-prefixed request frames, and
+/// multiplexes them onto the service through a bounded queue drained by a
+/// common/parallel ThreadPool (one pool task runs the poll()-based
+/// accept/listener loop, the rest are request workers -- no raw threads).
+///
+/// Robustness contract:
+///  - bounded queue: when `queue_limit` requests are already waiting, a new
+///    request is answered immediately with an "overloaded" error (reject,
+///    never deadlock);
+///  - per-request timeouts: a request still queued past its deadline
+///    (params timeout_ms, else the service default) is answered with a
+///    "timeout" error instead of being executed; compute is not preempted
+///    once a worker picked the request up;
+///  - malformed frames (bad length prefix, non-JSON body) are rejected
+///    loudly -- error logged, best-effort error frame written -- and the
+///    connection is dropped, since a corrupt stream has no recoverable
+///    frame boundary; shape errors inside a valid frame only fail that
+///    request;
+///  - graceful drain: SIGINT/SIGTERM (or request_stop()) stops accepting
+///    and reading, every already-queued and in-flight request still gets
+///    its response, then serve() returns.
+class Server {
+ public:
+  /// `service` must outlive the server. The socket path is created by
+  /// bind_and_listen() (any stale file at that path is unlinked first) and
+  /// removed again when serve() returns.
+  Server(TuningService& service, std::string socket_path);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Creates, binds, and listens on the AF_UNIX socket; throws
+  /// ecotune::Error on any socket failure (path too long, bind refused).
+  void bind_and_listen();
+
+  /// Blocks serving requests until a stop is requested; installs
+  /// SIGINT/SIGTERM handlers for the duration (restored on return) and
+  /// drains gracefully. Requires bind_and_listen().
+  void serve();
+
+  /// Requests a graceful stop; callable from any thread and
+  /// async-signal-safe (one byte down the wake pipe).
+  void request_stop();
+
+  [[nodiscard]] const std::string& socket_path() const { return socket_path_; }
+
+ private:
+  /// Per-connection state. The fd closes when the last reference drops, so
+  /// a worker holding a job can never write into a recycled descriptor.
+  struct Connection {
+    explicit Connection(int fd_in, std::size_t max_frame_bytes)
+        : fd(fd_in), decoder(max_frame_bytes) {}
+    ~Connection();
+    Connection(const Connection&) = delete;
+    Connection& operator=(const Connection&) = delete;
+
+    const int fd;
+    FrameDecoder decoder;  ///< io-loop only
+    /// Serializes response frames (workers and the io loop both write) and
+    /// gates writes after close.
+    Mutex write_mutex;
+    bool open ECOTUNE_GUARDED_BY(write_mutex) = true;
+  };
+
+  /// One queued request.
+  struct Job {
+    std::shared_ptr<Connection> conn;
+    Json frame;
+    Json id;             ///< echoed in queue-side error responses
+    std::string tenant;  ///< stats bucket for queue-side errors
+    std::chrono::steady_clock::time_point deadline;
+  };
+
+  void io_loop();
+  void worker_loop();
+  /// Drains readable bytes of one connection; returns false when the
+  /// connection must be dropped (EOF, error, malformed frame).
+  [[nodiscard]] bool service_readable(const std::shared_ptr<Connection>& conn);
+  /// Parses one decoded frame into a Job and queues it (or answers
+  /// overloaded/bad_request immediately).
+  void submit_frame(const std::shared_ptr<Connection>& conn, Json frame);
+  [[nodiscard]] bool enqueue(Job job) ECOTUNE_EXCLUDES(queue_mutex_);
+  /// Writes one framed response; serialized per connection, silently
+  /// dropped when the peer is gone.
+  void write_frame(Connection& conn, const Json& response);
+
+  TuningService& service_;
+  std::string socket_path_;
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  ///< self-pipe: [0] polled, [1] written
+
+  Mutex queue_mutex_;
+  /// _any variant: waits on the annotated MutexLock (BasicLockable), the
+  /// same idiom as common/parallel's ThreadPool.
+  std::condition_variable_any queue_cv_;
+  std::deque<Job> queue_ ECOTUNE_GUARDED_BY(queue_mutex_);
+  bool draining_ ECOTUNE_GUARDED_BY(queue_mutex_) = false;
+};
+
+}  // namespace ecotune::serve

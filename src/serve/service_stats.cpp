@@ -1,0 +1,71 @@
+#include "serve/service_stats.hpp"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace ecotune::serve {
+namespace {
+
+/// Nearest-rank quantile over a sorted sample vector.
+double quantile_ms(const std::vector<double>& sorted_seconds, double q) {
+  if (sorted_seconds.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted_seconds.size() - 1) + 0.5);
+  return sorted_seconds[std::min(rank, sorted_seconds.size() - 1)] * 1000.0;
+}
+
+Json bucket_json(long requests, long ok, long errors) {
+  Json j = Json::object();
+  j["requests"] = static_cast<std::int64_t>(requests);
+  j["ok"] = static_cast<std::int64_t>(ok);
+  j["errors"] = static_cast<std::int64_t>(errors);
+  return j;
+}
+
+}  // namespace
+
+void ServiceStats::record(const std::string& tenant, bool ok,
+                          double service_seconds) {
+  const MutexLock lock(mutex_);
+  auto bump = [ok](Bucket& b) {
+    ++b.requests;
+    if (ok) {
+      ++b.ok;
+    } else {
+      ++b.errors;
+    }
+  };
+  bump(aggregate_);
+  bump(tenants_[tenant]);
+  if (samples_.size() < max_samples_) {
+    samples_.push_back(service_seconds);
+  } else {
+    samples_[sample_cursor_] = service_seconds;
+  }
+  sample_cursor_ = (sample_cursor_ + 1) % max_samples_;
+}
+
+Json ServiceStats::snapshot(long queue_depth) const {
+  Json j = Json::object();
+  std::vector<double> sorted;
+  {
+    const MutexLock lock(mutex_);
+    j["aggregate"] =
+        bucket_json(aggregate_.requests, aggregate_.ok, aggregate_.errors);
+    Json tenants = Json::object();
+    for (const auto& [name, b] : tenants_)
+      tenants[name] = bucket_json(b.requests, b.ok, b.errors);
+    j["tenants"] = std::move(tenants);
+    sorted = samples_;
+  }
+  std::sort(sorted.begin(), sorted.end());
+  Json timing = Json::object();
+  timing["p50_ms"] = quantile_ms(sorted, 0.50);
+  timing["p99_ms"] = quantile_ms(sorted, 0.99);
+  timing["samples"] = sorted.size();
+  j["aggregate"]["service_time"] = std::move(timing);
+  j["queue_depth"] = static_cast<std::int64_t>(queue_depth);
+  return j;
+}
+
+}  // namespace ecotune::serve

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/mutex.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace ecotune::serve {
+
+/// Per-tenant and aggregate request accounting for the tuning service,
+/// safe to update from every worker and to snapshot concurrently from the
+/// "stats" endpoint. Service times feed a bounded recent-sample ring from
+/// which snapshot() derives p50/p99 (over at most `max_samples` recent
+/// requests, so the quantiles track current behavior and memory stays
+/// bounded no matter how long the daemon lives).
+///
+/// Wall-clock times are observability only: they never feed any response
+/// payload of the deterministic methods, so the service's byte-identity
+/// contract is untouched by timing jitter.
+class ServiceStats {
+ public:
+  explicit ServiceStats(std::size_t max_samples = 4096)
+      : max_samples_(max_samples == 0 ? 1 : max_samples) {}
+
+  /// Records one finished request (ok or answered with an error response).
+  void record(const std::string& tenant, bool ok, double service_seconds)
+      ECOTUNE_EXCLUDES(mutex_);
+
+  /// Snapshot document:
+  ///   {"aggregate": {"requests": N, "ok": N, "errors": N,
+  ///                  "service_time": {"p50_ms":..., "p99_ms":...,
+  ///                                   "samples": N}},
+  ///    "tenants": {"<tenant>": {"requests":..., "ok":..., "errors":...}},
+  ///    "queue_depth": <caller-supplied gauge>}
+  [[nodiscard]] Json snapshot(long queue_depth) const ECOTUNE_EXCLUDES(mutex_);
+
+ private:
+  struct Bucket {
+    long requests = 0;
+    long ok = 0;
+    long errors = 0;
+  };
+
+  std::size_t max_samples_;
+  mutable Mutex mutex_;
+  Bucket aggregate_ ECOTUNE_GUARDED_BY(mutex_);
+  std::map<std::string, Bucket> tenants_ ECOTUNE_GUARDED_BY(mutex_);
+  /// Ring buffer of recent service times (seconds), cursor wraps.
+  std::vector<double> samples_ ECOTUNE_GUARDED_BY(mutex_);
+  std::size_t sample_cursor_ ECOTUNE_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace ecotune::serve

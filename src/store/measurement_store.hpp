@@ -3,8 +3,10 @@
 #include <cstdint>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/json.hpp"
 #include "common/mutex.hpp"
@@ -58,23 +60,33 @@ struct StoreStats {
 /// In-memory map of task -> (fingerprint, payload) backed by an append-only
 /// JSON-lines file `<cache_dir>/measurements.jsonl`. Every measurement
 /// consumer (experiments engine, baseline tuners, data acquisition, savings
-/// evaluator) consults the store before simulating and appends what it
-/// measured, so a warm rerun of any driver answers already-seen scenario
-/// measurements from disk instead of re-simulating them. Payload values
-/// round-trip bit-exactly (Json serializes doubles via std::to_chars), which
-/// is what makes warm output byte-identical to a cold run.
+/// evaluator, the tuning service) consults the store before simulating and
+/// appends what it measured, so a warm rerun of any driver answers
+/// already-seen scenario measurements from disk instead of re-simulating
+/// them. Payload values round-trip bit-exactly (Json serializes doubles via
+/// std::to_chars), which is what makes warm output byte-identical to a cold
+/// run.
 ///
-/// Thread safety: lookup/insert are serialized by an internal mutex; the
-/// parallel sweep engines call them from concurrent tasks. The lock
-/// discipline is compiler-proved: every guarded member carries
-/// ECOTUNE_GUARDED_BY(mutex_) and the _locked helpers carry
-/// ECOTUNE_REQUIRES(mutex_), so a Clang `-Wthread-safety` build rejects
-/// any access outside the lock. mode_/dir_/scope_/file_path_ are written
+/// Thread safety: the in-memory index is split into `shard_count()`
+/// fingerprint-hashed shards (FNV-1a over the scoped task key), each an
+/// independently `ecotune::Mutex`-guarded map, so concurrent lookups of
+/// different tasks proceed without serializing on one global lock. The disk
+/// appender and its counters sit behind a separate `append_mutex_` that is
+/// only ever taken *after* a shard lock is released, so the lock order is
+/// trivially acyclic. The discipline is compiler-proved: every guarded
+/// member carries ECOTUNE_GUARDED_BY and the _locked helpers carry
+/// ECOTUNE_REQUIRES, so a Clang `-Wthread-safety` build rejects any access
+/// outside the lock. mode_/dir_/scope_/file_path_/shards_ are written
 /// exactly once by open() (before any concurrent use -- drivers open the
 /// store during CLI setup) and are read-only afterwards, which is why the
-/// cheap accessors below take no lock.
+/// cheap accessors below take no lock. Shard count never changes results:
+/// it only partitions the task-key space, and warm-restart identity is over
+/// the union of the shards.
 class MeasurementStore {
  public:
+  /// Shard count used when open() is passed shards == 0.
+  static constexpr std::size_t kDefaultShardCount = 16;
+
   /// Constructs a disabled (kOff) store; open() activates it.
   MeasurementStore() = default;
 
@@ -91,32 +103,39 @@ class MeasurementStore {
   /// own name so several drivers can share one cache directory without
   /// colliding on identical task ids (which would ping-pong-invalidate each
   /// other's entries, since their contexts fingerprint differently).
+  ///
+  /// `shards` picks the in-memory index shard count (0 means
+  /// kDefaultShardCount). Purely a concurrency knob: lookup results, stats
+  /// totals and the on-disk format are identical for every value.
   void open(const std::string& cache_dir, StoreMode mode,
-            std::string scope = {});
+            std::string scope = {}, std::size_t shards = 0);
 
   [[nodiscard]] bool enabled() const { return mode_ != StoreMode::kOff; }
   [[nodiscard]] StoreMode mode() const { return mode_; }
   [[nodiscard]] const std::string& cache_dir() const { return dir_; }
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
 
   /// Returns the payload recorded for `key`, or nullopt on miss. A stored
   /// entry whose fingerprint differs from key.fingerprint is stale (the
   /// context changed); it is invalidated and the lookup misses.
-  [[nodiscard]] std::optional<Json> lookup(const MeasurementKey& key)
-      ECOTUNE_EXCLUDES(mutex_);
+  [[nodiscard]] std::optional<Json> lookup(const MeasurementKey& key);
 
   /// Records `payload` under `key`. No-op in ro/off mode. In rw mode the
   /// entry is appended to disk immediately (one JSON line, flushed), so a
   /// killed run still leaves a usable cache.
   void insert(const MeasurementKey& key, const Json& payload)
-      ECOTUNE_EXCLUDES(mutex_);
+      ECOTUNE_EXCLUDES(append_mutex_);
 
-  [[nodiscard]] StoreStats stats() const ECOTUNE_EXCLUDES(mutex_);
-  [[nodiscard]] std::size_t size() const ECOTUNE_EXCLUDES(mutex_);
+  /// Consistent snapshot of the counters, safe to poll concurrently with
+  /// in-flight lookups/inserts: each shard contributes its totals under its
+  /// own lock, then the appender counters are added under append_mutex_.
+  [[nodiscard]] StoreStats stats() const ECOTUNE_EXCLUDES(append_mutex_);
+  [[nodiscard]] std::size_t size() const;
 
   /// One-line, machine-greppable summary:
   /// "[measurement-store] hits=H misses=M invalidated=I rejected=R writes=W
   ///  entries=E (mode=rw, dir=...)". Drivers print it to stderr.
-  [[nodiscard]] std::string summary() const ECOTUNE_EXCLUDES(mutex_);
+  [[nodiscard]] std::string summary() const ECOTUNE_EXCLUDES(append_mutex_);
 
  private:
   struct Entry {
@@ -124,23 +143,45 @@ class MeasurementStore {
     Json payload;
   };
 
-  /// Lock-held workhorses behind the public lookup/insert; the REQUIRES
-  /// contract is what the Clang lane's negative check targets.
-  [[nodiscard]] std::optional<Json> lookup_locked(const MeasurementKey& key)
-      ECOTUNE_REQUIRES(mutex_);
-  void insert_locked(const MeasurementKey& key, const Json& payload)
-      ECOTUNE_REQUIRES(mutex_);
-  void load_file(const std::string& path) ECOTUNE_REQUIRES(mutex_);
+  /// One fingerprint-hashed slice of the index. Shards never share state:
+  /// a task key maps to exactly one shard (shard_of), so per-shard counters
+  /// sum to the same totals a single-mutex index would report.
+  struct Shard {
+    /// Lock-held workhorses behind the public lookup/insert; the REQUIRES
+    /// contract is what the Clang lane's negative check targets.
+    [[nodiscard]] std::optional<Json> lookup_locked(
+        const std::string& task, std::uint64_t fingerprint)
+        ECOTUNE_REQUIRES(mutex_);
+    void insert_locked(const std::string& task, std::uint64_t fingerprint,
+                       const Json& payload) ECOTUNE_REQUIRES(mutex_);
+
+    mutable Mutex mutex_;
+    std::map<std::string, Entry> entries_ ECOTUNE_GUARDED_BY(mutex_);
+    long hits_ ECOTUNE_GUARDED_BY(mutex_) = 0;
+    long misses_ ECOTUNE_GUARDED_BY(mutex_) = 0;
+    long invalidated_ ECOTUNE_GUARDED_BY(mutex_) = 0;
+  };
+
+  [[nodiscard]] Shard& shard_of(const std::string& task) const;
+  void load_file(const std::string& path);
+  void append_line_locked(const std::string& task, std::uint64_t fingerprint,
+                          const Json& payload)
+      ECOTUNE_REQUIRES(append_mutex_);
   [[nodiscard]] std::string scoped(const std::string& task) const;
 
-  mutable Mutex mutex_;
   StoreMode mode_ = StoreMode::kOff;
   std::string dir_;
   std::string scope_;
   std::string file_path_;
-  std::map<std::string, Entry> entries_ ECOTUNE_GUARDED_BY(mutex_);
-  std::ofstream appender_ ECOTUNE_GUARDED_BY(mutex_);
-  StoreStats stats_ ECOTUNE_GUARDED_BY(mutex_);
+  /// Fixed after open(); unique_ptr because Mutex is immovable.
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Serializes the append-only disk stream; never held together with a
+  /// shard lock (insert releases the shard before appending).
+  mutable Mutex append_mutex_;
+  std::ofstream appender_ ECOTUNE_GUARDED_BY(append_mutex_);
+  long rejected_ ECOTUNE_GUARDED_BY(append_mutex_) = 0;
+  long writes_ ECOTUNE_GUARDED_BY(append_mutex_) = 0;
 };
 
 }  // namespace ecotune::store

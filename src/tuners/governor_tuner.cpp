@@ -144,8 +144,10 @@ TuningOutcome GovernorTuner::tune(const TuningRequest& request) {
         .add("down_threshold", options_.down_threshold)
         .add("freq_step", options_.freq_step)
         .add("noise_key", noise_key);
-    cache_key.task = "governor/" + std::string(name()) + "/" +
-                     request.app.name() + "/" + noise_key;
+    cache_key.task =
+        "governor/" + std::string(name()) + "/" + request.app.name() +
+        (options_.key_scope.empty() ? "" : "/" + options_.key_scope) + "/" +
+        noise_key;
     cache_key.fingerprint = fp.digest();
     if (const auto hit = cache->lookup(cache_key)) {
       try {

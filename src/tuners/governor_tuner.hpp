@@ -26,6 +26,9 @@ struct GovernorOptions {
   /// Optional persistent measurement store (not owned): replays the whole
   /// governed run from a previous session when node/app/options match.
   store::MeasurementStore* store = nullptr;
+  /// Optional store task-key namespace ("governor/<policy>/<app>/
+  /// <key_scope>/..."); see baseline::StaticTunerOptions::key_scope.
+  std::string key_scope;
 };
 
 /// Load-reactive frequency governor baseline: runs the application once at

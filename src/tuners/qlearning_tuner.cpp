@@ -231,7 +231,10 @@ TuningOutcome QLearningTuner::tune(const TuningRequest& request) {
     if (cache != nullptr) {
       Fingerprint fp = base_fp;
       fp.add("noise_key", noise_key).add("episode", ep).add("config", config);
-      cache_key.task = "qlearn/" + request.app.name() + "/" + noise_key;
+      cache_key.task =
+          "qlearn/" + request.app.name() +
+          (options_.key_scope.empty() ? "" : "/" + options_.key_scope) + "/" +
+          noise_key;
       cache_key.fingerprint = fp.digest();
       if (const auto hit = cache->lookup(cache_key)) {
         try {

@@ -36,6 +36,9 @@ struct QLearningOptions {
   /// episode measurements from a previous session. Jobs-invariant (the
   /// walk is inherently serial).
   store::MeasurementStore* store = nullptr;
+  /// Optional store task-key namespace ("qlearn/<app>/<key_scope>/...");
+  /// see baseline::StaticTunerOptions::key_scope.
+  std::string key_scope;
 };
 
 /// Online Q-learning self-tuning in the style of Gocht et al. (PAPERS.md):

@@ -11,6 +11,7 @@ std::unique_ptr<Tuner> make_governor(const TunerContext& ctx,
                                      GovernorPolicy policy) {
   GovernorOptions opts = ctx.governor;
   opts.store = ctx.store;
+  opts.key_scope = ctx.key_scope;
   return std::make_unique<GovernorTuner>(*ctx.node, policy, opts);
 }
 
@@ -60,12 +61,14 @@ const TunerRegistry& default_registry() {
       baseline::ExhaustiveTunerOptions opts = ctx.exhaustive_search;
       opts.jobs = ctx.jobs;
       opts.store = ctx.store;
+      opts.key_scope = ctx.key_scope;
       return std::make_unique<baseline::ExhaustiveTuner>(*ctx.node, opts);
     });
     r.add("static", [](const TunerContext& ctx) -> std::unique_ptr<Tuner> {
       baseline::StaticTunerOptions opts = ctx.static_search;
       opts.jobs = ctx.jobs;
       opts.store = ctx.store;
+      opts.key_scope = ctx.key_scope;
       return std::make_unique<baseline::StaticTuner>(*ctx.node, opts);
     });
     r.add("dta", [](const TunerContext& ctx) -> std::unique_ptr<Tuner> {
@@ -74,11 +77,13 @@ const TunerRegistry& default_registry() {
       core::DvfsUfsPlugin::Options opts = ctx.plugin;
       opts.engine.jobs = ctx.jobs;
       opts.engine.store = ctx.store;
+      if (!ctx.key_scope.empty()) opts.engine.key_scope = ctx.key_scope;
       return std::make_unique<DtaTuner>(*ctx.node, ctx.model, opts);
     });
     r.add("qlearn", [](const TunerContext& ctx) -> std::unique_ptr<Tuner> {
       QLearningOptions opts = ctx.qlearn;
       opts.store = ctx.store;
+      opts.key_scope = ctx.key_scope;
       return std::make_unique<QLearningTuner>(*ctx.node, opts);
     });
     r.add("ondemand", [](const TunerContext& ctx) {

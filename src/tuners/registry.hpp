@@ -25,6 +25,11 @@ struct TunerContext {
   DtaTuner::ModelProvider model;  ///< may be empty if "dta" is never made
   int jobs = 1;
   store::MeasurementStore* store = nullptr;
+  /// Store task-key namespace threaded into every strategy's per-config
+  /// entries (and, for "dta", the engine's). Concurrent strategies over the
+  /// same benchmark (one per service request) need distinct scopes or their
+  /// store entries collide on identical task ids.
+  std::string key_scope;
   baseline::StaticTunerOptions static_search;
   baseline::ExhaustiveTunerOptions exhaustive_search;
   core::DvfsUfsPlugin::Options plugin;

@@ -1,0 +1,14 @@
+// Lint fixture (never compiled): the same listener shape carrying the
+// explicit waiver comment -- the escape hatch for a transport that truly
+// cannot route through the pool -- plus the sleep call the rule must not
+// confuse with std::thread (std::this_thread is not a thread spawn).
+#include <chrono>
+#include <thread>
+
+void accept_loop(int listen_fd) {
+  while (listen_fd >= 0) {
+    std::thread connection([] {});  // ecotune-lint: allow(raw-thread) -- fixture: dedicated transport listener outside the pool
+    connection.join();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}

@@ -1,0 +1,11 @@
+// Lint fixture (never compiled): a hand-rolled daemon listener spawning
+// one raw detached thread per accepted connection instead of routing its
+// concurrency through common/parallel, as the real src/serve Server does.
+#include <thread>
+
+void accept_loop(int listen_fd) {
+  while (listen_fd >= 0) {
+    std::thread connection([] {});  // VIOLATION line 8
+    connection.detach();            // VIOLATION line 9
+  }
+}

@@ -130,6 +130,26 @@ TEST(EcotuneLint, RawThreadClean) {
   EXPECT_TRUE(lint_fixture("raw_thread_clean.cpp").empty());
 }
 
+TEST(EcotuneLint, ServeListenerRawThreadViolations) {
+  // The daemon module is under the raw-thread rule like everything else
+  // outside common/parallel: a hand-rolled per-connection thread in a
+  // src/serve listener is flagged on both the spawn and the detach.
+  EXPECT_EQ(lint_fixture_as("serve_listener_violation.cpp",
+                            "src/serve/serve_listener_violation.cpp"),
+            (std::vector<std::string>{
+                "src/serve/serve_listener_violation.cpp:8 [raw-thread]",
+                "src/serve/serve_listener_violation.cpp:9 [raw-thread]"}));
+}
+
+TEST(EcotuneLint, ServeListenerWaiverIsClean) {
+  // The explicit `// ecotune-lint: allow(raw-thread) -- reason` waiver
+  // silences the spawn line, and std::this_thread::sleep_for never trips
+  // the rule (the real Server needs neither: it routes through the pool).
+  EXPECT_TRUE(lint_fixture_as("serve_listener_clean.cpp",
+                              "src/serve/serve_listener_clean.cpp")
+                  .empty());
+}
+
 TEST(EcotuneLint, DiagnosticFormatIsFileLineRuleMessage) {
   const auto diagnostics = lint::lint_files(
       kFixtures, {kFixtures + "/raw_thread_violation.cpp"});

@@ -1,0 +1,289 @@
+// Command-line client for ecotune_serve: builds ecotune.rpc.v1 request
+// frames, pipelines them down the daemon's AF_UNIX socket, and prints one
+// response JSON document per line (in request-id order, so output is
+// stable no matter how the daemon's workers interleave).
+//
+//   ecotune_client --socket /tmp/ecotune.sock --method ping
+//   ecotune_client --socket S --method tune --tuner dta --benchmark Lulesh
+//   ecotune_client --socket S --method predict
+//       --params '{"counter_rates":{"instructions":2.1e9,"cycles":2.4e9}}'
+//
+// Repeating --benchmark (or passing --count N) fans out one request per
+// benchmark (repetition); exits 1 when any response carries ok=false.
+#include <cerrno>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "serve/protocol.hpp"
+
+using namespace ecotune;
+
+namespace {
+
+struct CliOptions {
+  std::string socket_path;
+  std::string tenant = "default";
+  std::string method = "ping";
+  std::vector<std::string> benchmarks;
+  std::string tuner;
+  std::string objective;
+  std::string params_json;
+  int count = 1;
+  int timeout_ms = 0;  // 0 = daemon default
+  bool help = false;
+};
+
+void print_usage() {
+  std::cout <<
+      "ecotune_client -- send requests to an ecotune_serve daemon\n"
+      "\n"
+      "usage: ecotune_client --socket <path> --method <name> [options]\n"
+      "\n"
+      "options:\n"
+      "  --socket <path>      daemon AF_UNIX socket path (required)\n"
+      "  --method <name>      rpc method: ping, methods, predict, tune,\n"
+      "                       dta, evaluate, stats (default ping)\n"
+      "  --tenant <name>      tenant id for accounting (default default)\n"
+      "  --benchmark <name>   params.benchmark; repeat to fan out one\n"
+      "                       request per benchmark over one connection\n"
+      "  --tuner <name>       params.tuner (tune method)\n"
+      "  --objective <name>   params.objective\n"
+      "  --params <json>      extra params as a JSON object, merged in\n"
+      "                       (explicit flags win)\n"
+      "  --count <n>          repeat each request n times (default 1)\n"
+      "  --timeout-ms <n>     per-request queue deadline (default: the\n"
+      "                       daemon's --timeout-ms)\n"
+      "  --help               this text\n"
+      "\n"
+      "Each response prints as one compact JSON line, ordered by request\n"
+      "id; exit status is 1 when any response has ok=false.\n";
+}
+
+bool parse_args(int argc, char** argv, CliOptions& opts) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* flag) {
+      return cli::next_arg_value(argc, argv, i, flag);
+    };
+    if (arg == "--socket") {
+      const char* v = next("--socket");
+      if (!v) return false;
+      opts.socket_path = v;
+    } else if (arg == "--method") {
+      const char* v = next("--method");
+      if (!v) return false;
+      opts.method = v;
+    } else if (arg == "--tenant") {
+      const char* v = next("--tenant");
+      if (!v) return false;
+      opts.tenant = v;
+    } else if (arg == "--benchmark") {
+      const char* v = next("--benchmark");
+      if (!v) return false;
+      opts.benchmarks.emplace_back(v);
+    } else if (arg == "--tuner") {
+      const char* v = next("--tuner");
+      if (!v) return false;
+      opts.tuner = v;
+    } else if (arg == "--objective") {
+      const char* v = next("--objective");
+      if (!v) return false;
+      opts.objective = v;
+    } else if (arg == "--params") {
+      const char* v = next("--params");
+      if (!v) return false;
+      opts.params_json = v;
+    } else if (arg == "--count") {
+      const char* v = next("--count");
+      if (!v || !cli::parse_strict_int("--count", v, 1, opts.count))
+        return false;
+    } else if (arg == "--timeout-ms") {
+      const char* v = next("--timeout-ms");
+      if (!v || !cli::parse_strict_int("--timeout-ms", v, 1, opts.timeout_ms))
+        return false;
+    } else if (arg == "--help" || arg == "-h") {
+      opts.help = true;
+    } else {
+      std::cerr << "error: unknown argument '" << arg << "'\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Blocking connect to the daemon socket; returns -1 with a message on
+/// stderr when the daemon is not there.
+int connect_to(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    std::cerr << "error: socket path too long: " << path << '\n';
+    return -1;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::cerr << "error: socket(): " << std::strerror(errno) << '\n';
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    std::cerr << "error: connect(" << path
+              << "): " << std::strerror(errno) << '\n';
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool send_all(int fd, const std::string& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      std::cerr << "error: send(): " << std::strerror(errno) << '\n';
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opts;
+  if (!parse_args(argc, argv, opts)) {
+    print_usage();
+    return 2;
+  }
+  if (opts.help) {
+    print_usage();
+    return 0;
+  }
+  if (opts.socket_path.empty()) {
+    std::cerr << "error: --socket is required\n";
+    print_usage();
+    return 2;
+  }
+
+  Json base_params = Json::object();
+  if (!opts.params_json.empty()) {
+    try {
+      base_params = Json::parse(opts.params_json);
+      ensure(base_params.is_object(), "--params must be a JSON object");
+    } catch (const std::exception& e) {
+      std::cerr << "error: --params: " << e.what() << '\n';
+      return 2;
+    }
+  }
+  if (!opts.tuner.empty()) base_params["tuner"] = opts.tuner;
+  if (!opts.objective.empty()) base_params["objective"] = opts.objective;
+
+  // One request per (benchmark x repetition); no --benchmark means one
+  // benchmark-less request per repetition (ping/stats/predict/methods).
+  std::vector<Json> requests;
+  const std::vector<std::string> targets =
+      opts.benchmarks.empty() ? std::vector<std::string>{""}
+                              : opts.benchmarks;
+  std::int64_t id = 0;
+  for (int rep = 0; rep < opts.count; ++rep) {
+    for (const std::string& benchmark : targets) {
+      Json params = base_params;
+      if (!benchmark.empty()) params["benchmark"] = benchmark;
+      Json frame = Json::object();
+      frame["schema"] = std::string(serve::kRpcSchema);
+      frame["id"] = id++;
+      frame["tenant"] = opts.tenant;
+      frame["method"] = opts.method;
+      frame["params"] = std::move(params);
+      if (opts.timeout_ms > 0)
+        frame["timeout_ms"] = static_cast<std::int64_t>(opts.timeout_ms);
+      requests.push_back(std::move(frame));
+    }
+  }
+
+  const int fd = connect_to(opts.socket_path);
+  if (fd < 0) return 1;
+
+  // Pipeline every request, then collect every response; the daemon's
+  // workers may answer out of order, so responses are reordered by id
+  // before printing.
+  std::string wire;
+  for (const Json& request : requests)
+    wire += serve::encode_frame(request);
+  if (!send_all(fd, wire)) {
+    ::close(fd);
+    return 1;
+  }
+
+  std::vector<Json> responses(requests.size());
+  std::vector<bool> seen(requests.size(), false);
+  serve::FrameDecoder decoder;
+  std::size_t received = 0;
+  bool transport_error = false;
+  char buf[4096];
+  while (received < requests.size()) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n == 0) {
+      std::cerr << "error: daemon closed the connection after " << received
+                << '/' << requests.size() << " response(s)\n";
+      transport_error = true;
+      break;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      std::cerr << "error: recv(): " << std::strerror(errno) << '\n';
+      transport_error = true;
+      break;
+    }
+    try {
+      decoder.feed(buf, static_cast<std::size_t>(n));
+      while (auto frame = decoder.next()) {
+        const Json& resp = *frame;
+        std::int64_t resp_id = -1;
+        if (resp.is_object() && resp.contains("id") &&
+            resp.at("id").is_number()) {
+          resp_id = static_cast<std::int64_t>(resp.at("id").as_number());
+        }
+        if (resp_id >= 0 &&
+            resp_id < static_cast<std::int64_t>(requests.size()) &&
+            !seen[static_cast<std::size_t>(resp_id)]) {
+          responses[static_cast<std::size_t>(resp_id)] = resp;
+          seen[static_cast<std::size_t>(resp_id)] = true;
+        } else {
+          // id-less error frames (e.g. a framing reject) still print.
+          std::cout << resp.dump(-1) << '\n';
+        }
+        ++received;
+      }
+    } catch (const Error& e) {
+      std::cerr << "error: " << e.what() << '\n';
+      transport_error = true;
+      break;
+    }
+  }
+  ::close(fd);
+
+  bool any_failed = transport_error;
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    if (!seen[i]) continue;
+    std::cout << responses[i].dump(-1) << '\n';
+    if (!(responses[i].contains("ok") && responses[i].at("ok").is_bool() &&
+          responses[i].at("ok").as_bool())) {
+      any_failed = true;
+    }
+  }
+  return any_failed ? 1 : 0;
+}

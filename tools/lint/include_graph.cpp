@@ -29,6 +29,7 @@ const std::map<std::string, std::set<std::string>>& module_dag() {
       {"api",
        {"baseline", "common", "core", "hwsim", "model", "ptf", "store",
         "tuners", "workload"}},
+      {"serve", {"api", "common", "core", "store", "workload"}},
   };
   return kDag;
 }

@@ -39,12 +39,14 @@
 #include "bench_common.hpp"
 #include "common/json.hpp"
 #include "common/numbers.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "hwsim/cpu_spec.hpp"
 #include "model/energy_model.hpp"
 #include "model/features.hpp"
 #include "nn/mlp.hpp"
 #include "stats/linalg.hpp"
+#include "store/measurement_store.hpp"
 
 using namespace ecotune;
 using Clock = std::chrono::steady_clock;
@@ -332,6 +334,86 @@ double bench_model_predict(const Options& o) {
   return ns;
 }
 
+// --- measurement-store contention (PR 10, bench/store_contention) -------
+//
+// Concurrent hit-path lookups against the sharded in-memory index versus
+// the same index forced onto one shard (the pre-sharding single-mutex
+// design). This is the load the tuning service's worker pool puts on the
+// shared store. The standalone bench/store_contention driver prints the
+// full table; the six cells tracked here pin the trajectory.
+
+std::vector<store::MeasurementKey> store_bench_keys(std::size_t count) {
+  std::vector<store::MeasurementKey> keys;
+  keys.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    store::MeasurementKey key;
+    key.task = "contention/task-";
+    key.task += std::to_string(i);
+    key.fingerprint = 0x9e3779b97f4a7c15ull ^ (i * 0x100000001b3ull);
+    keys.push_back(std::move(key));
+  }
+  return keys;
+}
+
+/// Populates (once per process) and returns the backing cache directory
+/// shared by every store-contention cell.
+const std::string& store_bench_dir(const Options& o) {
+  static std::string dir;
+  if (dir.empty()) {
+    namespace fs = std::filesystem;
+    const fs::path path =
+        fs::temp_directory_path() / "ecotune_perf_report_store";
+    std::error_code ec;
+    fs::remove_all(path, ec);
+    store::MeasurementStore writer;
+    writer.open(path.string(), store::StoreMode::kReadWrite, "bench");
+    const auto keys = store_bench_keys(o.quick ? 256 : 2048);
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      Json payload = Json::object();
+      payload["value"] = static_cast<double>(i) * 0.5;
+      writer.insert(keys[i], payload);
+    }
+    dir = path.string();
+  }
+  return dir;
+}
+
+double bench_store_lookup(const Options& o, std::size_t shards,
+                          int threads) {
+  const auto keys = store_bench_keys(o.quick ? 256 : 2048);
+  const std::size_t rounds = o.quick ? 8 : 64;
+  // ro mode keeps the disk appender (and its mutex) idle: the cell
+  // measures pure index contention on the hit path, which never misses
+  // and never writes.
+  store::MeasurementStore store;
+  store.open(store_bench_dir(o), store::StoreMode::kReadOnly, "bench",
+             shards);
+  ThreadPool pool(threads);
+  const std::size_t n = keys.size();
+  const auto t0 = Clock::now();
+  pool.run(static_cast<std::size_t>(threads), [&](std::size_t task) {
+    const std::size_t offset = task * (n / static_cast<std::size_t>(threads));
+    std::size_t alive = 0;
+    for (std::size_t r = 0; r < rounds; ++r)
+      for (std::size_t i = 0; i < n; ++i)
+        if (store.lookup(keys[(offset + i) % n]).has_value()) ++alive;
+    if (alive != rounds * n) {
+      std::cerr << "error: store lookup missed on the hit path\n";
+      std::exit(1);
+    }
+  });
+  const double ops =
+      static_cast<double>(threads) * static_cast<double>(rounds * n);
+  return seconds_since(t0) / ops * 1e9;
+}
+
+double bench_store_s1_t1(const Options& o) { return bench_store_lookup(o, 1, 1); }
+double bench_store_s1_t4(const Options& o) { return bench_store_lookup(o, 1, 4); }
+double bench_store_s1_t16(const Options& o) { return bench_store_lookup(o, 1, 16); }
+double bench_store_s16_t1(const Options& o) { return bench_store_lookup(o, 16, 1); }
+double bench_store_s16_t4(const Options& o) { return bench_store_lookup(o, 16, 4); }
+double bench_store_s16_t16(const Options& o) { return bench_store_lookup(o, 16, 16); }
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -364,6 +446,24 @@ int main(int argc, char** argv) {
       min_of(o.repeats, bench_grid_recommend, o);
   results["energy_model_predict_ns_per_call"] =
       min_of(o.repeats, bench_model_predict, o);
+  results["store_lookup_shard1_t1_ns_per_op"] =
+      min_of(o.repeats, bench_store_s1_t1, o);
+  results["store_lookup_shard1_t4_ns_per_op"] =
+      min_of(o.repeats, bench_store_s1_t4, o);
+  results["store_lookup_shard1_t16_ns_per_op"] =
+      min_of(o.repeats, bench_store_s1_t16, o);
+  results["store_lookup_shard16_t1_ns_per_op"] =
+      min_of(o.repeats, bench_store_s16_t1, o);
+  results["store_lookup_shard16_t4_ns_per_op"] =
+      min_of(o.repeats, bench_store_s16_t4, o);
+  results["store_lookup_shard16_t16_ns_per_op"] =
+      min_of(o.repeats, bench_store_s16_t16, o);
+  {
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::remove_all(fs::temp_directory_path() / "ecotune_perf_report_store",
+                   ec);
+  }
   for (const auto& [k, v] : o.extra) {
     double num = 0.0;
     if (ecotune::parse_double(v, num)) {
@@ -384,6 +484,12 @@ int main(int argc, char** argv) {
       std::string("9-5-5-1 MLP, single point vs 252-row batch (14x18 grid)");
   workloads["grid_recommend"] = std::string(
       "EnergyModel (5-member ensemble) argmin over the 14x18 CF/UCF grid");
+  workloads["store_lookup"] = std::string(
+      o.quick ? "MeasurementStore hit-path lookups, 256 keys x 8 rounds "
+                "per thread; shardN = index shard count, tN = pool threads"
+              : "MeasurementStore hit-path lookups, 2048 keys x 64 rounds "
+                "per thread; shardN = index shard count, tN = pool threads "
+                "(shard1 = the pre-PR-10 single-mutex index)");
   report["workloads"] = std::move(workloads);
   report["estimator"] =
       std::string("min over " + std::to_string(o.repeats) + " repeats");
